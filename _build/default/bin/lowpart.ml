@@ -1,0 +1,254 @@
+(* lowpart — command-line front end of the low-power hardware/software
+   partitioning flow.
+
+     lowpart list                  enumerate benchmark applications
+     lowpart run [APPS] [-f F]     run the full flow, print Table 1 etc.
+     lowpart simulate APP          simulate the unpartitioned design
+     lowpart dump APP [--asm]      print the IR (or compiled assembly)
+*)
+
+open Cmdliner
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let verbose_arg =
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"Enable debug logging.")
+
+let resolve_apps names =
+  match names with
+  | [] -> Ok Lp_apps.Apps.all
+  | names ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | n :: rest -> (
+            match Lp_apps.Apps.find n with
+            | Some e -> go (e :: acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf "unknown application %S (try: %s)" n
+                     (String.concat ", " Lp_apps.Apps.names)))
+      in
+      go [] names
+
+let list_cmd =
+  let doc = "List the benchmark applications." in
+  let run () =
+    List.iter
+      (fun (e : Lp_apps.Apps.entry) ->
+        Printf.printf "%-8s %s\n" e.name e.description)
+      Lp_apps.Apps.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let apps_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Applications to run (default: all).")
+
+let f_arg =
+  Arg.(
+    value
+    & opt float Lp_core.Objective.default_f
+    & info [ "f" ] ~docv:"F" ~doc:"Objective-function balance factor F.")
+
+let nmax_arg =
+  Arg.(
+    value & opt int 8
+    & info [ "n-max" ] ~docv:"N"
+        ~doc:"Maximum number of pre-selected clusters.")
+
+let detail_arg =
+  Arg.(value & flag & info [ "detail" ] ~doc:"Print per-app partitioning decisions.")
+
+let optimize_arg =
+  Arg.(
+    value & flag
+    & info [ "optimize" ]
+        ~doc:"Run the IR optimiser (fold/propagate/DSE) before the flow.")
+
+let unroll_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "unroll" ] ~docv:"N"
+        ~doc:"Partially unroll constant-bound loops by a factor of $(docv).")
+
+let peephole_arg =
+  Arg.(
+    value & flag
+    & info [ "peephole" ] ~doc:"Enable the assembly peephole optimiser.")
+
+let prepare ~optimize ~unroll p =
+  let p = if optimize then Lp_ir.Optim.optimize_program p else p in
+  if unroll > 1 then Lp_ir.Optim.unroll ~factor:unroll p else p
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON instead of tables.")
+
+let run_flow ~f ~n_max ~optimize ~unroll ~peephole (e : Lp_apps.Apps.entry) =
+  let config = { Lp_system.System.default_config with Lp_system.System.peephole } in
+  let options = { Lp_core.Flow.default_options with f; n_max; config } in
+  Lp_core.Flow.run ~options ~name:e.name (prepare ~optimize ~unroll (e.build ()))
+
+let run_cmd =
+  let doc = "Run the partitioning flow and print the paper's tables." in
+  let run verbose names f n_max detail json optimize unroll peephole =
+    setup_logs verbose;
+    match resolve_apps names with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok entries ->
+        let results =
+          List.map (run_flow ~f ~n_max ~optimize ~unroll ~peephole) entries
+        in
+        if json then print_endline (Lp_report.Export.results_json results)
+        else begin
+        print_endline "== Table 1: energy and execution time, initial (I) vs partitioned (P) ==";
+        print_endline (Lp_report.Paper_tables.table1 results);
+        print_newline ();
+        print_endline "== Figure 6: energy savings and execution-time change ==";
+        print_endline (Lp_report.Paper_tables.fig6 results);
+        print_newline ();
+        print_endline "== Hardware cost ==";
+        print_endline (Lp_report.Paper_tables.hardware_cost results);
+        if detail then
+          List.iter
+            (fun r ->
+              print_newline ();
+              print_string (Lp_report.Paper_tables.partition_detail r))
+            results
+        end
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ verbose_arg $ apps_arg $ f_arg $ nmax_arg $ detail_arg
+      $ json_arg $ optimize_arg $ unroll_arg $ peephole_arg)
+
+let app_pos =
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"APP")
+
+let simulate_cmd =
+  let doc = "Simulate the unpartitioned design of one application." in
+  let run verbose name =
+    setup_logs verbose;
+    match Lp_apps.Apps.find name with
+    | None ->
+        prerr_endline ("unknown application " ^ name);
+        exit 2
+    | Some e ->
+        let report = Lp_system.System.run (e.build ()) in
+        Format.printf "%a@." Lp_system.System.pp_report report;
+        print_newline ();
+        print_endline "uP instruction-class energy breakdown:";
+        print_endline (Lp_report.Paper_tables.uproc_breakdown report)
+  in
+  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ verbose_arg $ app_pos)
+
+let asm_arg =
+  Arg.(value & flag & info [ "asm" ] ~doc:"Dump compiled assembly instead of IR.")
+
+let dump_cmd =
+  let doc = "Print an application's IR or compiled assembly." in
+  let run name asm =
+    match Lp_apps.Apps.find name with
+    | None ->
+        prerr_endline ("unknown application " ^ name);
+        exit 2
+    | Some e ->
+        let p = e.build () in
+        if asm then begin
+          let prog, _layout = Lp_compiler.Compiler.compile p in
+          Format.printf "%a@." Lp_isa.Isa.pp_program prog
+        end
+        else Format.printf "%a@." Lp_ir.Printer.pp_program p
+  in
+  Cmd.v (Cmd.info "dump" ~doc) Term.(const run $ app_pos $ asm_arg)
+
+let synth_cmd =
+  let doc = "Run the flow and emit structural Verilog for every synthesised core." in
+  let run verbose name =
+    setup_logs verbose;
+    match Lp_apps.Apps.find name with
+    | None ->
+        prerr_endline ("unknown application " ^ name);
+        exit 2
+    | Some e -> (
+        let r = Lp_core.Flow.run ~name:e.Lp_apps.Apps.name (e.build ()) in
+        match r.Lp_core.Flow.cores with
+        | [] -> print_endline "// no clusters selected: nothing to synthesise"
+        | cores ->
+            List.iter
+              (fun core -> print_endline (Lp_core.Flow.core_verilog r core))
+              cores)
+  in
+  Cmd.v (Cmd.info "synth" ~doc) Term.(const run $ verbose_arg $ app_pos)
+
+let file_cmd =
+  let doc = "Parse a behavioural description from a text file and run              the partitioning flow on it." in
+  let path_arg =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
+  in
+  let run verbose path f n_max optimize unroll =
+    setup_logs verbose;
+    let ic = open_in path in
+    let len = in_channel_length ic in
+    let src = really_input_string ic len in
+    close_in ic;
+    match Lp_ir.Parse.program_of_string src with
+    | exception Lp_ir.Parse.Parse_error msg ->
+        Printf.eprintf "%s: %s
+" path msg;
+        exit 2
+    | exception Lp_ir.Validate.Error msg ->
+        Printf.eprintf "%s: %s
+" path msg;
+        exit 2
+    | program ->
+        let options = { Lp_core.Flow.default_options with f; n_max } in
+        let name = Filename.remove_extension (Filename.basename path) in
+        let program = prepare ~optimize ~unroll program in
+        let r = Lp_core.Flow.run ~options ~name program in
+        print_endline (Lp_report.Paper_tables.table1 [ r ]);
+        print_newline ();
+        print_string (Lp_report.Paper_tables.partition_detail r)
+  in
+  Cmd.v (Cmd.info "file" ~doc)
+    Term.(
+      const run $ verbose_arg $ path_arg $ f_arg $ nmax_arg $ optimize_arg
+      $ unroll_arg)
+
+let graph_cmd =
+  let doc = "Emit graphviz (dot) for an application's cluster chain and              its kernels' dataflow graphs." in
+  let run name =
+    match Lp_apps.Apps.find name with
+    | None ->
+        prerr_endline ("unknown application " ^ name);
+        exit 2
+    | Some e ->
+        let p = e.build () in
+        let chain = Lp_cluster.Cluster.decompose p in
+        print_endline (Lp_report.Export.chain_dot chain);
+        List.iter
+          (fun (c : Lp_cluster.Cluster.t) ->
+            if Lp_cluster.Cluster.asic_candidate c then
+              List.iter
+                (fun (seg : Lp_cluster.Cluster.segment) ->
+                  match
+                    Lp_ir.Dfg.of_segment seg.Lp_cluster.Cluster.seg_exprs
+                      seg.Lp_cluster.Cluster.seg_stmts
+                  with
+                  | Some dfg when Lp_ir.Dfg.node_count dfg > 2 ->
+                      print_endline (Lp_report.Export.dfg_dot dfg)
+                  | Some _ | None -> ())
+                (Lp_cluster.Cluster.segments c))
+          chain
+  in
+  Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ app_pos)
+
+let main_cmd =
+  let doc = "low-power hardware/software partitioning for core-based systems" in
+  Cmd.group
+    (Cmd.info "lowpart" ~version:"1.0.0" ~doc)
+    [ list_cmd; run_cmd; simulate_cmd; dump_cmd; synth_cmd; graph_cmd; file_cmd ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,44 @@
+(* Design-space exploration: the designer's interaction loop of
+   Section 3.5 — "the designer does have manifold possibilities of
+   interaction like defining several sets of resources, defining
+   constraints like the total number of clusters to be selected or to
+   modify the objective function".
+
+     dune exec examples/design_space.exe [APP]
+
+   Sweeps the objective-function factor F and the hardware budget for
+   one application and prints the energy/hardware trade-off frontier. *)
+
+module Flow = Lp_core.Flow
+module Apps = Lp_apps.Apps
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "digs" in
+  let entry =
+    match Apps.find name with
+    | Some e -> e
+    | None ->
+        Printf.eprintf "unknown app %s (have: %s)\n" name
+          (String.concat ", " Apps.names);
+        exit 2
+  in
+  Printf.printf "design space of %S: F (energy weight) x max cells\n\n" name;
+  let header = [ "F \\ budget"; "8k cells"; "16k cells"; "24k cells" ] in
+  let budgets = [ 8_000; 16_000; 24_000 ] in
+  let rows =
+    List.map
+      (fun f ->
+        Printf.sprintf "%.1f" f
+        :: List.map
+             (fun max_cells ->
+               let options = { Flow.default_options with Flow.f; max_cells } in
+               let r = Flow.run ~options ~name (entry.Apps.build ()) in
+               Printf.sprintf "%.1f%% / %dc / %+.0f%%t"
+                 (100.0 *. r.Flow.energy_saving)
+                 r.Flow.total_cells
+                 (100.0 *. r.Flow.time_change))
+             budgets)
+      [ 1.0; 2.0; 4.0; 8.0; 16.0 ]
+  in
+  print_endline (Lp_report.Table.render ~header rows);
+  print_endline "\ncell entries: energy saving / ASIC cells / execution-time change"

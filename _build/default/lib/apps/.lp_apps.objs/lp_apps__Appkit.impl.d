@@ -1,0 +1,1 @@
+lib/apps/appkit.ml: Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/appkit.mli: Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/apps.ml: Ckey Digs Engine List Lp_ir Mpg Protocol String Three_d Trick

@@ -1,0 +1,1 @@
+lib/apps/ckey.ml: Appkit Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/ckey.mli: Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/digs.ml: Appkit Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/digs.mli: Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/engine.ml: Appkit Array Lp_ir

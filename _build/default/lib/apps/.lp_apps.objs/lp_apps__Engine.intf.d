@@ -1,0 +1,1 @@
+lib/apps/engine.mli: Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/mpg.ml: Appkit Array Float Lp_ir

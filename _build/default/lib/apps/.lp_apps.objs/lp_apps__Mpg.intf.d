@@ -1,0 +1,1 @@
+lib/apps/mpg.mli: Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/protocol.ml: Appkit Lp_ir

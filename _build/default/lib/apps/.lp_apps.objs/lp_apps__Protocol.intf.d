@@ -1,0 +1,1 @@
+lib/apps/protocol.mli: Lp_ir

@@ -1,0 +1,1 @@
+lib/apps/three_d.ml: Appkit Lp_ir

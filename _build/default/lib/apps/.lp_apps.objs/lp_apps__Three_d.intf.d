@@ -1,0 +1,1 @@
+lib/apps/three_d.mli: Lp_ir

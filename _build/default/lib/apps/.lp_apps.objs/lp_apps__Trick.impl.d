@@ -1,0 +1,1 @@
+lib/apps/trick.ml: Appkit Lp_ir

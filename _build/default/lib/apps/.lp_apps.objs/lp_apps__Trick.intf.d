@@ -1,0 +1,1 @@
+lib/apps/trick.mli: Lp_ir

@@ -1,0 +1,30 @@
+open Lp_ir.Builder
+
+let lcg_next x = ((x * int 1103515245) + int 12345) &&& int 0x3FFFFFFF
+
+let xorshift_next x =
+  let y = x ^^^ (x <<< int 5) in
+  (y ^^^ (y >>> int 7)) &&& int 0x3FFFFFFF
+
+let abs_expr x = (x ^^^ (x >>> int 31)) - (x >>> int 31)
+
+let min_expr a b =
+  (* min(a,b) = b + ((a-b) & ((a-b)>>31)) *)
+  b + (((a - b) &&& ((a - b) >>> int 31)))
+
+let rnd_name = "rnd"
+let mix_name = "mix"
+
+let rnd_func =
+  func rnd_name ~params:[ "s" ] ~locals:[ "x" ]
+    [
+      "x" <-- ((var "s" * int 1103515245) + int 12345);
+      return ((var "x" >>> int 16) &&& int 32767);
+    ]
+
+let mix_func =
+  func mix_name ~params:[ "acc"; "v" ] ~locals:[]
+    [ return (((var "acc" * int 31) + var "v") &&& int 0xFFFFFF) ]
+
+let rnd e = call rnd_name [ e ]
+let mix a v = call mix_name [ a; v ]

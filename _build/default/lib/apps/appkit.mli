@@ -1,0 +1,46 @@
+(** Shared building blocks of the benchmark applications.
+
+    Two kinds of pseudo-random generators are provided deliberately:
+
+    - {!lcg_next} / {!xorshift_next} are {e inline} expressions — a
+      cluster using them stays a datapath candidate (no call), which is
+      how the DSP kernels synthesise data streams the way the paper's
+      applications read frames from memory;
+    - {!rnd_func} / {!mix_func} are helper {e functions} — a cluster
+      that calls them is pinned to software, which is how the
+      applications keep their non-kernel phases on the uP core.
+
+    All helpers are branch-free where it matters so kernels lower to
+    pure dataflow. *)
+
+open Lp_ir.Ast
+
+val lcg_next : expr -> expr
+(** [lcg_next x] is the next LCG state: multiplier-based (forces a
+    multiplier into the kernel's datapath). Result is positive. *)
+
+val xorshift_next : expr -> expr
+(** Shift/xor-based generator: a multiplier-free kernel stays mappable
+    onto adder/shifter-only resource sets. Result is positive. *)
+
+val abs_expr : expr -> expr
+(** Branch-free absolute value: [(x ^ (x >> 31)) - (x >> 31)]. *)
+
+val min_expr : expr -> expr -> expr
+(** Branch-free minimum of two expressions (each duplicated once —
+    keep the operands simple). *)
+
+val rnd_name : string
+val mix_name : string
+
+val rnd_func : func
+(** [rnd(seed)] -> bounded pseudo-random value; forces software. *)
+
+val mix_func : func
+(** [mix(acc, v)] -> checksum accumulator step; forces software. *)
+
+val rnd : expr -> expr
+(** Call of {!rnd_func}. *)
+
+val mix : expr -> expr -> expr
+(** Call of {!mix_func}. *)

@@ -1,0 +1,51 @@
+type entry = {
+  name : string;
+  description : string;
+  build : unit -> Lp_ir.Ast.program;
+}
+
+let all =
+  [
+    {
+      name = Three_d.name;
+      description = Three_d.description;
+      build = (fun () -> Three_d.program ());
+    };
+    { name = Mpg.name; description = Mpg.description; build = (fun () -> Mpg.program ()) };
+    {
+      name = Ckey.name;
+      description = Ckey.description;
+      build = (fun () -> Ckey.program ());
+    };
+    {
+      name = Digs.name;
+      description = Digs.description;
+      build = (fun () -> Digs.program ());
+    };
+    {
+      name = Engine.name;
+      description = Engine.description;
+      build = (fun () -> Engine.program ());
+    };
+    {
+      name = Trick.name;
+      description = Trick.description;
+      build = (fun () -> Trick.program ());
+    };
+  ]
+
+let extended =
+  all
+  @ [
+      {
+        name = Protocol.name;
+        description = Protocol.description;
+        build = (fun () -> Protocol.program ());
+      };
+    ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.name = lower) extended
+
+let names = List.map (fun e -> e.name) all

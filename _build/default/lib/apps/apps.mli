@@ -1,0 +1,24 @@
+(** Registry of the six benchmark applications of the paper's
+    evaluation (Section 4): "3d", "MPG", "ckey", "digs", "engine",
+    "trick" — re-implemented in the behavioural IR (see DESIGN.md for
+    the substitution notes). *)
+
+type entry = {
+  name : string;
+  description : string;
+  build : unit -> Lp_ir.Ast.program;
+}
+
+val all : entry list
+(** In the paper's Table 1 order: 3d, mpg, ckey, digs, engine, trick. *)
+
+val extended : entry list
+(** {!all} plus the control-dominated "protocol" probe — the paper's
+    stated future work ("control-dominated systems"), included to show
+    {e why} it is future work: the utilisation-driven partitioner finds
+    almost nothing to move. Not part of the Table 1 reproduction. *)
+
+val find : string -> entry option
+(** Lookup by name (case-insensitive). *)
+
+val names : string list

@@ -1,0 +1,11 @@
+(** "ckey": chroma-key compositing over synthesised video streams —
+    pure register dataflow, no arrays (the paper's least
+    memory-intensive application). Paper profile: ~75% saving, large
+    time gain, negligible cache/memory energy. *)
+
+val name : string
+val description : string
+
+val program : ?pixels:int -> unit -> Lp_ir.Ast.program
+
+val default_pixels : int

@@ -1,0 +1,67 @@
+(* "digs": smoothing of digital images — a Gaussian-weighted 3x3
+   convolution over a synthetic image. All three phases (image
+   synthesis, convolution, checksum reduction) are call-free dataflow
+   loops, so the partitioner can move the whole pipeline onto ASIC
+   cores; the arrays then become ASIC-private and main memory nearly
+   disappears from the energy picture.
+
+   Paper profile to reproduce: the largest energy saving of the suite
+   (~94%), the largest hardware cost (just under 16k cells), and a
+   faster partitioned design with the uP nearly idle. *)
+
+let name = "digs"
+let description = "digital-image smoothing (3x3 weighted convolution)"
+
+let default_width = 56
+
+let program ?(width = default_width) () =
+  let w = width in
+  let h = width in
+  let iw = w + 2 in
+  let img_words = iw * (h + 2) in
+  let out_words = w * h in
+  let off di dj = (di * iw) + dj in
+  let open Lp_ir.Builder in
+  let synth =
+    (* Image synthesis: multiplier-based generator, call-free. *)
+    for_ "i" (int 0) (int img_words)
+      [
+        "s" := Appkit.lcg_next (var "s" + var "i");
+        store "img" (var "i") (var "s" >>> int 8 &&& int 255);
+      ]
+  in
+  (* Gaussian kernel 1-2-1 / 2-4-2 / 1-2-1, normalised by >> 4. *)
+  let tap di dj weight =
+    load "img" (var "p" + int (off di dj)) * int weight
+  in
+  let smooth =
+    for_ "y" (int 0) (int h)
+      [
+        for_ "x" (int 0) (int w)
+          [
+            "p" := ((var "y" + int 1) * int iw) + var "x" + int 1;
+            "acc"
+            := tap (-1) (-1) 1 + tap (-1) 0 2 + tap (-1) 1 1 + tap 0 (-1) 2
+               + tap 0 0 4 + tap 0 1 2 + tap 1 (-1) 1 + tap 1 0 2 + tap 1 1 1;
+            store "out" ((var "y" * int w) + var "x") (var "acc" >>> int 4);
+          ];
+      ]
+  in
+  let reduce =
+    (* Checksum reduction, still call-free: stays with the pipeline. *)
+    for_ "i" (int 0) (int out_words)
+      [ "acc" := (var "acc" <<< int 1) + load "out" (var "i") &&& int 0xFFFFFF ]
+  in
+  program
+    ~arrays:[ array "img" img_words; array "out" out_words ]
+    [
+      func "main" ~params:[] ~locals:[ "s"; "acc"; "p" ]
+        [
+          "s" := int 99991;
+          "acc" := int 0;
+          synth;
+          smooth;
+          reduce;
+          print (var "acc");
+        ];
+    ]

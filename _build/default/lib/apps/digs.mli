@@ -1,0 +1,13 @@
+(** "digs": digital-image smoothing — a Gaussian 3x3 convolution
+    pipeline whose three call-free stages can all move to one shared
+    ASIC core with private buffers. Paper profile: the largest saving
+    (~94%) and the largest core (just under 16k cells). *)
+
+val name : string
+val description : string
+
+val program : ?width:int -> unit -> Lp_ir.Ast.program
+(** [width] is the image edge (default {!default_width}); the bordered
+    input is [(width+2)^2]. *)
+
+val default_width : int

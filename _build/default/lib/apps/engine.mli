@@ -1,0 +1,10 @@
+(** "engine": an engine-control algorithm — map interpolation and a
+    small control law between software sensor/actuator phases. Paper
+    profile: the smallest saving of the suite (~31%). *)
+
+val name : string
+val description : string
+
+val program : ?steps:int -> unit -> Lp_ir.Ast.program
+
+val default_steps : int

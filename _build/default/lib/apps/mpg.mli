@@ -1,0 +1,14 @@
+(** "MPG": the compute core of an MPEG-II encoder — SAD motion search
+    and an integer 8x8 DCT as kernels, frame acquisition and entropy
+    coding (helper calls) in software. Paper profile: mid-range saving
+    (~43%) with a clear execution-time gain. *)
+
+val name : string
+val description : string
+
+val program : ?width:int -> unit -> Lp_ir.Ast.program
+(** [width] is the square frame edge in pixels; must be a multiple of
+    the 8-pixel block size and a power of two (default
+    {!default_width}). *)
+
+val default_width : int

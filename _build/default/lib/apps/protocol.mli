@@ -1,0 +1,12 @@
+(** "protocol": a control-dominated probe — a packet-protocol state
+    machine, NOT part of the paper's Table 1. It reproduces the
+    motivation for the paper's future-work sentence on
+    control-dominated systems: almost nothing clears the utilisation
+    bar, and the saving collapses versus the DSP suite. *)
+
+val name : string
+val description : string
+
+val program : ?packets:int -> unit -> Lp_ir.Ast.program
+
+val default_packets : int

@@ -1,0 +1,12 @@
+(** "3d": 3-D vertex transformation of a motion picture — software
+    acquisition, a fixed-point 3x4 matrix kernel (the partitioning
+    target), software checksum/report. Paper profile: small app,
+    ~35% energy saving, slightly faster partitioned. *)
+
+val name : string
+val description : string
+
+val program : ?vertices:int -> unit -> Lp_ir.Ast.program
+(** [vertices] scales the workload (default {!default_vertices}). *)
+
+val default_vertices : int

@@ -1,0 +1,102 @@
+(* "trick": a trick-animation renderer — frames of a procedural sprite
+   animation are blended into a frame store through software-maintained
+   sprite and palette tables. The kernel does little arithmetic per
+   pixel but makes four shared-memory accesses for each one (read the
+   old pixel, two table lookups, write back). On the uP those hit the
+   data cache; an ASIC core must move every word over the shared bus as
+   single-word transactions — so the partition is {e slower} than
+   software while still slashing energy. This is the paper's one
+   saving-at-the-cost-of-performance case ("our algorithms could not
+   find an appropriate cluster yielding energy savings AND a reduction
+   of execution time" for trick).
+
+   Paper profile to reproduce: very large energy saving with a
+   {e positive} execution-time change (the only app that gets slower). *)
+
+let name = "trick"
+let description = "trick animation (sprite/palette blend renderer)"
+
+let default_frames = 12
+let default_width = 64
+
+let program ?(frames = default_frames) ?(width = default_width) () =
+  let f = frames in
+  let w = width in
+  let npix = w * w in
+  let wm1 = w - 1 in
+  let wshift =
+    let rec go k n = if n <= 1 then k else go (k + 1) (n / 2) in
+    go 0 w
+  in
+  let open Lp_ir.Builder in
+  let setup =
+    (* Software: build the sprite bitmap and palette tables. *)
+    [
+      for_ "i" (int 0) (int 256)
+        [
+          "s" := Appkit.rnd (var "s" + var "i");
+          store "sprite" (var "i") (var "s" &&& int 255);
+        ];
+      for_ "i" (int 0) (int 256)
+        [
+          "s" := Appkit.rnd (var "s" + (var "i" * int 3));
+          store "palette" (var "i") (var "s" &&& int 255);
+        ];
+    ]
+  in
+  let render =
+    (* Kernel: per pixel — read the old value, look the sprite and
+       palette tables up, blend, write back. All four arrays stay
+       shared with the software phases. *)
+    for_ "fr" (int 0) (int f)
+      [
+        "ox" := var "phx" + (var "fr" * int 5) &&& int wm1;
+        "oy" := var "phy" + (var "fr" * int 3) &&& int wm1;
+        for_ "y" (int 0) (int w)
+          [
+            for_ "x" (int 0) (int w)
+              [
+                "p" := (var "y" <<< int wshift) + var "x";
+                "old" := load "frame" (var "p");
+                "sp"
+                := load "sprite"
+                     ((var "x" + var "ox") ^^^ (var "y" + var "oy")
+                     &&& int 255);
+                "pl" := load "palette" (var "old" &&& int 255);
+                "px" := var "sp" + var "pl" + (var "old" >>> int 1)
+                        &&& int 255;
+                store "frame" (var "p") (var "px" + (var "fr" <<< int 8));
+              ];
+          ];
+        "sig" := var "sig" + load "frame" ((var "oy" <<< int wshift) + var "ox")
+                 &&& int 0xFFFFFF;
+      ]
+  in
+  let scanout =
+    (* Software: sparse scan-out / signature of the last frame. *)
+    while_
+      (var "i" < int npix)
+      [
+        "sig" := Appkit.mix (var "sig") (load "frame" (var "i"));
+        "i" := var "i" + int 97;
+      ]
+  in
+  program
+    ~arrays:[ array "frame" npix; array "sprite" 256; array "palette" 256 ]
+    [
+      Appkit.rnd_func;
+      Appkit.mix_func;
+      func "main" ~params:[]
+        ~locals:
+          [ "s"; "phx"; "phy"; "ox"; "oy"; "p"; "old"; "sp"; "pl"; "px";
+            "sig"; "i" ]
+        ([
+           "s" := int 4242;
+           "phx" := int 3;
+           "phy" := int 11;
+           "sig" := int 0;
+           "i" := int 0;
+         ]
+        @ setup
+        @ [ render; scanout; print (var "sig") ]);
+    ]

@@ -1,0 +1,13 @@
+(** "trick": a trick-animation renderer — store-heavy frame repainting
+    through software-maintained sprite/palette tables. The paper's one
+    saving-at-the-cost-of-performance case: the ASIC's single-word bus
+    transactions lose against the uP's cached writes. *)
+
+val name : string
+val description : string
+
+val program : ?frames:int -> ?width:int -> unit -> Lp_ir.Ast.program
+(** [width] must be a power of two (shift-based addressing). *)
+
+val default_frames : int
+val default_width : int

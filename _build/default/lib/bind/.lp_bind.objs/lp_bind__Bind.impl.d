@@ -1,0 +1,1 @@
+lib/bind/bind.ml: Array Format Hashtbl List Lp_graph Lp_ir Lp_sched Lp_tech Option

@@ -1,0 +1,1 @@
+lib/bind/bind.mli: Format Lp_sched Lp_tech

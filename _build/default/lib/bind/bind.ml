@@ -1,0 +1,185 @@
+module Resource = Lp_tech.Resource
+module Op = Lp_tech.Op
+
+type segment_schedule = { sched : Lp_sched.Sched.t; times : int }
+
+type instance = { res_kind : Resource.kind; index : int }
+
+type result = {
+  instances : (Resource.kind * int) list;
+  geq : int;
+  utilization : float;
+  n_cyc : int;
+  busy : (instance * int) list;
+  binding : (int * instance) list array;
+}
+
+(* Per-kind pool of instances; [busy_until] is per-segment scratch state
+   (segments execute at disjoint times, so instances are reusable across
+   segments), [busy_cycles] accumulates profiled usage. *)
+type pool = {
+  mutable count : int;
+  mutable busy_until : int array;
+  mutable busy_cycles : int array;
+}
+
+let bind segments =
+  let pools : (Resource.kind, pool) Hashtbl.t = Hashtbl.create 8 in
+  let pool_of k =
+    match Hashtbl.find_opt pools k with
+    | Some p -> p
+    | None ->
+        let p = { count = 0; busy_until = [||]; busy_cycles = [||] } in
+        Hashtbl.add pools k p;
+        p
+  in
+  let grow p =
+    let count' = p.count + 1 in
+    let until' = Array.make count' 0 in
+    let cycles' = Array.make count' 0 in
+    Array.blit p.busy_until 0 until' 0 p.count;
+    Array.blit p.busy_cycles 0 cycles' 0 p.count;
+    p.count <- count';
+    p.busy_until <- until';
+    p.busy_cycles <- cycles';
+    count' - 1
+  in
+  let binding =
+    Array.make (List.length segments) ([] : (int * instance) list)
+  in
+  List.iteri
+    (fun seg_i { sched; times } ->
+      (* Fresh segment: all instances idle again. *)
+      Hashtbl.iter
+        (fun _ p -> Array.fill p.busy_until 0 p.count 0)
+        pools;
+      (* Bind operations in increasing start-step order (ties by node
+         id) — the control-step sweep of Fig. 4 line 2. *)
+      let order =
+        List.sort
+          (fun a b -> compare (sched.Lp_sched.Sched.start.(a), a) (sched.Lp_sched.Sched.start.(b), b))
+          (Lp_graph.Digraph.nodes (Lp_ir.Dfg.graph sched.Lp_sched.Sched.dfg))
+      in
+      let bound = ref [] in
+      List.iter
+        (fun v ->
+          let k = sched.Lp_sched.Sched.kind.(v) in
+          let t = sched.Lp_sched.Sched.start.(v) in
+          let lat = sched.Lp_sched.Sched.latency.(v) in
+          let p = pool_of k in
+          (* Reuse the lowest-index instance idle at step [t] (the
+             Glob/Loc-list test); instantiate a new one otherwise. *)
+          let idx = ref (-1) in
+          Array.iteri
+            (fun i until -> if !idx < 0 && until <= t then idx := i)
+            p.busy_until;
+          let i = if !idx >= 0 then !idx else grow p in
+          p.busy_until.(i) <- t + lat;
+          p.busy_cycles.(i) <- p.busy_cycles.(i) + (lat * times);
+          bound := (v, { res_kind = k; index = i }) :: !bound)
+        order;
+      binding.(seg_i) <- List.rev !bound)
+    segments;
+  let n_cyc =
+    List.fold_left (fun acc s -> acc + (s.sched.Lp_sched.Sched.length * s.times)) 0
+      segments
+  in
+  let kinds =
+    Hashtbl.fold (fun k p acc -> if p.count > 0 then (k, p) :: acc else acc)
+      pools []
+    |> List.sort (fun (a, _) (b, _) -> Resource.compare_kind a b)
+  in
+  let instances = List.map (fun (k, p) -> (k, p.count)) kinds in
+  let geq =
+    List.fold_left (fun acc (k, p) -> acc + (p.count * Resource.geq k)) 0 kinds
+  in
+  let busy =
+    List.concat_map
+      (fun (k, p) ->
+        List.init p.count (fun i ->
+            ({ res_kind = k; index = i }, p.busy_cycles.(i))))
+      kinds
+  in
+  let n_inst = List.length busy in
+  let utilization =
+    if n_inst = 0 || n_cyc = 0 then 0.0
+    else
+      List.fold_left
+        (fun acc (_, cycles) ->
+          acc +. (float_of_int cycles /. float_of_int n_cyc))
+        0.0 busy
+      /. float_of_int n_inst
+  in
+  { instances; geq; utilization; n_cyc; busy; binding }
+
+let pp_result ppf r =
+  Format.fprintf ppf "@[<v>binding: U_R=%.3f GEQ=%d N_cyc=%d" r.utilization
+    r.geq r.n_cyc;
+  List.iter
+    (fun ({ res_kind; index }, cycles) ->
+      Format.fprintf ppf "@,  %a#%d busy %d cycles" Resource.pp_kind res_kind
+        index cycles)
+    r.busy;
+  Format.fprintf ppf "@]"
+
+module Uproc_model = struct
+  let inventory =
+    [
+      Resource.Alu;
+      Resource.Shifter;
+      Resource.Multiplier;
+      Resource.Divider;
+      Resource.Mem_port;
+      Resource.Mover;
+    ]
+
+  let resource_of_op : Op.t -> Resource.kind = function
+    | Op.Add | Op.Sub | Op.Neg | Op.Band | Op.Bor | Op.Bxor | Op.Bnot | Op.Cmp
+      ->
+        Resource.Alu
+    | Op.Shl | Op.Shr -> Resource.Shifter
+    | Op.Mul -> Resource.Multiplier
+    | Op.Div | Op.Mod -> Resource.Divider
+    | Op.Load | Op.Store -> Resource.Mem_port
+    | Op.Move | Op.Select -> Resource.Mover
+
+  (* SPARClite-class integer timings. *)
+  let op_cycles : Op.t -> int = function
+    | Op.Add | Op.Sub | Op.Neg | Op.Band | Op.Bor | Op.Bxor | Op.Bnot
+    | Op.Cmp | Op.Move | Op.Select | Op.Shl | Op.Shr ->
+        1
+    | Op.Mul -> 5
+    | Op.Div | Op.Mod -> 20
+    | Op.Load | Op.Store -> 2
+
+  let control_overhead_cycles = 2
+
+  let utilization segments =
+    let busy = Hashtbl.create 8 in
+    let total = ref 0 in
+    List.iter
+      (fun (ops, times) ->
+        total := !total + (control_overhead_cycles * times);
+        List.iter
+          (fun op ->
+            let rs = resource_of_op op in
+            let c = op_cycles op * times in
+            total := !total + c;
+            let prev = Option.value ~default:0 (Hashtbl.find_opt busy rs) in
+            Hashtbl.replace busy rs (prev + c))
+          ops)
+      segments;
+    if !total = 0 then (0.0, 0)
+    else begin
+      let n = List.length inventory in
+      let u =
+        List.fold_left
+          (fun acc rs ->
+            let b = Option.value ~default:0 (Hashtbl.find_opt busy rs) in
+            acc +. (float_of_int b /. float_of_int !total))
+          0.0 inventory
+        /. float_of_int n
+      in
+      (u, !total)
+    end
+end

@@ -1,0 +1,71 @@
+(** Resource binding, utilisation rate and hardware effort — the
+    algorithm of the paper's Fig. 4 ("Computing U_R^core and GEQ_RS").
+
+    Input: the list-scheduled segments of one cluster, each with its
+    profiled execution count [#ex_times]. Walking control step by
+    control step, every operation is bound to a concrete resource
+    instance: an already-instantiated instance that is idle in the
+    current step is reused (the [Glob_RS_List] vs [Loc_RS_List] test of
+    lines 9–13); otherwise a new instance is created (line 15 grows the
+    global list). From the final global list follow:
+
+    - the hardware effort [GEQ_RS = Σ #(rs_pi) · GEQ(rs_pi)]
+      (lines 16–18), and
+    - per-instance busy cycles [util += #ex_cycs · #ex_times]
+      (lines 19–23), giving the utilisation rate (line 24).
+
+    Note on line 24: the paper's Fig. 4 formula sums per-type averages
+    without the [1/N_R] normalisation that Eq. (4) of the text uses;
+    summed that way [U_R] could exceed 1 for multi-type datapaths. We
+    follow Eq. (4): the mean, over all bound instances, of
+    busy-cycles / N_cyc^c — which is 1 in the ideal fully-utilised case
+    exactly as the text describes. *)
+
+type segment_schedule = {
+  sched : Lp_sched.Sched.t;
+  times : int;  (** [#ex_times]: executions of this segment *)
+}
+
+type instance = { res_kind : Lp_tech.Resource.kind; index : int }
+
+type result = {
+  instances : (Lp_tech.Resource.kind * int) list;
+      (** instance count per kind ([#(rs_pi)] of the global list) *)
+  geq : int;  (** [GEQ_RS], gate equivalents of the bound datapath *)
+  utilization : float;  (** [U_R^core], in [0, 1] *)
+  n_cyc : int;  (** [N_cyc^c]: profiled cycles of the whole cluster *)
+  busy : (instance * int) list;
+      (** profiled busy cycles per instance (the [util] array) *)
+  binding : (int * instance) list array;
+      (** per segment: DFG node -> bound instance *)
+}
+
+val bind : segment_schedule list -> result
+(** Bind a cluster's scheduled segments. An empty list (or all-empty
+    segments) yields zero instances and utilisation 0. *)
+
+val pp_result : Format.formatter -> result -> unit
+
+(** The software side of the comparison in Fig. 1 line 9
+    ([U_R^core > U_microP^core]): utilisation of the processor core's
+    internal resources while it executes the cluster. The uP is a fixed
+    inventory — one instance of each datapath resource, all clocked
+    every cycle whether used or not (no gated clocks; Section 3.1). *)
+module Uproc_model : sig
+  val inventory : Lp_tech.Resource.kind list
+  (** Datapath resources inside the uP core. *)
+
+  val resource_of_op : Lp_tech.Op.t -> Lp_tech.Resource.kind
+  (** Which uP resource an operation keeps busy. *)
+
+  val op_cycles : Lp_tech.Op.t -> int
+  (** Cycles the operation takes on the uP (its resource is busy that
+      long; every other resource idles — and still burns power). *)
+
+  val control_overhead_cycles : int
+  (** Fetch/branch overhead charged per segment execution. *)
+
+  val utilization : (Lp_tech.Op.t list * int) list -> float * int
+  (** [utilization segments] where each element is (operations of the
+      segment, #ex_times). Returns [(U_microP, total_cycles)]. *)
+end

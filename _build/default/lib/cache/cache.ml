@@ -1,0 +1,222 @@
+module Cmos6 = Lp_tech.Cmos6
+
+type write_policy = Write_back | Write_through
+
+type config = {
+  size_bytes : int;
+  line_bytes : int;
+  assoc : int;
+  policy : write_policy;
+}
+
+let default_icache =
+  { size_bytes = 2048; line_bytes = 16; assoc = 1; policy = Write_back }
+
+let default_dcache =
+  { size_bytes = 2048; line_bytes = 16; assoc = 2; policy = Write_back }
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let sets cfg = cfg.size_bytes / (cfg.line_bytes * cfg.assoc)
+
+let config_valid cfg =
+  is_pow2 cfg.size_bytes && is_pow2 cfg.line_bytes && cfg.assoc > 0
+  && cfg.line_bytes >= 4
+  && cfg.size_bytes >= cfg.line_bytes * cfg.assoc
+  && sets cfg * cfg.line_bytes * cfg.assoc = cfg.size_bytes
+
+(* One way of one set. *)
+type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool }
+
+type stats = {
+  reads : int;
+  writes : int;
+  read_misses : int;
+  write_misses : int;
+  writebacks : int;
+  energy_j : float;
+}
+
+type t = {
+  cfg : config;
+  lines : line array array;  (** [set].[way] *)
+  lru : int array array;  (** higher = more recently used *)
+  mutable clock : int;
+  mutable s_reads : int;
+  mutable s_writes : int;
+  mutable s_read_misses : int;
+  mutable s_write_misses : int;
+  mutable s_writebacks : int;
+  mutable s_energy : float;
+}
+
+type event = {
+  hit : bool;
+  fill_words : int;
+  writeback_words : int;
+  through_words : int;
+}
+
+(* Analytic per-access array energy from the geometry. The row that is
+   activated spans [assoc] ways of [line_bytes] cells plus tags. *)
+let access_energy cfg ~write =
+  let n_sets = sets cfg in
+  let index_bits =
+    int_of_float (Float.round (Float.log2 (float_of_int (max n_sets 1))))
+  in
+  let row_bits = (cfg.line_bytes * 8 * cfg.assoc) + (cfg.assoc * 24) in
+  let decode = float_of_int (max index_bits 1) *. Cmos6.sram_decode_energy_j in
+  let wordline = float_of_int row_bits /. 128.0 *. Cmos6.sram_wordline_energy_j in
+  let bitline = float_of_int row_bits *. Cmos6.sram_bitline_energy_j in
+  let sense = float_of_int row_bits *. Cmos6.sram_sense_energy_j in
+  let base = decode +. wordline +. bitline +. sense in
+  (* Writes drive full-swing bitlines on the written word. *)
+  if write then base +. (32.0 *. Cmos6.sram_bitline_energy_j *. 2.0) else base
+
+let read_energy_j cfg = access_energy cfg ~write:false
+let write_energy_j cfg = access_energy cfg ~write:true
+
+let create cfg =
+  if not (config_valid cfg) then invalid_arg "Cache.create: invalid geometry";
+  let n = sets cfg in
+  {
+    cfg;
+    lines =
+      Array.init n (fun _ ->
+          Array.init cfg.assoc (fun _ ->
+              { tag = 0; valid = false; dirty = false }));
+    lru = Array.make_matrix n cfg.assoc 0;
+    clock = 0;
+    s_reads = 0;
+    s_writes = 0;
+    s_read_misses = 0;
+    s_write_misses = 0;
+    s_writebacks = 0;
+    s_energy = 0.0;
+  }
+
+let config t = t.cfg
+
+let line_words t = t.cfg.line_bytes / 4
+
+let locate t addr =
+  let line_no = addr / t.cfg.line_bytes in
+  let set = line_no mod sets t.cfg in
+  let tag = line_no / sets t.cfg in
+  (set, tag)
+
+let find_way t set tag =
+  let ways = t.lines.(set) in
+  let rec go i =
+    if i >= Array.length ways then None
+    else if ways.(i).valid && ways.(i).tag = tag then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let touch t set way =
+  t.clock <- t.clock + 1;
+  t.lru.(set).(way) <- t.clock
+
+let victim t set =
+  (* Invalid way first, else least recently used. *)
+  let ways = t.lines.(set) in
+  let rec invalid i =
+    if i >= Array.length ways then None
+    else if not ways.(i).valid then Some i
+    else invalid (i + 1)
+  in
+  match invalid 0 with
+  | Some i -> i
+  | None ->
+      let best = ref 0 in
+      Array.iteri
+        (fun i v -> if v < t.lru.(set).(!best) then best := i)
+        t.lru.(set);
+      !best
+
+let access t addr ~write =
+  let set, tag = locate t addr in
+  if write then begin
+    t.s_writes <- t.s_writes + 1;
+    t.s_energy <- t.s_energy +. write_energy_j t.cfg
+  end
+  else begin
+    t.s_reads <- t.s_reads + 1;
+    t.s_energy <- t.s_energy +. read_energy_j t.cfg
+  end;
+  match find_way t set tag with
+  | Some way ->
+      touch t set way;
+      if write then begin
+        match t.cfg.policy with
+        | Write_back ->
+            t.lines.(set).(way).dirty <- true;
+            { hit = true; fill_words = 0; writeback_words = 0; through_words = 0 }
+        | Write_through ->
+            { hit = true; fill_words = 0; writeback_words = 0; through_words = 1 }
+      end
+      else { hit = true; fill_words = 0; writeback_words = 0; through_words = 0 }
+  | None ->
+      if write then t.s_write_misses <- t.s_write_misses + 1
+      else t.s_read_misses <- t.s_read_misses + 1;
+      if write && t.cfg.policy = Write_through then
+        (* No-allocate: the word goes straight to memory. *)
+        { hit = false; fill_words = 0; writeback_words = 0; through_words = 1 }
+      else begin
+        let way = victim t set in
+        let line = t.lines.(set).(way) in
+        let wb = if line.valid && line.dirty then line_words t else 0 in
+        if wb > 0 then t.s_writebacks <- t.s_writebacks + 1;
+        line.valid <- true;
+        line.tag <- tag;
+        line.dirty <- write;
+        touch t set way;
+        {
+          hit = false;
+          fill_words = line_words t;
+          writeback_words = wb;
+          through_words = 0;
+        }
+      end
+
+let read t addr = access t addr ~write:false
+let write t addr = access t addr ~write:true
+
+let flush t =
+  let words = ref 0 in
+  Array.iteri
+    (fun set ways ->
+      Array.iteri
+        (fun way line ->
+          if line.valid && line.dirty then begin
+            words := !words + line_words t;
+            t.s_writebacks <- t.s_writebacks + 1
+          end;
+          line.valid <- false;
+          line.dirty <- false;
+          t.lru.(set).(way) <- 0)
+        ways)
+    t.lines;
+  !words
+
+let stats t =
+  {
+    reads = t.s_reads;
+    writes = t.s_writes;
+    read_misses = t.s_read_misses;
+    write_misses = t.s_write_misses;
+    writebacks = t.s_writebacks;
+    energy_j = t.s_energy;
+  }
+
+let pp_config ppf cfg =
+  Format.fprintf ppf "%dB/%dB-line/%d-way/%s" cfg.size_bytes cfg.line_bytes
+    cfg.assoc
+    (match cfg.policy with Write_back -> "WB" | Write_through -> "WT")
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "reads=%d writes=%d rmiss=%d wmiss=%d writebacks=%d energy=%a" s.reads
+    s.writes s.read_misses s.write_misses s.writebacks Lp_tech.Units.pp_energy
+    s.energy_j

@@ -1,0 +1,78 @@
+(** Set-associative cache simulator with an analytic per-access energy
+    model — the role the WARTS-fed cache profiler and the "analytical
+    models for ... caches" play in the paper (Fig. 5, Section 4).
+
+    Functional simulation: LRU replacement, write-back/write-allocate or
+    write-through/no-allocate, full hit/miss/write-back event reporting
+    so the system simulator can charge bus and memory energy for every
+    line moved.
+
+    Energy: a Kamble–Ghose-style decomposition over the SRAM geometry
+    implied by the configuration — address decode, wordline of
+    [assoc * line] cells, bitline swings, sense amplifiers, tag
+    compares — built from the {!Lp_tech.Cmos6} primitives. Energy is
+    charged per access (reads and writes differ); the traffic caused by
+    misses is charged by the caller using the event counts. *)
+
+type write_policy = Write_back | Write_through
+
+type config = {
+  size_bytes : int;  (** total data capacity *)
+  line_bytes : int;  (** line (block) size *)
+  assoc : int;  (** ways; [size/line/assoc] sets *)
+  policy : write_policy;
+}
+
+val default_icache : config
+(** 2 KiB, 16-byte lines, direct-mapped (SPARClite-class). *)
+
+val default_dcache : config
+(** 2 KiB, 16-byte lines, 2-way, write-back. *)
+
+val config_valid : config -> bool
+(** Sizes are powers of two and divide evenly. *)
+
+type t
+
+type event = {
+  hit : bool;
+  fill_words : int;  (** words fetched from memory (line fill) *)
+  writeback_words : int;  (** dirty words written back to memory *)
+  through_words : int;  (** words written through to memory *)
+}
+
+val create : config -> t
+
+val config : t -> config
+
+val read : t -> int -> event
+(** [read c byte_addr]. *)
+
+val write : t -> int -> event
+
+val flush : t -> int
+(** Write back all dirty lines and invalidate everything; returns the
+    number of words written back (charged by the caller). Used when an
+    ASIC core is about to touch shared memory. *)
+
+type stats = {
+  reads : int;
+  writes : int;
+  read_misses : int;
+  write_misses : int;
+  writebacks : int;  (** lines written back *)
+  energy_j : float;  (** array-access energy accumulated so far *)
+}
+
+val stats : t -> stats
+
+val read_energy_j : config -> float
+(** Array energy of one read access (hit and miss cost the same at the
+    array; miss traffic is extra and charged by the caller). *)
+
+val write_energy_j : config -> float
+
+val sets : config -> int
+
+val pp_config : Format.formatter -> config -> unit
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,1 @@
+lib/cluster/cluster.ml: Array Format List Lp_ir Lp_tech Printf Stdlib

@@ -1,0 +1,1 @@
+lib/cluster/cluster.mli: Format Lp_ir Lp_tech

@@ -1,0 +1,78 @@
+(** Cluster decomposition (paper, Fig. 1 step 2).
+
+    "A cluster in our definition is a set of operations which represents
+    code segments like nested loops, if-then-else constructs, functions
+    etc. ... Decomposition is done by structural information of the
+    initial behavioral description solely."
+
+    We decompose the {e entry function}'s body: every top-level loop or
+    conditional becomes one cluster (with its whole statement subtree);
+    maximal runs of simple statements between them are grouped into
+    "straight" clusters. The resulting clusters form a chain in control
+    flow order — the [c_(i-1)], [c_i], [c_(i+1)] of Fig. 2b that the
+    bus-transfer estimation walks. *)
+
+type kind =
+  | Loop  (** a [For]/[While] nest *)
+  | Branch  (** an [If] subtree *)
+  | Straight  (** a run of simple statements *)
+
+type t = {
+  cid : int;  (** position in the chain, from 0 *)
+  kind : kind;
+  stmts : Lp_ir.Ast.stmt list;  (** the top-level statements of the cluster *)
+}
+
+type chain = t list
+(** Clusters in control-flow order. *)
+
+val decompose : Lp_ir.Ast.program -> chain
+(** Decompose the entry function of a numbered program. *)
+
+val sids : t -> int list
+(** All statement ids inside the cluster (subtree included), sorted. *)
+
+val contains_call : t -> bool
+(** True when any statement in the cluster calls a function — such a
+    cluster cannot be lowered onto an ASIC datapath and always stays in
+    software. *)
+
+val contains_return : t -> bool
+
+val asic_candidate : t -> bool
+(** [not (contains_call || contains_return)]. *)
+
+val static_ops : t -> Lp_tech.Op.t list
+(** Datapath operations of the whole cluster, statically enumerated
+    (used for coarse feasibility checks against a resource set). *)
+
+val arrays_touched : t -> string list
+
+(** {2 Schedulable segments}
+
+    A cluster is scheduled segment by segment: each straight-line run of
+    simple statements — plus the branch conditions, loop bounds and loop
+    increment/compare overhead around it — forms one segment whose
+    execution count is read off the profile via its anchor statement. *)
+
+type segment = {
+  seg_exprs : Lp_ir.Ast.expr list;  (** bare expressions evaluated (conditions) *)
+  seg_stmts : Lp_ir.Ast.stmt list;  (** straight-line statements *)
+  anchor_sid : int;  (** profile index giving the segment's [#ex_times] *)
+}
+
+val segments : t -> segment list
+(** All segments of the cluster, in control-flow order. Loops contribute
+    a bound-evaluation segment (executed once per loop entry) and a
+    per-iteration control-overhead segment (index increment + exit
+    compare). *)
+
+val segment_ops : segment -> Lp_tech.Op.t list
+(** Datapath operations of one segment, statically enumerated. *)
+
+val dynamic_ops : t -> profile:int array -> (Lp_tech.Op.t list * int) list
+(** Per segment: (operations, #ex_times from the profile). The input to
+    {e U_microP} estimation and to dynamic-work ranking. *)
+
+val pp : Format.formatter -> t -> unit
+val pp_chain : Format.formatter -> chain -> unit

@@ -1,0 +1,1 @@
+lib/compiler/compiler.ml: Array Format Hashtbl List Lp_ir Lp_isa Option Peephole Printf

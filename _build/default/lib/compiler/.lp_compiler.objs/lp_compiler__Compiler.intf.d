@@ -1,0 +1,1 @@
+lib/compiler/compiler.mli: Lp_ir Lp_isa

@@ -1,0 +1,1 @@
+lib/compiler/peephole.ml: Lp_isa

@@ -1,0 +1,1 @@
+lib/compiler/peephole.mli: Lp_isa

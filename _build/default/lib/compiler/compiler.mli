@@ -1,0 +1,57 @@
+(** Compiler from the behavioural IR to the {!Lp_isa.Isa} instruction
+    set — the role gcc-for-SPARClite plays in the paper's "Core Energy
+    Estimation" path (Fig. 5).
+
+    Code generation is deliberately conventional (a late-90s embedded
+    cross-compiler): scalars live in callee-saved registers while they
+    fit and spill to the frame otherwise, expressions evaluate into a
+    small temporary-register pool, arguments pass in registers, arrays
+    are absolute data-memory symbols.
+
+    {2 Partitioned programs}
+
+    For a partitioned design the caller supplies {!asic_stub}s: the
+    top-level statements of an ASIC-mapped cluster are not compiled;
+    instead the compiler emits the Fig. 2a handshake — it deposits the
+    cluster's upward-exposed scalars into that cluster's {e mailbox} in
+    shared memory (bus writes), issues [Acall k], and reads the scalars
+    the cluster generates back from the mailbox (bus reads). The
+    simulator's ASIC model executes the cluster against the same shared
+    memory. *)
+
+type asic_stub = {
+  acall_id : int;  (** operand of the emitted [Acall] *)
+  top_sids : int list;  (** ids of the replaced top-level statements *)
+  use_scalars : string list;  (** deposited uP -> mem before the call *)
+  gen_scalars : string list;  (** read back mem -> uP after the call *)
+}
+
+type layout = {
+  array_bases : (string * int) list;  (** data-memory base of each array *)
+  mailbox_base : int;
+  mailbox_slots : (int * (string * int) list) list;
+      (** per [acall_id]: scalar -> absolute mailbox address *)
+  stack_top : int;  (** initial stack pointer (one past last word) *)
+  data_words : int;
+}
+
+val stack_words : int
+(** Words reserved for the runtime stack at the top of data memory. *)
+
+exception Compile_error of string
+(** Too-deep expression, too many arguments, or an IR construct the
+    backend cannot place (the message says which and where). *)
+
+val compile :
+  ?stubs:asic_stub list ->
+  ?peephole:bool ->
+  Lp_ir.Ast.program ->
+  Lp_isa.Isa.program * layout
+(** Compile a validated, numbered program. The resulting program's
+    [symbols] are the array bases of the layout. [peephole] (default
+    off) runs {!Peephole.optimize} over the assembly stream.
+    @raise Compile_error on backend limits. *)
+
+val initial_data : Lp_ir.Ast.program -> layout -> (int * int array) list
+(** Initial data-memory images [(base, words)] for arrays with
+    initialisers. *)

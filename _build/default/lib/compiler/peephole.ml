@@ -1,0 +1,58 @@
+module Isa = Lp_isa.Isa
+module Asm = Lp_isa.Asm
+
+(* Instructions that never fall through. *)
+let is_barrier = function
+  | Asm.Instr (Isa.Jr _ | Isa.Halt) | Asm.Jmp_l _ -> true
+  | Asm.Instr _ | Asm.Label _ | Asm.Bnez_l _ | Asm.Beqz_l _ | Asm.Jal_l _ ->
+      false
+
+let rec rewrite count = function
+  | [] -> ([], count)
+  (* Self-moves and arithmetic no-ops. *)
+  | Asm.Instr (Isa.Mov (d, s)) :: rest when d = s -> rewrite (count + 1) rest
+  | Asm.Instr (Isa.Addi (d, s, 0)) :: rest when d = s -> rewrite (count + 1) rest
+  | Asm.Instr (Isa.Ori (d, s, 0)) :: rest when d = s -> rewrite (count + 1) rest
+  | Asm.Instr (Isa.Slli (d, s, 0) | Isa.Srai (d, s, 0) | Isa.Srli (d, s, 0))
+    :: rest
+    when d = s ->
+      rewrite (count + 1) rest
+  (* addi d, s, 0 with d <> s is just a move. *)
+  | Asm.Instr (Isa.Addi (d, s, 0)) :: rest ->
+      let rest', count' = rewrite (count + 1) rest in
+      (Asm.Instr (Isa.Mov (d, s)) :: rest', count')
+  (* Store then reload of the same register from the same slot: the
+     value is already in the register. *)
+  | (Asm.Instr (Isa.St (r1, b1, o1)) as st) :: Asm.Instr (Isa.Ld (r2, b2, o2)) :: rest
+    when r1 = r2 && b1 = b2 && o1 = o2 && r2 <> b2 ->
+      let rest', count' = rewrite (count + 1) rest in
+      (st :: rest', count')
+  (* Jump to the immediately following label falls through. *)
+  | Asm.Jmp_l l :: (Asm.Label l' :: _ as rest) when l = l' ->
+      rewrite (count + 1) rest
+  (* Branch over an unconditional jump: invert the branch. *)
+  | Asm.Beqz_l (r, l1) :: Asm.Jmp_l l2 :: (Asm.Label l1' :: _ as rest)
+    when l1 = l1' ->
+      let rest', count' = rewrite (count + 1) rest in
+      (Asm.Bnez_l (r, l2) :: rest', count')
+  | Asm.Bnez_l (r, l1) :: Asm.Jmp_l l2 :: (Asm.Label l1' :: _ as rest)
+    when l1 = l1' ->
+      let rest', count' = rewrite (count + 1) rest in
+      (Asm.Beqz_l (r, l2) :: rest', count')
+  (* Dead code after a barrier, up to the next label. *)
+  | barrier :: (Asm.Instr _ | Asm.Bnez_l _ | Asm.Beqz_l _ | Asm.Jal_l _) :: rest
+    when is_barrier barrier ->
+      rewrite (count + 1) (barrier :: rest)
+  | item :: rest ->
+      let rest', count' = rewrite count rest in
+      (item :: rest', count')
+
+let optimize items =
+  let rec fixpoint items total rounds =
+    if rounds >= 10 then (items, total)
+    else begin
+      let items', n = rewrite 0 items in
+      if n = 0 then (items', total) else fixpoint items' (total + n) (rounds + 1)
+    end
+  in
+  fixpoint items 0 0

@@ -1,0 +1,23 @@
+(** Peephole optimisation over the assembly stream, before label
+    resolution.
+
+    Local, liveness-free rewrites only — each pattern is sound no
+    matter what runs around it:
+
+    - self-moves ([mov r, r], [addi r, r, 0]) disappear,
+    - [addi d, s, 0] becomes [mov d, s],
+    - a load that re-reads the word just stored from the same register
+      is dropped,
+    - jumps to the directly following label fall through,
+    - a conditional branch over an unconditional jump is inverted,
+    - unreachable instructions between an unconditional control
+      transfer and the next label are removed.
+
+    The pass runs to a fixpoint. It is {e off by default} in
+    {!Compiler.compile}: the evaluation's calibration treats software
+    code quality as its own experimental axis (see the bench harness's
+    [ablation-opt]). *)
+
+val optimize : Lp_isa.Asm.item list -> Lp_isa.Asm.item list * int
+(** [optimize items] returns the rewritten stream and the number of
+    rewrites applied (over all fixpoint rounds). *)

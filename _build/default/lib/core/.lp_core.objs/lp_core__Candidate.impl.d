@@ -1,0 +1,1 @@
+lib/core/candidate.ml: Array Float Format List Lp_bind Lp_cluster Lp_ir Lp_rtl Lp_sched Lp_tech Option

@@ -1,0 +1,1 @@
+lib/core/candidate.mli: Format Lp_bind Lp_cluster Lp_rtl Lp_tech

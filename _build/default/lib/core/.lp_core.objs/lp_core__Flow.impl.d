@@ -1,0 +1,1 @@
+lib/core/flow.ml: Array Candidate Float Format Hashtbl List Logs Lp_bind Lp_cluster Lp_dataflow Lp_ir Lp_preselect Lp_rtl Lp_sched Lp_system Lp_tech Objective Printf String

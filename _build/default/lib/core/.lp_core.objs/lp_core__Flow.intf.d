@@ -1,0 +1,1 @@
+lib/core/flow.mli: Candidate Format Lp_bind Lp_cluster Lp_ir Lp_preselect Lp_rtl Lp_system Lp_tech

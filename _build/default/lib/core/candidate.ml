@@ -1,0 +1,113 @@
+module Cluster = Lp_cluster.Cluster
+module Bind = Lp_bind.Bind
+module Sched = Lp_sched.Sched
+module Resource = Lp_tech.Resource
+
+type t = {
+  cluster : Cluster.t;
+  rset : Lp_tech.Resource_set.t;
+  segments : Bind.segment_schedule list;
+  bind : Bind.result;
+  netlist : Lp_rtl.Netlist.t;
+  cells : int;
+  u_asic : float;
+  u_up : float;
+  asic_cycles : int;
+  up_cycles : int;
+  e_asic_rough_j : float;
+  e_trans_j : float;
+}
+
+let ex_times profile sid =
+  if sid >= 0 && sid < Array.length profile then profile.(sid) else 0
+
+(* Line 11 of Fig. 1, taken literally: the utilisation rate scales the
+   sum over resources of average power times active cycles times the
+   resource's own minimum cycle time. A rough ranking signal only — the
+   system simulation and the gate-level estimate give the real
+   numbers. *)
+let rough_energy (b : Bind.result) =
+  let active =
+    List.fold_left
+      (fun acc ((inst : Bind.instance), cycles) ->
+        acc
+        +. Resource.avg_power_w inst.Bind.res_kind
+           *. float_of_int cycles
+           *. Resource.cycle_time_s inst.Bind.res_kind)
+      0.0 b.Bind.busy
+  in
+  b.Bind.utilization *. active
+
+type scheduler = List_sched | Fds of float
+
+let evaluate ?(scheduler = List_sched) ~profile ~e_trans_j cluster rset =
+  if not (Cluster.asic_candidate cluster) then None
+  else begin
+    let schedule dfg =
+      match scheduler with
+      | List_sched -> Sched.schedule dfg rset
+      | Fds stretch ->
+          (* Feasibility still honours the designer set; the latency
+             budget stretches the list scheduler's own makespan. *)
+          Option.bind (Sched.schedule dfg rset) (fun list_sched ->
+              let budget =
+                max (Lp_sched.Fds.min_latency dfg)
+                  (int_of_float
+                     (Float.ceil
+                        (stretch *. float_of_int (max 1 list_sched.Sched.length))))
+              in
+              Lp_sched.Fds.schedule dfg ~latency:budget)
+    in
+    let segments = Cluster.segments cluster in
+    let rec build acc = function
+      | [] -> Some (List.rev acc)
+      | (seg : Cluster.segment) :: rest -> (
+          match Lp_ir.Dfg.of_segment seg.Cluster.seg_exprs seg.Cluster.seg_stmts with
+          | None -> None
+          | Some dfg -> (
+              match schedule dfg with
+              | None -> None
+              | Some sched ->
+                  let times = ex_times profile seg.Cluster.anchor_sid in
+                  build ({ Bind.sched; times } :: acc) rest))
+    in
+    match build [] segments with
+    | None -> None
+    | Some seg_scheds ->
+        let bind = Bind.bind seg_scheds in
+        if bind.Bind.n_cyc = 0 then None
+        else begin
+          let netlist = Lp_rtl.Netlist.generate bind seg_scheds in
+          let u_up, up_cycles =
+            Bind.Uproc_model.utilization (Cluster.dynamic_ops cluster ~profile)
+          in
+          Some
+            {
+              cluster;
+              rset;
+              segments = seg_scheds;
+              bind;
+              netlist;
+              cells = Lp_rtl.Netlist.cell_estimate netlist;
+              u_asic = bind.Bind.utilization;
+              u_up;
+              asic_cycles = bind.Bind.n_cyc;
+              up_cycles;
+              e_asic_rough_j = rough_energy bind;
+              e_trans_j;
+            }
+        end
+  end
+
+let beats_up c = c.u_asic > c.u_up
+
+let speedup c =
+  if c.asic_cycles = 0 then 0.0
+  else float_of_int c.up_cycles /. float_of_int c.asic_cycles
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<h>cluster %d on %a: U_R=%.3f U_uP=%.3f cells=%d cycles %d->%d \
+     E_R~%a@]"
+    c.cluster.Cluster.cid Lp_tech.Resource_set.pp c.rset c.u_asic c.u_up
+    c.cells c.up_cycles c.asic_cycles Lp_tech.Units.pp_energy c.e_asic_rough_j

@@ -1,0 +1,433 @@
+module Cluster = Lp_cluster.Cluster
+module Dataflow = Lp_dataflow.Dataflow
+module Preselect = Lp_preselect.Preselect
+module System = Lp_system.System
+module Bind = Lp_bind.Bind
+
+type options = {
+  n_max : int;
+  resource_sets : Lp_tech.Resource_set.t list;
+  f : float;
+  cells0 : int;
+  max_cells : int;
+  config : System.config;
+  verify_outputs : bool;
+  asic_vdd_v : float;
+  scheduler : Candidate.scheduler;
+}
+
+let default_options =
+  {
+    n_max = 8;
+    resource_sets = Lp_tech.Resource_set.default_sets;
+    f = Objective.default_f;
+    cells0 = Objective.default_cells0;
+    max_cells = 20_000;
+    config = System.default_config;
+    verify_outputs = true;
+    asic_vdd_v = Lp_tech.Cmos6.vdd_v;
+    scheduler = Candidate.List_sched;
+  }
+
+type selected = {
+  candidate : Candidate.t;
+  use_scalars : string list;
+  gen_scalars : string list;
+  private_arrays : string list;
+  gate_energy_j : float;
+  power_w : float;
+}
+
+type core = {
+  core_cids : int list;
+  core_instances : (Lp_tech.Resource.kind * int) list;
+  core_cells : int;
+  core_power_w : float;
+  core_gate_energy_j : float;
+  core_bind : Bind.result;
+  core_segments : Bind.segment_schedule list;
+  core_netlist : Lp_rtl.Netlist.t;
+}
+
+type result = {
+  name : string;
+  program : Lp_ir.Ast.program;
+  chain : Cluster.chain;
+  profile : int array;
+  preselected : (Cluster.t * Preselect.estimate) list;
+  candidates : Candidate.t list;
+  selected : selected list;
+  cores : core list;
+  initial : System.report;
+  partitioned : System.report;
+  energy_saving : float;
+  time_change : float;
+  total_cells : int;
+}
+
+exception Verification_failed of string
+
+let log = Logs.Src.create "lp.flow" ~doc:"low-power partitioning flow"
+
+module Log = (val Logs.src_log log)
+
+(* Marginal objective contribution of adding one candidate: the energy
+   it removes from the uP, the energy its core and transfers add, and
+   its hardware term. Negative = the partition improves. *)
+let marginal_of options ~e0_j ~energy_per_up_cycle cand =
+  let e_up_cluster =
+    energy_per_up_cycle *. float_of_int cand.Candidate.up_cycles
+  in
+  let de =
+    cand.Candidate.e_asic_rough_j -. e_up_cluster +. cand.Candidate.e_trans_j
+  in
+  (options.f *. de /. e0_j)
+  +. (float_of_int cand.Candidate.cells /. float_of_int options.cells0)
+
+let select_candidates options ~e0_j ~energy_per_up_cycle ~pre candidates =
+  (* Best candidate per cluster, by marginal objective value. *)
+  let by_cluster = Hashtbl.create 8 in
+  List.iter
+    (fun c ->
+      let cid = c.Candidate.cluster.Cluster.cid in
+      let m = marginal_of options ~e0_j ~energy_per_up_cycle c in
+      match Hashtbl.find_opt by_cluster cid with
+      | Some (_, m') when m' <= m -> ()
+      | Some _ | None -> Hashtbl.replace by_cluster cid (c, m))
+    candidates;
+  let ranked =
+    Hashtbl.fold (fun _ cm acc -> cm :: acc) by_cluster []
+    |> List.sort (fun (_, m1) (_, m2) -> compare m1 m2)
+  in
+  (* Greedy accept while the (synergy-refreshed) marginal is negative. *)
+  let chosen = ref [] in
+  let in_asic cid = List.exists (fun c -> c.Candidate.cluster.Cluster.cid = cid) !chosen in
+  List.iter
+    (fun (cand, _) ->
+      let est =
+        Preselect.estimate pre ~in_asic cand.Candidate.cluster.Cluster.cid
+      in
+      let cand = { cand with Candidate.e_trans_j = est.Preselect.energy_j } in
+      let m = marginal_of options ~e0_j ~energy_per_up_cycle cand in
+      if m < 0.0 then chosen := cand :: !chosen)
+    ranked;
+  List.sort
+    (fun a b ->
+      compare a.Candidate.cluster.Cluster.cid b.Candidate.cluster.Cluster.cid)
+    !chosen
+
+let private_arrays_of program chain ~profile selected_cids =
+  (* A cluster that never executes any simple statement (e.g. a
+     zero-trip remainder loop, whose [For] head still "runs" once)
+     cannot touch an array at run time, so it must not veto privacy. *)
+  let executes (c : Cluster.t) =
+    Lp_ir.Ast.fold_stmts
+      (fun acc (s : Lp_ir.Ast.stmt) ->
+        acc
+        ||
+        match s.Lp_ir.Ast.node with
+        | Lp_ir.Ast.Assign _ | Lp_ir.Ast.Store _ | Lp_ir.Ast.Print _
+        | Lp_ir.Ast.Return _ | Lp_ir.Ast.Expr _ ->
+            s.Lp_ir.Ast.sid >= 0
+            && s.Lp_ir.Ast.sid < Array.length profile
+            && profile.(s.Lp_ir.Ast.sid) > 0
+        | Lp_ir.Ast.If _ | Lp_ir.Ast.While _ | Lp_ir.Ast.For _ -> false)
+      false c.Cluster.stmts
+  in
+  let sets =
+    List.filter_map
+      (fun (c : Cluster.t) ->
+        if executes c then Some (c.cid, Dataflow.of_cluster program c) else None)
+      chain
+  in
+  let touched s =
+    Dataflow.Sset.union s.Dataflow.use_arrays s.Dataflow.gen_arrays
+  in
+  let all_arrays =
+    List.map (fun (a : Lp_ir.Ast.array_decl) -> a.aname) program.Lp_ir.Ast.arrays
+  in
+  List.filter
+    (fun name ->
+      let touching =
+        List.filter_map
+          (fun (cid, s) ->
+            if Dataflow.Sset.mem name (touched s) then Some cid else None)
+          sets
+      in
+      touching <> [] && List.for_all (fun cid -> List.mem cid selected_cids) touching)
+    all_arrays
+
+let verify_or_fail ~what expected got =
+  if expected <> got then
+    raise
+      (Verification_failed
+         (Printf.sprintf
+            "%s: outputs diverge (%d reference values, %d observed)" what
+            (List.length expected) (List.length got)))
+
+let run ?(options = default_options) ~name program =
+  (* Steps 1-2: profile and decompose. *)
+  let interp = Lp_ir.Interp.run program in
+  let profile = interp.Lp_ir.Interp.profile in
+  let chain = Cluster.decompose program in
+  Log.debug (fun m -> m "%s: %d clusters" name (List.length chain));
+  (* Steps 3-5: transfer estimation and pre-selection. *)
+  let pre = Preselect.create program chain in
+  let preselected = Preselect.pre_select pre ~profile ~n_max:options.n_max in
+  (* Initial design simulation (the "I" rows of Table 1). *)
+  let initial = System.run ~config:options.config program in
+  if options.verify_outputs then
+    verify_or_fail ~what:(name ^ " initial")
+      interp.Lp_ir.Interp.outputs initial.System.outputs;
+  let e0_j = System.total_energy_j initial in
+  let energy_per_up_cycle =
+    if initial.System.up_cycles = 0 then 0.0
+    else initial.System.up_j /. float_of_int initial.System.up_cycles
+  in
+  (* Steps 6-12: evaluate every surviving cluster on every set. *)
+  let candidates =
+    List.concat_map
+      (fun ((cluster : Cluster.t), (est : Preselect.estimate)) ->
+        List.filter_map
+          (fun rset ->
+            match
+              Candidate.evaluate ~scheduler:options.scheduler ~profile
+                ~e_trans_j:est.Preselect.energy_j cluster rset
+            with
+            | Some c
+              when Candidate.beats_up c && c.Candidate.cells <= options.max_cells
+              ->
+                Some c
+            | Some _ | None -> None)
+          options.resource_sets)
+      preselected
+  in
+  (* Step 13: objective function, greedy partition selection. *)
+  let chosen =
+    select_candidates options ~e0_j ~energy_per_up_cycle ~pre candidates
+  in
+  let selected_cids =
+    List.map (fun c -> c.Candidate.cluster.Cluster.cid) chosen
+  in
+  let privates = private_arrays_of program chain ~profile selected_cids in
+  (* Group adjacent selected clusters into shared cores: one datapath
+     serves the whole run, so functional units are bound once across
+     all member segments. *)
+  let groups =
+    List.fold_left
+      (fun acc (cand : Candidate.t) ->
+        let cid = cand.Candidate.cluster.Cluster.cid in
+        match acc with
+        | (last_cid, members) :: rest when cid = last_cid + 1 ->
+            (cid, cand :: members) :: rest
+        | _ -> (cid, [ cand ]) :: acc)
+      [] chosen
+    |> List.rev_map (fun (_, members) -> List.rev members)
+  in
+  let cores =
+    List.map
+      (fun members ->
+        let segs = List.concat_map (fun c -> c.Candidate.segments) members in
+        let bind_g = Bind.bind segs in
+        let net = Lp_rtl.Netlist.generate bind_g segs in
+        let gate_e = Lp_rtl.Gate_energy.estimate bind_g segs net in
+        {
+          core_cids =
+            List.map (fun c -> c.Candidate.cluster.Cluster.cid) members;
+          core_instances = bind_g.Bind.instances;
+          core_cells = Lp_rtl.Netlist.cell_estimate net;
+          core_power_w =
+            Lp_rtl.Gate_energy.average_power_w ~energy_j:gate_e
+              ~cycles:bind_g.Bind.n_cyc;
+          core_gate_energy_j = gate_e;
+          core_bind = bind_g;
+          core_segments = segs;
+          core_netlist = net;
+        })
+      groups
+  in
+  let core_of cid =
+    List.find (fun c -> List.mem cid c.core_cids) cores
+  in
+  (* Steps 14-15: synthesis + gate-level energy; package for the system
+     co-simulation. *)
+  (* Live-out filtering: a scalar the cluster generates only crosses
+     the bus if some later cluster's upward-exposed uses include it —
+     dead results stay in the core (checked end-to-end by the output
+     verification below). *)
+  let suffix_uses cid =
+    List.fold_left
+      (fun acc (c : Cluster.t) ->
+        if c.cid > cid then
+          Dataflow.Sset.union acc
+            (Dataflow.of_cluster program c).Dataflow.use_scalars
+        else acc)
+      Dataflow.Sset.empty chain
+  in
+  let selected =
+    List.map
+      (fun (cand : Candidate.t) ->
+        let sets = Dataflow.of_cluster program cand.Candidate.cluster in
+        let gate_energy_j =
+          Lp_rtl.Gate_energy.estimate cand.Candidate.bind
+            cand.Candidate.segments cand.Candidate.netlist
+        in
+        (* Energy is charged at the power of the (possibly shared)
+           physical core that serves this cluster. *)
+        let power_w =
+          (core_of cand.Candidate.cluster.Cluster.cid).core_power_w
+        in
+        let cluster_privates =
+          List.filter
+            (fun a ->
+              Dataflow.Sset.mem a
+                (Dataflow.Sset.union sets.Dataflow.use_arrays
+                   sets.Dataflow.gen_arrays))
+            privates
+        in
+        {
+          candidate = cand;
+          use_scalars = Dataflow.Sset.elements sets.Dataflow.use_scalars;
+          gen_scalars =
+            Dataflow.Sset.elements
+              (Dataflow.Sset.inter sets.Dataflow.gen_scalars
+                 (suffix_uses cand.Candidate.cluster.Cluster.cid));
+          private_arrays = cluster_privates;
+          gate_energy_j;
+          power_w;
+        })
+      chosen
+  in
+  (* An FSM core clocks at its slowest functional unit plus a
+     mux/controller margin; the system simulation scales its cycle
+     counts accordingly. *)
+  let clock_scale_of (core : core) =
+    let mux_margin_s = 15e-9 in
+    let slowest =
+      List.fold_left
+        (fun acc (k, _) -> Float.max acc (Lp_tech.Resource.cycle_time_s k))
+        0.0 core.core_instances
+    in
+    Float.max 1.0 ((slowest +. mux_margin_s) /. Lp_tech.Cmos6.clock_period_s)
+  in
+  let array_size name =
+    match Lp_ir.Ast.find_array program name with
+    | Some a -> a.Lp_ir.Ast.size
+    | None -> 0
+  in
+  let capacity = options.config.System.buffer_capacity_words in
+  let tasks =
+    List.map
+      (fun s ->
+        let cand = s.candidate in
+        let cid = cand.Candidate.cluster.Cluster.cid in
+        let sets = Dataflow.of_cluster program cand.Candidate.cluster in
+        let shared which =
+          Dataflow.Sset.elements which
+          |> List.filter (fun a -> not (List.mem a s.private_arrays))
+        in
+        let read_arrays = shared sets.Dataflow.use_arrays in
+        let written_arrays = shared sets.Dataflow.gen_arrays in
+        let fits a = array_size a <= capacity in
+        let buffer_in_arrays =
+          List.filter fits read_arrays
+          |> List.map (fun a -> (a, array_size a))
+        in
+        let buffer_out_arrays =
+          List.filter fits written_arrays
+          |> List.map (fun a -> (a, array_size a))
+        in
+        let stream_arrays =
+          List.filter (fun a -> not (fits a)) (read_arrays @ written_arrays)
+          |> List.sort_uniq String.compare
+        in
+        {
+          System.acall_id = cid;
+          stmts = cand.Candidate.cluster.Cluster.stmts;
+          use_scalars = s.use_scalars;
+          gen_scalars = s.gen_scalars;
+          private_arrays = s.private_arrays;
+          buffer_in_arrays;
+          buffer_out_arrays;
+          stream_arrays;
+          (* Voltage scaling (extension, after the paper's ref [10]):
+             at supply V the core's switched energy scales (V/Vdd)^2
+             while its cycles stretch by the delay ratio; the power is
+             adjusted so that energy = power * stretched-time lands on
+             the physical value. *)
+          power_w =
+            s.power_w
+            *. Lp_tech.Cmos6.voltage_energy_ratio options.asic_vdd_v
+            /. Lp_tech.Cmos6.voltage_delay_ratio options.asic_vdd_v;
+          clock_scale =
+            clock_scale_of (core_of cid)
+            *. Lp_tech.Cmos6.voltage_delay_ratio options.asic_vdd_v;
+          seg_lengths =
+            List.map2
+              (fun (seg : Cluster.segment) (ss : Bind.segment_schedule) ->
+                (seg.Cluster.anchor_sid, ss.Bind.sched.Lp_sched.Sched.length))
+              (Cluster.segments cand.Candidate.cluster)
+              cand.Candidate.segments;
+        })
+      selected
+  in
+  let partitioned =
+    if tasks = [] then initial
+    else System.run ~config:options.config ~tasks program
+  in
+  if options.verify_outputs then
+    verify_or_fail ~what:(name ^ " partitioned")
+      interp.Lp_ir.Interp.outputs partitioned.System.outputs;
+  let e_i = System.total_energy_j initial in
+  let e_p = System.total_energy_j partitioned in
+  let t_i = System.total_cycles initial in
+  let t_p = System.total_cycles partitioned in
+  {
+    name;
+    program;
+    chain;
+    profile;
+    preselected;
+    candidates;
+    selected;
+    cores;
+    initial;
+    partitioned;
+    energy_saving = (if e_i > 0.0 then (e_i -. e_p) /. e_i else 0.0);
+    time_change =
+      (if t_i > 0 then float_of_int (t_p - t_i) /. float_of_int t_i else 0.0);
+    total_cells = List.fold_left (fun acc c -> acc + c.core_cells) 0 cores;
+  }
+
+let core_verilog r core =
+  (* Verilog identifiers cannot start with a digit ("3d"): prefix and
+     sanitise. *)
+  let sanitised =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+        | _ -> '_')
+      r.name
+  in
+  let name =
+    Printf.sprintf "lp_%s_core_%s" sanitised
+      (String.concat "_" (List.map string_of_int core.core_cids))
+  in
+  Lp_rtl.Verilog.of_core ~name core.core_bind core.core_segments
+    core.core_netlist
+
+let pp_summary ppf r =
+  Format.fprintf ppf
+    "@[<v>%s: %d clusters, %d preselected, %d candidates, %d selected@,\
+     initial:     %a@,\
+     partitioned: %a@,\
+     energy saving %.2f%%, time change %+.2f%%, cells %d@]" r.name
+    (List.length r.chain)
+    (List.length r.preselected)
+    (List.length r.candidates)
+    (List.length r.selected)
+    System.pp_report r.initial System.pp_report r.partitioned
+    (100.0 *. r.energy_saving)
+    (100.0 *. r.time_change)
+    r.total_cells

@@ -1,0 +1,89 @@
+(** The complete low-power partitioning flow — Fig. 1 of the paper,
+    wired to the design flow of Fig. 5:
+
+    + profile the application (reference interpreter = the profiler),
+    + build the cluster chain (Fig. 1 steps 1–2),
+    + estimate bus-transfer energy and pre-select clusters (3–5),
+    + for every surviving cluster and designer resource set:
+      list-schedule, bind, compute [U_R^core]/[GEQ_RS] (6–10),
+    + evaluate the objective function and pick the winning
+      partition (11–13),
+    + synthesise netlists, estimate gate-level energy (14–15), and
+    + co-simulate both the initial ("I") and partitioned ("P") designs
+      on the full system to produce the Table 1 numbers.
+
+    The partitioned run is checked to produce exactly the observable
+    outputs of the initial run and of the reference interpreter. *)
+
+type options = {
+  n_max : int;  (** pre-selection bound [N_max^c] (Fig. 1 line 5) *)
+  resource_sets : Lp_tech.Resource_set.t list;
+      (** the designer's "3 to 5 sets" *)
+  f : float;  (** objective-function balance factor [F] *)
+  cells0 : int;  (** hardware normalisation of the objective *)
+  max_cells : int;  (** hard designer cap on one core's size *)
+  config : Lp_system.System.config;
+  verify_outputs : bool;
+      (** fail loudly when partitioned outputs diverge (default on) *)
+  asic_vdd_v : float;
+      (** supply voltage of the generated cores (default: nominal
+          3.3 V). Lowering it trades ASIC speed for quadratic energy —
+          the multiple-voltage extension of the paper's reference
+          [Hong, Kirovski et al., DAC'98]. *)
+  scheduler : Candidate.scheduler;
+      (** which scheduling algorithm candidate evaluation uses
+          (default: the paper's list schedule). *)
+}
+
+val default_options : options
+
+type selected = {
+  candidate : Candidate.t;
+  use_scalars : string list;
+  gen_scalars : string list;
+  private_arrays : string list;
+  gate_energy_j : float;  (** line-15 gate-level estimate *)
+  power_w : float;  (** average power of the core serving this cluster *)
+}
+
+(** A synthesised ASIC core. Adjacent selected clusters share one core:
+    their segments are re-bound together so functional units are reused
+    across clusters (this is what keeps the paper's hardware budget
+    under ~16k cells even when a whole pipeline moves to hardware). *)
+type core = {
+  core_cids : int list;  (** member clusters, adjacent, ascending *)
+  core_instances : (Lp_tech.Resource.kind * int) list;
+  core_cells : int;
+  core_power_w : float;
+  core_gate_energy_j : float;
+  core_bind : Lp_bind.Bind.result;  (** shared binding over all members *)
+  core_segments : Lp_bind.Bind.segment_schedule list;
+  core_netlist : Lp_rtl.Netlist.t;
+}
+
+type result = {
+  name : string;
+  program : Lp_ir.Ast.program;
+  chain : Lp_cluster.Cluster.chain;
+  profile : int array;
+  preselected : (Lp_cluster.Cluster.t * Lp_preselect.Preselect.estimate) list;
+  candidates : Candidate.t list;  (** everything evaluated (6–12) *)
+  selected : selected list;
+  cores : core list;
+  initial : Lp_system.System.report;
+  partitioned : Lp_system.System.report;
+  energy_saving : float;  (** (E_I - E_P) / E_I *)
+  time_change : float;  (** (T_P - T_I) / T_I; negative = faster *)
+  total_cells : int;
+}
+
+val core_verilog : result -> core -> string
+(** Structural Verilog of a synthesised core ({!Lp_rtl.Verilog}). *)
+
+exception Verification_failed of string
+
+val run : ?options:options -> name:string -> Lp_ir.Ast.program -> result
+(** @raise Verification_failed when the partitioned system's outputs
+    diverge from the reference (with [verify_outputs]). *)
+
+val pp_summary : Format.formatter -> result -> unit

@@ -1,0 +1,30 @@
+type params = { f : float; e0_j : float; cells0 : int }
+
+type terms = {
+  e_asic_j : float;
+  e_up_residual_j : float;
+  e_rest_j : float;
+  e_trans_j : float;
+  cells : int;
+}
+
+let default_f = 8.0
+let default_cells0 = 16_000
+
+let make_params ?(f = default_f) ?(cells0 = default_cells0) ~e0_j () =
+  if e0_j <= 0.0 then invalid_arg "Objective.make_params: E_0 must be positive";
+  { f; e0_j; cells0 }
+
+let energy_total_j t =
+  t.e_asic_j +. t.e_up_residual_j +. t.e_rest_j +. t.e_trans_j
+
+let value p t =
+  (p.f *. (energy_total_j t /. p.e0_j))
+  +. (float_of_int t.cells /. float_of_int p.cells0)
+
+let initial_value p = p.f
+
+let pp_terms ppf t =
+  let u = Lp_tech.Units.pp_energy in
+  Format.fprintf ppf "E_R=%a E_uP=%a E_rest=%a E_trans=%a cells=%d" u
+    t.e_asic_j u t.e_up_residual_j u t.e_rest_j u t.e_trans_j t.cells

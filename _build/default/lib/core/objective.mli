@@ -1,0 +1,42 @@
+(** The objective function of the partitioning process (Fig. 1,
+    line 13):
+
+    {[ OF = F * (E_R + E_uP + E_rest) / E_0 + cells / cells_0 ]}
+
+    "a superposition of the normalized total energy consumption and
+    additional hardware effort". [F] is the designer's balance knob:
+    large [F] makes energy dominate and tolerates hardware; small [F]
+    makes the hardware term bite, which is how over-sized clusters get
+    rejected (the paper's "trick" discussion: "our algorithm rejects
+    clusters that would result in an unacceptable high hardware effort
+    (due to factor F)"). *)
+
+type params = {
+  f : float;  (** the paper's [F]; default 8.0 *)
+  e0_j : float;  (** normalisation energy [E_0]: the initial design's *)
+  cells0 : int;  (** hardware normalisation; 16000 (the paper's budget) *)
+}
+
+type terms = {
+  e_asic_j : float;  (** [E_R^core] *)
+  e_up_residual_j : float;  (** [E_uP^core = E_initial - E_cluster] *)
+  e_rest_j : float;  (** caches + memory + bus *)
+  e_trans_j : float;  (** additional bus-transfer energy *)
+  cells : int;  (** ASIC hardware effort *)
+}
+
+val default_f : float
+val default_cells0 : int
+
+val make_params : ?f:float -> ?cells0:int -> e0_j:float -> unit -> params
+
+val value : params -> terms -> float
+
+val initial_value : params -> float
+(** OF of the unpartitioned design: energy ratio 1, no hardware — i.e.
+    exactly [F]. A candidate partition is worth taking when its OF is
+    below this. *)
+
+val energy_total_j : terms -> float
+
+val pp_terms : Format.formatter -> terms -> unit

@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.ml: Format Hashtbl List Lp_cluster Lp_ir Option Printf Set String

@@ -1,0 +1,1 @@
+lib/dataflow/dataflow.mli: Format Lp_cluster Lp_ir Set

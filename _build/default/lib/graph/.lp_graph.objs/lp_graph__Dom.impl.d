@@ -1,0 +1,1 @@
+lib/graph/dom.ml: Array Digraph List Traverse

@@ -1,0 +1,1 @@
+lib/graph/dom.mli: Digraph

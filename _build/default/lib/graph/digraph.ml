@@ -1,0 +1,99 @@
+type t = {
+  succ : int list Vec.t;
+  pred : int list Vec.t;
+  mutable n_edges : int;
+}
+
+let create () = { succ = Vec.create (); pred = Vec.create (); n_edges = 0 }
+
+let add_node g =
+  let id = Vec.length g.succ in
+  Vec.push g.succ [];
+  Vec.push g.pred [];
+  id
+
+let add_nodes g n = List.init n (fun _ -> add_node g)
+
+let node_count g = Vec.length g.succ
+
+let check_node g v =
+  if v < 0 || v >= node_count g then
+    invalid_arg (Printf.sprintf "Digraph: %d is not a node" v)
+
+let mem_edge g u v =
+  check_node g u;
+  check_node g v;
+  List.mem v (Vec.get g.succ u)
+
+let add_edge g u v =
+  check_node g u;
+  check_node g v;
+  if not (List.mem v (Vec.get g.succ u)) then begin
+    Vec.set g.succ u (Vec.get g.succ u @ [ v ]);
+    Vec.set g.pred v (Vec.get g.pred v @ [ u ]);
+    g.n_edges <- g.n_edges + 1
+  end
+
+let remove_edge g u v =
+  if mem_edge g u v then begin
+    Vec.set g.succ u (List.filter (fun w -> w <> v) (Vec.get g.succ u));
+    Vec.set g.pred v (List.filter (fun w -> w <> u) (Vec.get g.pred v));
+    g.n_edges <- g.n_edges - 1
+  end
+
+let edge_count g = g.n_edges
+
+let nodes g = List.init (node_count g) Fun.id
+
+let succs g v =
+  check_node g v;
+  Vec.get g.succ v
+
+let preds g v =
+  check_node g v;
+  Vec.get g.pred v
+
+let out_degree g v = List.length (succs g v)
+
+let in_degree g v = List.length (preds g v)
+
+let iter_nodes f g =
+  for v = 0 to node_count g - 1 do
+    f v
+  done
+
+let iter_edges f g = iter_nodes (fun u -> List.iter (f u) (succs g u)) g
+
+let fold_nodes f acc g =
+  let acc = ref acc in
+  iter_nodes (fun v -> acc := f !acc v) g;
+  !acc
+
+let roots g = List.filter (fun v -> in_degree g v = 0) (nodes g)
+
+let leaves g = List.filter (fun v -> out_degree g v = 0) (nodes g)
+
+let copy g =
+  { succ = Vec.map Fun.id g.succ; pred = Vec.map Fun.id g.pred; n_edges = g.n_edges }
+
+let transpose g =
+  let t = create () in
+  ignore (add_nodes t (node_count g));
+  iter_edges (fun u v -> add_edge t v u) g;
+  t
+
+let pp ppf g =
+  Format.fprintf ppf "@[<v>digraph (%d nodes, %d edges)" (node_count g)
+    (edge_count g);
+  iter_nodes
+    (fun v ->
+      match succs g v with
+      | [] -> ()
+      | ss ->
+          Format.fprintf ppf "@,%d -> %a" v
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+               Format.pp_print_int)
+            ss)
+    g;
+  Format.fprintf ppf "@]"

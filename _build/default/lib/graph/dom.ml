@@ -1,0 +1,74 @@
+(* Cooper, Harvey, Kennedy: "A Simple, Fast Dominance Algorithm".
+   Iterates to a fixpoint over reverse postorder; intersect walks the
+   current dominator tree using postorder numbers. *)
+
+let idom g ~root =
+  let n = Digraph.node_count g in
+  let idoms = Array.make n (-1) in
+  if n = 0 then idoms
+  else begin
+    let post = Traverse.dfs_postorder g root in
+    let postnum = Array.make n (-1) in
+    List.iteri (fun i v -> postnum.(v) <- i) post;
+    let rpo = List.rev post in
+    idoms.(root) <- root;
+    let intersect a b =
+      let a = ref a and b = ref b in
+      while !a <> !b do
+        while postnum.(!a) < postnum.(!b) do
+          a := idoms.(!a)
+        done;
+        while postnum.(!b) < postnum.(!a) do
+          b := idoms.(!b)
+        done
+      done;
+      !a
+    in
+    let changed = ref true in
+    while !changed do
+      changed := false;
+      List.iter
+        (fun v ->
+          if v <> root then begin
+            let preds =
+              List.filter (fun p -> postnum.(p) >= 0) (Digraph.preds g v)
+            in
+            let processed = List.filter (fun p -> idoms.(p) >= 0) preds in
+            match processed with
+            | [] -> ()
+            | first :: rest ->
+                let new_idom = List.fold_left intersect first rest in
+                if idoms.(v) <> new_idom then begin
+                  idoms.(v) <- new_idom;
+                  changed := true
+                end
+          end)
+        rpo
+    done;
+    idoms
+  end
+
+let dominates idoms d v =
+  if v < 0 || v >= Array.length idoms || idoms.(v) < 0 then false
+  else begin
+    let rec walk x = x = d || (idoms.(x) <> x && walk idoms.(x)) in
+    walk v
+  end
+
+let dominators idoms v =
+  if v < 0 || v >= Array.length idoms || idoms.(v) < 0 then []
+  else begin
+    let rec walk x acc =
+      if idoms.(x) = x then List.rev (x :: acc) else walk idoms.(x) (x :: acc)
+    in
+    walk v []
+  end
+
+let dominator_tree g ~root =
+  let idoms = idom g ~root in
+  let t = Digraph.create () in
+  ignore (Digraph.add_nodes t (Digraph.node_count g));
+  Array.iteri
+    (fun v d -> if d >= 0 && v <> root then Digraph.add_edge t d v)
+    idoms;
+  t

@@ -1,0 +1,22 @@
+(** Dominator analysis (Cooper–Harvey–Kennedy iterative algorithm).
+
+    Node [d] dominates node [v] when every path from the root to [v]
+    passes through [d]. Useful for structural reasoning about control
+    flow (loop headers, guaranteed-execution program points). *)
+
+val idom : Digraph.t -> root:int -> int array
+(** [idom g ~root] gives each node its immediate dominator.
+    [idom.(root) = root]; nodes unreachable from [root] get [-1]. *)
+
+val dominates : int array -> int -> int -> bool
+(** [dominates idoms d v]: walk the dominator tree from [v] up to the
+    root. Every node dominates itself. [false] when [v] is
+    unreachable. *)
+
+val dominators : int array -> int -> int list
+(** All dominators of a node, from the node itself up to the root.
+    Empty for unreachable nodes. *)
+
+val dominator_tree : Digraph.t -> root:int -> Digraph.t
+(** A fresh graph with an edge [idom(v) -> v] for every reachable
+    [v <> root]. *)

@@ -1,0 +1,15 @@
+(** Graphviz (dot) rendering of directed graphs, for inspecting DFGs,
+    cluster chains and netlist connectivity. *)
+
+val render :
+  ?name:string ->
+  ?node_label:(int -> string) ->
+  ?node_attrs:(int -> (string * string) list) ->
+  Digraph.t ->
+  string
+(** [render g] is a [digraph { ... }] document. [node_label] defaults
+    to the node id; [node_attrs] adds attributes like
+    [("shape", "box")] per node. Labels are escaped. *)
+
+val escape : string -> string
+(** Escape a label for a double-quoted dot string. *)

@@ -1,0 +1,25 @@
+let longest_from_roots g ~weight =
+  let dist = Array.make (Digraph.node_count g) 0 in
+  let order = Topo.sort_exn g in
+  List.iter
+    (fun v ->
+      let d = dist.(v) + weight v in
+      List.iter (fun w -> if d > dist.(w) then dist.(w) <- d) (Digraph.succs g v))
+    order;
+  dist
+
+let longest_to_leaves g ~weight =
+  let dist = Array.make (Digraph.node_count g) 0 in
+  let order = List.rev (Topo.sort_exn g) in
+  List.iter
+    (fun v ->
+      let best_succ =
+        List.fold_left (fun acc w -> max acc dist.(w)) 0 (Digraph.succs g v)
+      in
+      dist.(v) <- weight v + best_succ)
+    order;
+  dist
+
+let critical_path_length g ~weight =
+  let dist = longest_to_leaves g ~weight in
+  Array.fold_left max 0 dist

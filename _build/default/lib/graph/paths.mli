@@ -1,0 +1,18 @@
+(** Path metrics on DAGs, used by the scheduler (ASAP/ALAP bounds,
+    critical path / mobility). *)
+
+val longest_from_roots : Digraph.t -> weight:(int -> int) -> int array
+(** [longest_from_roots g ~weight] gives, for each node [v], the maximum
+    over all paths ending at [v] of the sum of [weight] over the path's
+    nodes {e excluding} [v] itself. Roots get 0. This is the ASAP start
+    time when [weight] is the node latency.
+    @raise Invalid_argument on a cyclic graph. *)
+
+val longest_to_leaves : Digraph.t -> weight:(int -> int) -> int array
+(** Symmetric metric toward the leaves: [longest_to_leaves g ~weight].(v)
+    is the maximum path weight from [v] to any leaf, {e including} [v]'s
+    own weight. The critical-path length of the DAG is the maximum entry. *)
+
+val critical_path_length : Digraph.t -> weight:(int -> int) -> int
+(** Maximum total weight over all root-to-leaf paths (0 for the empty
+    graph). *)

@@ -1,0 +1,76 @@
+(* Iterative Tarjan so deep graphs cannot blow the OCaml stack. *)
+
+let components g =
+  let n = Digraph.node_count g in
+  let index = Array.make n (-1) in
+  let lowlink = Array.make n 0 in
+  let on_stack = Array.make n false in
+  let stack = Vec.create () in
+  let next_index = ref 0 in
+  let out = ref [] in
+  let visit root =
+    (* Each frame is (node, remaining successors). *)
+    let frames = Vec.create () in
+    let push_node v =
+      index.(v) <- !next_index;
+      lowlink.(v) <- !next_index;
+      incr next_index;
+      Vec.push stack v;
+      on_stack.(v) <- true;
+      Vec.push frames (v, ref (Digraph.succs g v))
+    in
+    push_node root;
+    while not (Vec.is_empty frames) do
+      let v, rest = Vec.get frames (Vec.length frames - 1) in
+      match !rest with
+      | w :: tl ->
+          rest := tl;
+          if index.(w) = -1 then push_node w
+          else if on_stack.(w) then lowlink.(v) <- min lowlink.(v) index.(w)
+      | [] ->
+          ignore (Vec.pop frames);
+          if not (Vec.is_empty frames) then begin
+            let parent, _ = Vec.get frames (Vec.length frames - 1) in
+            lowlink.(parent) <- min lowlink.(parent) lowlink.(v)
+          end;
+          if lowlink.(v) = index.(v) then begin
+            let comp = ref [] in
+            let continue = ref true in
+            while !continue do
+              match Vec.pop stack with
+              | None -> continue := false
+              | Some w ->
+                  on_stack.(w) <- false;
+                  comp := w :: !comp;
+                  if w = v then continue := false
+            done;
+            out := !comp :: !out
+          end
+    done
+  in
+  for v = 0 to n - 1 do
+    if index.(v) = -1 then visit v
+  done;
+  List.rev !out
+
+let component_ids g =
+  let comps = components g in
+  let ids = Array.make (Digraph.node_count g) (-1) in
+  List.iteri (fun i comp -> List.iter (fun v -> ids.(v) <- i) comp) comps;
+  (ids, List.length comps)
+
+let condensation g =
+  let ids, n = component_ids g in
+  let dag = Digraph.create () in
+  ignore (Digraph.add_nodes dag n);
+  Digraph.iter_edges
+    (fun u v -> if ids.(u) <> ids.(v) then Digraph.add_edge dag ids.(u) ids.(v))
+    g;
+  (dag, ids)
+
+let is_acyclic g =
+  List.for_all
+    (function
+      | [ v ] -> not (Digraph.mem_edge g v v)
+      | _ -> false)
+    (components g)

@@ -1,0 +1,20 @@
+(** Strongly connected components (Tarjan). *)
+
+val components : Digraph.t -> int list list
+(** [components g] partitions the nodes of [g] into strongly connected
+    components. Components are emitted in reverse topological order of
+    the condensation (a component appears before the components it can
+    reach... precisely: Tarjan emission order). Each component lists its
+    nodes in discovery order. *)
+
+val component_ids : Digraph.t -> int array * int
+(** [component_ids g] is [(ids, n)] where [ids.(v)] is the component
+    index of node [v] and [n] the number of components. Indices follow
+    the emission order of {!components}. *)
+
+val condensation : Digraph.t -> Digraph.t * int array
+(** [condensation g] is the DAG of strongly connected components plus the
+    node-to-component map. *)
+
+val is_acyclic : Digraph.t -> bool
+(** True when every component is a singleton without a self loop. *)

@@ -1,0 +1,17 @@
+(** Topological ordering and DAG checks. *)
+
+val sort : Digraph.t -> int list option
+(** [sort g] is a topological order of [g]'s nodes (every edge goes from
+    an earlier to a later list position), or [None] if [g] has a cycle.
+    Kahn's algorithm; ties are broken by smallest node id so the result
+    is deterministic. *)
+
+val sort_exn : Digraph.t -> int list
+(** Like {!sort}. @raise Invalid_argument on a cyclic graph. *)
+
+val is_dag : Digraph.t -> bool
+
+val levels : Digraph.t -> int array
+(** [levels g] assigns each node its longest-path depth from any root
+    (roots get 0). Only meaningful on a DAG.
+    @raise Invalid_argument on a cyclic graph. *)

@@ -1,0 +1,57 @@
+let dfs_preorder g root =
+  let seen = Array.make (Digraph.node_count g) false in
+  let acc = ref [] in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      acc := v :: !acc;
+      List.iter go (Digraph.succs g v)
+    end
+  in
+  go root;
+  List.rev !acc
+
+let dfs_postorder g root =
+  let seen = Array.make (Digraph.node_count g) false in
+  let acc = ref [] in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go (Digraph.succs g v);
+      acc := v :: !acc
+    end
+  in
+  go root;
+  List.rev !acc
+
+let bfs g root =
+  let seen = Array.make (Digraph.node_count g) false in
+  let q = Queue.create () in
+  Queue.add root q;
+  seen.(root) <- true;
+  let acc = ref [] in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    acc := v :: !acc;
+    List.iter
+      (fun w ->
+        if not seen.(w) then begin
+          seen.(w) <- true;
+          Queue.add w q
+        end)
+      (Digraph.succs g v)
+  done;
+  List.rev !acc
+
+let reachable g root =
+  let seen = Array.make (Digraph.node_count g) false in
+  let rec go v =
+    if not seen.(v) then begin
+      seen.(v) <- true;
+      List.iter go (Digraph.succs g v)
+    end
+  in
+  go root;
+  seen
+
+let has_path g u v = (reachable g u).(v)

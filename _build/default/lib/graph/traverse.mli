@@ -1,0 +1,16 @@
+(** Depth-first and breadth-first traversals. *)
+
+val dfs_preorder : Digraph.t -> int -> int list
+(** [dfs_preorder g root] visits nodes reachable from [root] in preorder;
+    successors are explored in adjacency (insertion) order. *)
+
+val dfs_postorder : Digraph.t -> int -> int list
+
+val bfs : Digraph.t -> int -> int list
+(** [bfs g root] is the breadth-first visit order from [root]. *)
+
+val reachable : Digraph.t -> int -> bool array
+(** [reachable g root] marks every node reachable from [root]
+    (including [root] itself). *)
+
+val has_path : Digraph.t -> int -> int -> bool

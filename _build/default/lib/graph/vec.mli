@@ -1,0 +1,49 @@
+(** Growable array, used by the graph structures (OCaml 5.1 has no
+    [Dynarray] in the standard library).
+
+    Indices are dense: elements live at positions [0 .. length v - 1].
+    All operations are O(1) amortised unless stated otherwise. *)
+
+type 'a t
+
+val create : unit -> 'a t
+(** [create ()] is an empty vector. *)
+
+val make : int -> 'a -> 'a t
+(** [make n x] is a vector of length [n] whose cells all hold [x]. *)
+
+val length : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val get : 'a t -> int -> 'a
+(** [get v i] is element [i]. @raise Invalid_argument when out of range. *)
+
+val set : 'a t -> int -> 'a -> unit
+(** [set v i x] overwrites element [i].
+    @raise Invalid_argument when out of range. *)
+
+val push : 'a t -> 'a -> unit
+(** [push v x] appends [x] at index [length v]. *)
+
+val pop : 'a t -> 'a option
+(** [pop v] removes and returns the last element, or [None] if empty. *)
+
+val iter : ('a -> unit) -> 'a t -> unit
+
+val iteri : (int -> 'a -> unit) -> 'a t -> unit
+
+val fold_left : ('acc -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+val to_list : 'a t -> 'a list
+
+val of_list : 'a list -> 'a t
+
+val to_array : 'a t -> 'a array
+
+val exists : ('a -> bool) -> 'a t -> bool
+
+val clear : 'a t -> unit
+(** [clear v] resets the length to zero (capacity is kept). *)

@@ -1,0 +1,1 @@
+lib/ir/dfg.ml: Ast Format Hashtbl List Lp_graph Lp_tech

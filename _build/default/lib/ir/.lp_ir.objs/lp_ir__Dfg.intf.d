@@ -1,0 +1,1 @@
+lib/ir/dfg.mli: Ast Format Lp_graph Lp_tech

@@ -1,0 +1,1 @@
+lib/ir/optim.ml: Ast Format List Map Option Printf Set String Word

@@ -1,0 +1,1 @@
+lib/ir/optim.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/ir/parse.ml: Array Ast Builder List Option Printf String Word

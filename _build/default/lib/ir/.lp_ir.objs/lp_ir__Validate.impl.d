@@ -1,0 +1,1 @@
+lib/ir/validate.ml: Array Ast Format Hashtbl List Option Printf Set String

@@ -1,0 +1,51 @@
+open Ast
+
+let int n = Int (Word.norm n)
+let var v = Var v
+let load a i = Load (a, i)
+let call f args = Call (f, args)
+
+let binop op a b = Binop (op, a, b)
+let ( + ) = binop Add
+let ( - ) = binop Sub
+let ( * ) = binop Mul
+let ( / ) = binop Div
+let ( % ) = binop Mod
+let ( &&& ) = binop And
+let ( ||| ) = binop Or
+let ( ^^^ ) = binop Xor
+let ( <<< ) = binop Shl
+let ( >>> ) = binop Shr
+let ( < ) = binop Lt
+let ( <= ) = binop Le
+let ( > ) = binop Gt
+let ( >= ) = binop Ge
+let ( == ) = binop Eq
+let ( != ) = binop Ne
+let neg e = Unop (Neg, e)
+let bnot e = Unop (Bnot, e)
+let lnot e = Unop (Lnot, e)
+
+let mk node = { sid = -1; node }
+
+let ( <-- ) v e = mk (Assign (v, e))
+let ( := ) v e = mk (Assign (v, e))
+let store a i v = mk (Store (a, i, v))
+let if_ c t e = mk (If (c, t, e))
+let while_ c b = mk (While (c, b))
+let for_ v lo hi b = mk (For (v, lo, hi, b))
+let print e = mk (Print e)
+let return e = mk (Return (Some e))
+let return_unit = mk (Return None)
+let expr e = mk (Expr e)
+
+let func fname ~params ~locals body = { fname; params; locals; body }
+
+let array aname size = { aname; size; init = None }
+let array_init aname data = { aname; size = Array.length data; init = Some data }
+
+let program ?(entry = "main") ~arrays funcs =
+  let p = { arrays; funcs; entry } in
+  let p, _count = number_program p in
+  Validate.check p;
+  p

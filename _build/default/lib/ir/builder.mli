@@ -1,0 +1,81 @@
+(** Combinator DSL for writing applications in the IR.
+
+    The six benchmark applications ([lib/apps]) are written with these
+    combinators. Statements built here carry placeholder ids; call
+    {!program} last — it validates and densely renumbers the result.
+
+    Example (3x3 box blur inner loop):
+    {[
+      let open Lp_ir.Builder in
+      for_ "y" (int 1) (var "h" - int 1)
+        [ for_ "x" (int 1) (var "w" - int 1)
+            [ "acc" <-- load "img" ((var "y" * var "w") + var "x"); ... ] ]
+    ]} *)
+
+open Ast
+
+val int : int -> expr
+(** Immediate, normalised to 32 bits. *)
+
+val var : string -> expr
+val load : string -> expr -> expr
+val call : string -> expr list -> expr
+
+val ( + ) : expr -> expr -> expr
+val ( - ) : expr -> expr -> expr
+val ( * ) : expr -> expr -> expr
+val ( / ) : expr -> expr -> expr
+val ( % ) : expr -> expr -> expr
+
+(** [( &&& )], [( ||| )], [( ^^^ )] are the bitwise and/or/xor;
+    [( <<< )] shifts left, [( >>> )] is the arithmetic right shift. *)
+
+val ( &&& ) : expr -> expr -> expr
+val ( ||| ) : expr -> expr -> expr
+val ( ^^^ ) : expr -> expr -> expr
+val ( <<< ) : expr -> expr -> expr
+val ( >>> ) : expr -> expr -> expr
+val ( < ) : expr -> expr -> expr
+val ( <= ) : expr -> expr -> expr
+val ( > ) : expr -> expr -> expr
+val ( >= ) : expr -> expr -> expr
+val ( == ) : expr -> expr -> expr
+val ( != ) : expr -> expr -> expr
+val neg : expr -> expr
+val bnot : expr -> expr
+val lnot : expr -> expr
+
+val ( <-- ) : string -> expr -> stmt
+(** Scalar assignment. Beware precedence: [<--] parses at comparison
+    level, so a right-hand side whose top operator is a shift, mask or
+    comparison needs parentheses. Prefer {!(:=)}. *)
+
+val ( := ) : string -> expr -> stmt
+(** Scalar assignment at the (very low) [:=] precedence — the right-hand
+    side never needs parentheses: ["x" := var "s" >>> int 8] does what
+    it looks like. *)
+
+val store : string -> expr -> expr -> stmt
+(** [store a i v] is [a.(i) <- v]. *)
+
+val if_ : expr -> stmt list -> stmt list -> stmt
+val while_ : expr -> stmt list -> stmt
+val for_ : string -> expr -> expr -> stmt list -> stmt
+(** [for_ v lo hi body]: [v] ranges over [lo, hi). *)
+
+val print : expr -> stmt
+val return : expr -> stmt
+val return_unit : stmt
+val expr : expr -> stmt
+(** Evaluate for side effects (procedure call). *)
+
+val func : string -> params:string list -> locals:string list -> stmt list -> func
+
+val array : string -> int -> array_decl
+val array_init : string -> int array -> array_decl
+
+val program :
+  ?entry:string -> arrays:array_decl list -> func list -> program
+(** Assembles, validates (see {!Validate}) and renumbers a program.
+    [entry] defaults to ["main"].
+    @raise Validate.Error on an ill-formed program. *)

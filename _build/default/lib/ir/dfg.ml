@@ -1,0 +1,140 @@
+open Ast
+module Op = Lp_tech.Op
+module Digraph = Lp_graph.Digraph
+
+type info = { op : Op.t; array : string option }
+
+type t = { g : Digraph.t; infos : info Lp_graph.Vec.t }
+
+let graph t = t.g
+
+let node_info t v = Lp_graph.Vec.get t.infos v
+
+let node_count t = Digraph.node_count t.g
+
+let ops t = List.map (fun v -> (node_info t v).op) (Digraph.nodes t.g)
+
+exception Has_call
+
+type mem_state = {
+  mutable last_store : int option;
+  mutable loads_since : int list;
+}
+
+type builder = {
+  dfg : t;
+  env : (string, int) Hashtbl.t;  (** scalar -> defining node *)
+  mem : (string, mem_state) Hashtbl.t;
+}
+
+let new_node b ?array op =
+  let v = Digraph.add_node b.dfg.g in
+  Lp_graph.Vec.push b.dfg.infos { op; array };
+  v
+
+let edge b src dst = Digraph.add_edge b.dfg.g src dst
+
+let edge_opt b src dst =
+  match src with Some s -> edge b s dst | None -> ()
+
+let mem_state b a =
+  match Hashtbl.find_opt b.mem a with
+  | Some st -> st
+  | None ->
+      let st = { last_store = None; loads_since = [] } in
+      Hashtbl.add b.mem a st;
+      st
+
+(* Lower an expression; the result is [Some node] when a node produces
+   the value, [None] for constants and segment inputs. *)
+let rec lower_expr b = function
+  | Int _ -> None
+  | Var v -> Hashtbl.find_opt b.env v
+  | Load (a, i) ->
+      let idx = lower_expr b i in
+      let n = new_node b ~array:a Op.Load in
+      edge_opt b idx n;
+      let st = mem_state b a in
+      edge_opt b st.last_store n;
+      st.loads_since <- n :: st.loads_since;
+      Some n
+  | Binop (op, x, y) ->
+      let nx = lower_expr b x in
+      let ny = lower_expr b y in
+      let n = new_node b (op_of_binop op) in
+      edge_opt b nx n;
+      edge_opt b ny n;
+      Some n
+  | Unop (op, e) ->
+      let ne = lower_expr b e in
+      let n = new_node b (op_of_unop op) in
+      edge_opt b ne n;
+      Some n
+  | Call _ -> raise Has_call
+
+let lower_store b a i v =
+  let idx = lower_expr b i in
+  let value = lower_expr b v in
+  let n = new_node b ~array:a Op.Store in
+  edge_opt b idx n;
+  edge_opt b value n;
+  let st = mem_state b a in
+  edge_opt b st.last_store n;
+  List.iter (fun l -> edge b l n) st.loads_since;
+  st.last_store <- Some n;
+  st.loads_since <- []
+
+let lower_stmt b s =
+  match s.node with
+  | Assign (v, e) -> (
+      match lower_expr b e with
+      | Some n -> Hashtbl.replace b.env v n
+      | None ->
+          (* Constant or plain copy: occupies a transfer path. *)
+          let n = new_node b Op.Move in
+          (match e with
+          | Var src -> edge_opt b (Hashtbl.find_opt b.env src) n
+          | Int _ | Load _ | Binop _ | Unop _ | Call _ -> ());
+          Hashtbl.replace b.env v n)
+  | Store (a, i, v) -> lower_store b a i v
+  | Print e ->
+      let n = new_node b Op.Move in
+      edge_opt b (lower_expr b e) n
+  | Expr e -> ignore (lower_expr b e)
+  | Return _ -> raise Has_call (* a returning cluster leaves the datapath *)
+  | If _ | While _ | For _ ->
+      invalid_arg "Dfg.of_segment: control flow inside a segment"
+
+let of_segment exprs stmts =
+  let b =
+    {
+      dfg = { g = Digraph.create (); infos = Lp_graph.Vec.create () };
+      env = Hashtbl.create 32;
+      mem = Hashtbl.create 8;
+    }
+  in
+  match
+    List.iter (fun e -> ignore (lower_expr b e)) exprs;
+    List.iter (lower_stmt b) stmts
+  with
+  | () -> Some b.dfg
+  | exception Has_call -> None
+
+let of_segment_exn exprs stmts =
+  match of_segment exprs stmts with
+  | Some t -> t
+  | None -> invalid_arg "Dfg.of_segment_exn: segment contains a call"
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>dfg (%d ops)" (node_count t);
+  Digraph.iter_nodes
+    (fun v ->
+      let i = node_info t v in
+      Format.fprintf ppf "@,%d: %a%s -> %a" v Op.pp i.op
+        (match i.array with Some a -> "[" ^ a ^ "]" | None -> "")
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+           Format.pp_print_int)
+        (Digraph.succs t.g v))
+    t.g;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,41 @@
+(** Operation-level dataflow-graph lowering.
+
+    Builds the graph [G = {V, E}] of Fig. 1, step 1 — restricted to one
+    straight-line {e segment} (the unit the list scheduler works on: a
+    basic block's statements plus the branch/bound expressions evaluated
+    with it). Nodes are datapath operations ({!Lp_tech.Op.t}); edges are
+    data dependences plus conservative per-array memory-ordering
+    dependences (store-store, store-load, load-store).
+
+    Scalars read before being defined in the segment are inputs: they
+    create no node and arrive with zero latency, mirroring operands held
+    in datapath registers. *)
+
+type info = {
+  op : Lp_tech.Op.t;
+  array : string option;  (** for [Load]/[Store]: the array accessed *)
+}
+
+type t
+
+val graph : t -> Lp_graph.Digraph.t
+
+val node_info : t -> int -> info
+
+val node_count : t -> int
+
+val ops : t -> Lp_tech.Op.t list
+(** Operation labels by node id order. *)
+
+val of_segment : Ast.expr list -> Ast.stmt list -> t option
+(** [of_segment exprs stmts] lowers the given bare expressions (branch
+    conditions, loop bounds) followed by the straight-line statements.
+    Returns [None] when the segment cannot run on an ASIC datapath
+    (it contains a function call).
+    @raise Invalid_argument if [stmts] contains control flow — segments
+    are straight-line by construction. *)
+
+val of_segment_exn : Ast.expr list -> Ast.stmt list -> t
+(** @raise Invalid_argument when {!of_segment} would return [None]. *)
+
+val pp : Format.formatter -> t -> unit

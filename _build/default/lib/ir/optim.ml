@@ -1,0 +1,393 @@
+open Ast
+
+type stats = {
+  folded : int;
+  copies_propagated : int;
+  dead_stores : int;
+  branches_folded : int;
+}
+
+type ctx = {
+  mutable n_folded : int;
+  mutable n_copies : int;
+  mutable n_dead : int;
+  mutable n_branches : int;
+}
+
+let rec pure = function
+  | Int _ | Var _ -> true
+  | Load _ | Call _ -> false
+  | Binop ((Div | Mod), _, _) -> false
+  | Binop (_, a, b) -> pure a && pure b
+  | Unop (_, e) -> pure e
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let log2 n =
+  let rec go k m = if m <= 1 then k else go (k + 1) (m lsr 1) in
+  go 0 n
+
+let eval_binop op a b =
+  match op with
+  | Add -> Some (Word.add a b)
+  | Sub -> Some (Word.sub a b)
+  | Mul -> Some (Word.mul a b)
+  | Div -> if b = 0 then None else Some (Word.div a b)
+  | Mod -> if b = 0 then None else Some (Word.rem a b)
+  | And -> Some (Word.logand a b)
+  | Or -> Some (Word.logor a b)
+  | Xor -> Some (Word.logxor a b)
+  | Shl -> Some (Word.shl a b)
+  | Shr -> Some (Word.shr a b)
+  | Lt -> Some (Word.of_bool (a < b))
+  | Le -> Some (Word.of_bool (a <= b))
+  | Gt -> Some (Word.of_bool (a > b))
+  | Ge -> Some (Word.of_bool (a >= b))
+  | Eq -> Some (Word.of_bool (a = b))
+  | Ne -> Some (Word.of_bool (a <> b))
+
+let eval_unop op a =
+  match op with
+  | Neg -> Word.neg a
+  | Bnot -> Word.lognot a
+  | Lnot -> Word.of_bool (a = 0)
+
+(* One bottom-up folding pass; [note] is called on every rewrite. *)
+let rec fold_with note e =
+  match e with
+  | Int _ | Var _ -> e
+  | Load (a, i) -> Load (a, fold_with note i)
+  | Call (f, args) -> Call (f, List.map (fold_with note) args)
+  | Unop (op, x) -> (
+      match fold_with note x with
+      | Int n ->
+          note ();
+          Int (eval_unop op n)
+      | x' -> Unop (op, x'))
+  | Binop (op, x, y) -> (
+      let x = fold_with note x in
+      let y = fold_with note y in
+      let keep () = Binop (op, x, y) in
+      let rewrite e' =
+        note ();
+        e'
+      in
+      match (op, x, y) with
+      | _, Int a, Int b -> (
+          match eval_binop op a b with
+          | Some n -> rewrite (Int n)
+          | None -> keep ())
+      (* identities *)
+      | Add, e', Int 0 | Add, Int 0, e' -> rewrite e'
+      | Sub, e', Int 0 -> rewrite e'
+      | Mul, e', Int 1 | Mul, Int 1, e' -> rewrite e'
+      | Div, e', Int 1 -> rewrite e'
+      | (And | Or | Xor), e', Int 0 when op = Or || op = Xor -> rewrite e'
+      | Or, Int 0, e' | Xor, Int 0, e' -> rewrite e'
+      | And, e', Int -1 | And, Int -1, e' -> rewrite e'
+      | (Shl | Shr), e', Int 0 -> rewrite e'
+      (* annihilators, only when the discarded side cannot fault *)
+      | Mul, e', Int 0 when pure e' -> rewrite (Int 0)
+      | Mul, Int 0, e' when pure e' -> rewrite (Int 0)
+      | And, e', Int 0 when pure e' -> rewrite (Int 0)
+      | And, Int 0, e' when pure e' -> rewrite (Int 0)
+      (* strength reduction *)
+      | Mul, e', Int k when is_pow2 k -> rewrite (Binop (Shl, e', Int (log2 k)))
+      | Mul, Int k, e' when is_pow2 k -> rewrite (Binop (Shl, e', Int (log2 k)))
+      | _ -> keep ())
+
+let fold_expr e = fold_with (fun () -> ()) e
+
+(* --- forward pass: constant/copy propagation + branch folding --- *)
+
+module Smap = Map.Make (String)
+
+(* Facts map a scalar to the [Int _] or [Var _] it currently equals. *)
+let kill v facts =
+  Smap.filter
+    (fun u rhs -> u <> v && (match rhs with Var w -> w <> v | _ -> true))
+    facts
+
+let rec subst ctx facts e =
+  match e with
+  | Var v -> (
+      match Smap.find_opt v facts with
+      | Some rhs ->
+          ctx.n_copies <- ctx.n_copies + 1;
+          rhs
+      | None -> e)
+  | Int _ -> e
+  | Load (a, i) -> Load (a, subst ctx facts i)
+  | Binop (op, x, y) -> Binop (op, subst ctx facts x, subst ctx facts y)
+  | Unop (op, x) -> Unop (op, subst ctx facts x)
+  | Call (f, args) -> Call (f, List.map (subst ctx facts) args)
+
+let fold ctx e = fold_with (fun () -> ctx.n_folded <- ctx.n_folded + 1) e
+
+let rec forward ctx facts acc = function
+  | [] -> (List.rev acc, facts)
+  | s :: rest -> (
+      match s.node with
+      | Assign (v, e) ->
+          let e' = fold ctx (subst ctx facts e) in
+          let facts = kill v facts in
+          let facts =
+            match e' with
+            | Int _ -> Smap.add v e' facts
+            | Var u when u <> v -> Smap.add v e' facts
+            | _ -> facts
+          in
+          forward ctx facts ({ s with node = Assign (v, e') } :: acc) rest
+      | Store (a, i, e) ->
+          let i' = fold ctx (subst ctx facts i) in
+          let e' = fold ctx (subst ctx facts e) in
+          forward ctx facts ({ s with node = Store (a, i', e') } :: acc) rest
+      | Print e ->
+          let e' = fold ctx (subst ctx facts e) in
+          forward ctx facts ({ s with node = Print e' } :: acc) rest
+      | Expr e ->
+          let e' = fold ctx (subst ctx facts e) in
+          (* Calls may write arrays but never scalars of this frame:
+             scalar facts survive. *)
+          forward ctx facts ({ s with node = Expr e' } :: acc) rest
+      | Return e_opt ->
+          let e_opt' = Option.map (fun e -> fold ctx (subst ctx facts e)) e_opt in
+          forward ctx facts ({ s with node = Return e_opt' } :: acc) rest
+      | If (c, t, e) -> (
+          let c' = fold ctx (subst ctx facts c) in
+          match c' with
+          | Int 0 ->
+              ctx.n_branches <- ctx.n_branches + 1;
+              forward ctx facts acc (e @ rest)
+          | Int _ ->
+              ctx.n_branches <- ctx.n_branches + 1;
+              forward ctx facts acc (t @ rest)
+          | _ ->
+              let t', _ = forward ctx facts [] t in
+              let e', _ = forward ctx facts [] e in
+              (* After a branch we only trust nothing (conservative). *)
+              forward ctx Smap.empty
+                ({ s with node = If (c', t', e') } :: acc)
+                rest)
+      | While (c, b) -> (
+          (* The condition re-evaluates every iteration: no entry facts
+             may be substituted into it or the body. *)
+          let c' = fold ctx c in
+          match c' with
+          | Int 0 ->
+              ctx.n_branches <- ctx.n_branches + 1;
+              forward ctx Smap.empty acc rest
+          | _ ->
+              let b', _ = forward ctx Smap.empty [] b in
+              forward ctx Smap.empty
+                ({ s with node = While (c', b') } :: acc)
+                rest)
+      | For (v, lo, hi, b) -> (
+          (* Bounds evaluate once at entry: entry facts apply. *)
+          let lo' = fold ctx (subst ctx facts lo) in
+          let hi' = fold ctx (subst ctx facts hi) in
+          match (lo', hi') with
+          | Int a, Int bnd when a >= bnd ->
+              ctx.n_branches <- ctx.n_branches + 1;
+              (* The index is still assigned by a For that runs zero
+                 times. *)
+              forward ctx (kill v facts)
+                ({ s with node = Assign (v, lo') } :: acc)
+                rest
+          | _ ->
+              let b', _ = forward ctx Smap.empty [] b in
+              forward ctx Smap.empty
+                ({ s with node = For (v, lo', hi', b') } :: acc)
+                rest))
+
+(* --- backward pass: dead-store elimination --- *)
+
+module Sset = Set.Make (String)
+
+(* Walking backward, [overwritten] holds scalars that are reassigned
+   later in the same straight-line run with no intervening use; an
+   assignment to such a scalar whose rhs cannot fault is dead. Compound
+   statements and run boundaries reset the set. *)
+let rec dse ctx stmts =
+  let use_all e set = Sset.diff set (Sset.of_list (expr_vars e)) in
+  let rec go overwritten acc = function
+    | [] -> acc
+    | s :: before -> (
+        match s.node with
+        | Assign (v, e) ->
+            if Sset.mem v overwritten && pure e then begin
+              ctx.n_dead <- ctx.n_dead + 1;
+              go overwritten acc before
+            end
+            else
+              let overwritten = use_all e (Sset.add v overwritten) in
+              go overwritten (s :: acc) before
+        | Store (a, i, e) ->
+            let overwritten = use_all e (use_all i overwritten) in
+            go overwritten ({ s with node = Store (a, i, e) } :: acc) before
+        | Print e | Expr e ->
+            go (use_all e overwritten) (s :: acc) before
+        | Return (Some e) -> go (use_all e overwritten) (s :: acc) before
+        | Return None -> go overwritten (s :: acc) before
+        | If (c, t, e) ->
+            let s' = { s with node = If (c, dse ctx t, dse ctx e) } in
+            (* Barrier: the branch bodies may read anything. *)
+            go Sset.empty (s' :: acc) before
+        | While (c, b) ->
+            let s' = { s with node = While (c, dse ctx b) } in
+            go Sset.empty (s' :: acc) before
+        | For (v, lo, hi, b) ->
+            let s' = { s with node = For (v, lo, hi, dse ctx b) } in
+            go Sset.empty (s' :: acc) before)
+  in
+  go Sset.empty [] (List.rev stmts)
+
+let run_passes ctx p =
+  let funcs =
+    List.map
+      (fun f ->
+        let body, _ = forward ctx Smap.empty [] f.body in
+        { f with body = dse ctx body })
+      p.funcs
+  in
+  { p with funcs }
+
+let optimize p =
+  let ctx = { n_folded = 0; n_copies = 0; n_dead = 0; n_branches = 0 } in
+  let changed before = (ctx.n_folded, ctx.n_copies, ctx.n_dead, ctx.n_branches) <> before in
+  let rec go p iter =
+    if iter >= 5 then p
+    else begin
+      let before = (ctx.n_folded, ctx.n_copies, ctx.n_dead, ctx.n_branches) in
+      let p' = run_passes ctx p in
+      if changed before then go p' (iter + 1) else p'
+    end
+  in
+  let p', _count = Ast.number_program (go p 0) in
+  ( p',
+    {
+      folded = ctx.n_folded;
+      copies_propagated = ctx.n_copies;
+      dead_stores = ctx.n_dead;
+      branches_folded = ctx.n_branches;
+    } )
+
+let optimize_program p = fst (optimize p)
+
+let pp_stats ppf s =
+  Format.fprintf ppf
+    "folded %d, copies propagated %d, dead stores removed %d, branches \
+     folded %d"
+    s.folded s.copies_propagated s.dead_stores s.branches_folded
+
+(* --- partial loop unrolling --- *)
+
+let rec subst_var v repl = function
+  | Var u when u = v -> repl
+  | (Int _ | Var _) as e -> e
+  | Load (a, i) -> Load (a, subst_var v repl i)
+  | Binop (op, a, b) -> Binop (op, subst_var v repl a, subst_var v repl b)
+  | Unop (op, e) -> Unop (op, subst_var v repl e)
+  | Call (f, args) -> Call (f, List.map (subst_var v repl) args)
+
+let rec subst_var_stmt v repl s =
+  let node =
+    match s.node with
+    | Assign (u, e) -> Assign (u, subst_var v repl e)
+    | Store (a, i, e) -> Store (a, subst_var v repl i, subst_var v repl e)
+    | If (c, t, e) ->
+        If
+          ( subst_var v repl c,
+            List.map (subst_var_stmt v repl) t,
+            List.map (subst_var_stmt v repl) e )
+    | While (c, b) -> While (subst_var v repl c, List.map (subst_var_stmt v repl) b)
+    | For (u, lo, hi, b) ->
+        let lo = subst_var v repl lo and hi = subst_var v repl hi in
+        (* An inner loop over the same name shadows it. *)
+        if u = v then For (u, lo, hi, b)
+        else For (u, lo, hi, List.map (subst_var_stmt v repl) b)
+    | Print e -> Print (subst_var v repl e)
+    | Return e -> Return (Option.map (subst_var v repl) e)
+    | Expr e -> Expr (subst_var v repl e)
+  in
+  { s with node }
+
+let rec assigns_var v stmts =
+  List.exists
+    (fun s ->
+      match s.node with
+      | Assign (u, _) -> u = v
+      | For (u, _, _, b) -> u = v || assigns_var v b
+      | If (_, t, e) -> assigns_var v t || assigns_var v e
+      | While (_, b) -> assigns_var v b
+      | Store _ | Print _ | Return _ | Expr _ -> false)
+    stmts
+
+let unroll ~factor p =
+  if factor < 2 then p
+  else begin
+    let fresh = ref (max_sid p + 1) in
+    let next_sid () =
+      let sid = !fresh in
+      incr fresh;
+      sid
+    in
+    (* Copies of the body need fresh, unique statement ids. *)
+    let rec renumber_stmt s =
+      let sid = next_sid () in
+      let node =
+        match s.node with
+        | If (c, t, e) ->
+            If (c, List.map renumber_stmt t, List.map renumber_stmt e)
+        | While (c, b) -> While (c, List.map renumber_stmt b)
+        | For (v, lo, hi, b) -> For (v, lo, hi, List.map renumber_stmt b)
+        | n -> n
+      in
+      { sid; node }
+    in
+    (* Each statement rewrites to a list (an unrolled loop becomes a
+       main loop plus a remainder loop). *)
+    let rec stmt s =
+      match s.node with
+      | For (v, Int lo, Int hi, body) when not (assigns_var v body) ->
+          let body = List.concat_map stmt body in
+          let trip = hi - lo in
+          if trip < factor then [ { s with node = For (v, Int lo, Int hi, body) } ]
+          else begin
+            let groups = trip / factor in
+            let u = Printf.sprintf "$u%d" s.sid in
+            (* Group iteration [u] runs body copies k = 0..factor-1 with
+               the index read as (lo + k) + u*factor. *)
+            let copy k =
+              let idx =
+                Binop (Add, Int (lo + k), Binop (Mul, Var u, Int factor))
+              in
+              List.map (fun b -> subst_var_stmt v idx (renumber_stmt b)) body
+            in
+            let grouped = List.concat (List.init factor copy) in
+            let main_loop =
+              { sid = next_sid (); node = For (u, Int 0, Int groups, grouped) }
+            in
+            (* The remainder loop also restores the index's exit value:
+               with r > 0 it leaves v = hi; with r = 0 its zero-trip
+               semantics leave v = lo + groups*factor = hi. *)
+            let tail =
+              {
+                sid = next_sid ();
+                node = For (v, Int (lo + (groups * factor)), Int hi, body);
+              }
+            in
+            [ main_loop; tail ]
+          end
+      | For (v, lo, hi, b) ->
+          [ { s with node = For (v, lo, hi, List.concat_map stmt b) } ]
+      | If (c, t, e) ->
+          [ { s with node = If (c, List.concat_map stmt t, List.concat_map stmt e) } ]
+      | While (c, b) -> [ { s with node = While (c, List.concat_map stmt b) } ]
+      | Assign _ | Store _ | Print _ | Return _ | Expr _ -> [ s ]
+    in
+    let funcs =
+      List.map (fun f -> { f with body = List.concat_map stmt f.body }) p.funcs
+    in
+    fst (Ast.number_program { p with funcs })
+  end

@@ -1,0 +1,59 @@
+(** Machine-independent IR optimisation passes.
+
+    The behavioural descriptions entering the flow (hand-written or
+    generated) often carry trivial redundancy; these classic passes
+    clean them up before partitioning, the way the paper's front end
+    would before its "Build a graph G" step:
+
+    - constant folding (with exact {!Word} semantics),
+    - algebraic simplification ([x+0], [x*1], [x^0], [x&0], ...),
+    - strength reduction (multiplication by a power of two becomes a
+      shift),
+    - block-local copy propagation,
+    - dead-store elimination inside straight-line runs,
+    - constant branch/loop folding ([if 1 ...], [while 0 ...]).
+
+    Every rewrite is semantics-preserving on the observable outputs —
+    including traps: an expression is only deleted or reordered when it
+    provably cannot fault (no call, no array access, no division), so a
+    program that would have trapped still traps.
+
+    The result is renumbered; run the profiler after optimising, not
+    before. *)
+
+val fold_expr : Ast.expr -> Ast.expr
+(** Constant folding + algebraic simplification + strength reduction of
+    one expression (bottom-up, one pass). *)
+
+val pure : Ast.expr -> bool
+(** True when evaluating the expression can neither fault nor have an
+    effect: no calls, no array accesses, no division/modulo. *)
+
+type stats = {
+  folded : int;  (** expressions replaced by simpler ones *)
+  copies_propagated : int;
+  dead_stores : int;  (** assignments removed *)
+  branches_folded : int;  (** constant ifs/whiles/fors resolved *)
+}
+
+val optimize : Ast.program -> Ast.program * stats
+(** All passes, applied to a fixpoint (bounded), then renumbered. *)
+
+val optimize_program : Ast.program -> Ast.program
+(** {!optimize} without the statistics. *)
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val unroll : factor:int -> Ast.program -> Ast.program
+(** [unroll ~factor p] partially unrolls every [For] loop with constant
+    bounds whose body does not reassign its index: the loop becomes an
+    outer loop over groups of [factor] iterations (index reads replaced
+    by [lo + u*factor + k]) followed by a remainder loop that also
+    restores the index's exit value. Loops with fewer than [factor]
+    iterations, non-constant bounds, or index writes are left alone.
+
+    A classic HLS preprocessing step: the unrolled body exposes
+    [factor] times the instruction-level parallelism to the scheduler,
+    at a proportional cost in datapath and controller size — swept by
+    the bench harness's unrolling ablation. Semantics preservation is
+    property tested. *)

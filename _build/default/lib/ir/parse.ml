@@ -1,0 +1,439 @@
+exception Parse_error of string
+
+(* --- lexer --- *)
+
+type token =
+  | Tint of int
+  | Tident of string
+  | Tpunct of string  (** operators and delimiters *)
+  | Teof
+
+type lexer = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+  mutable tok : token;
+  mutable tok_line : int;
+  mutable tok_col : int;
+}
+
+let fail lx fmt =
+  Printf.ksprintf
+    (fun s ->
+      raise
+        (Parse_error (Printf.sprintf "line %d, col %d: %s" lx.tok_line lx.tok_col s)))
+    fmt
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let peek_char lx = if lx.pos < String.length lx.src then Some lx.src.[lx.pos] else None
+
+let advance_char lx =
+  (match peek_char lx with
+  | Some '\n' ->
+      lx.line <- lx.line + 1;
+      lx.col <- 1
+  | Some _ -> lx.col <- lx.col + 1
+  | None -> ());
+  lx.pos <- lx.pos + 1
+
+let rec skip_ws lx =
+  match peek_char lx with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance_char lx;
+      skip_ws lx
+  | Some '/' when lx.pos + 1 < String.length lx.src && lx.src.[lx.pos + 1] = '/' ->
+      while peek_char lx <> None && peek_char lx <> Some '\n' do
+        advance_char lx
+      done;
+      skip_ws lx
+  | Some _ | None -> ()
+
+(* Multi-character punctuation, longest first. *)
+let puncts =
+  [ "<<"; ">>"; "<="; ">="; "=="; "!="; "("; ")"; "{"; "}"; "["; "]"; ",";
+    ";"; "="; "+"; "-"; "*"; "/"; "%"; "&"; "|"; "^"; "~"; "!"; "<"; ">" ]
+
+let next_token lx =
+  skip_ws lx;
+  lx.tok_line <- lx.line;
+  lx.tok_col <- lx.col;
+  match peek_char lx with
+  | None -> lx.tok <- Teof
+  | Some c when is_digit c ->
+      let start = lx.pos in
+      while (match peek_char lx with Some c -> is_digit c | None -> false) do
+        advance_char lx
+      done;
+      lx.tok <- Tint (int_of_string (String.sub lx.src start (lx.pos - start)))
+  | Some c when is_ident_start c ->
+      let start = lx.pos in
+      while (match peek_char lx with Some c -> is_ident_char c | None -> false) do
+        advance_char lx
+      done;
+      lx.tok <- Tident (String.sub lx.src start (lx.pos - start))
+  | Some _ ->
+      let rest = String.length lx.src - lx.pos in
+      let matched =
+        List.find_opt
+          (fun p ->
+            String.length p <= rest
+            && String.sub lx.src lx.pos (String.length p) = p)
+          puncts
+      in
+      (match matched with
+      | Some p ->
+          for _ = 1 to String.length p do
+            advance_char lx
+          done;
+          lx.tok <- Tpunct p
+      | None -> fail lx "unexpected character %C" lx.src.[lx.pos])
+
+let make_lexer src =
+  let lx = { src; pos = 0; line = 1; col = 1; tok = Teof; tok_line = 1; tok_col = 1 } in
+  next_token lx;
+  lx
+
+(* --- token helpers --- *)
+
+let describe = function
+  | Tint n -> Printf.sprintf "integer %d" n
+  | Tident s -> Printf.sprintf "identifier %S" s
+  | Tpunct p -> Printf.sprintf "%S" p
+  | Teof -> "end of input"
+
+let eat_punct lx p =
+  match lx.tok with
+  | Tpunct q when q = p -> next_token lx
+  | t -> fail lx "expected %S, found %s" p (describe t)
+
+let try_punct lx p =
+  match lx.tok with
+  | Tpunct q when q = p ->
+      next_token lx;
+      true
+  | _ -> false
+
+let eat_keyword lx kw =
+  match lx.tok with
+  | Tident s when s = kw -> next_token lx
+  | t -> fail lx "expected %S, found %s" kw (describe t)
+
+let ident lx =
+  match lx.tok with
+  | Tident s ->
+      next_token lx;
+      s
+  | t -> fail lx "expected an identifier, found %s" (describe t)
+
+let integer lx =
+  match lx.tok with
+  | Tint n ->
+      next_token lx;
+      n
+  | Tpunct "-" -> (
+      next_token lx;
+      match lx.tok with
+      | Tint n ->
+          next_token lx;
+          -n
+      | t -> fail lx "expected an integer after '-', found %s" (describe t))
+  | t -> fail lx "expected an integer, found %s" (describe t)
+
+let keywords =
+  [ "array"; "func"; "locals"; "entry"; "if"; "else"; "while"; "for"; "to";
+    "print"; "return" ]
+
+let is_keyword s = List.mem s keywords
+
+(* --- expressions: precedence climbing --- *)
+
+let binop_of_punct = function
+  | "==" -> Some (Ast.Eq, 1)
+  | "!=" -> Some (Ast.Ne, 1)
+  | "<" -> Some (Ast.Lt, 1)
+  | "<=" -> Some (Ast.Le, 1)
+  | ">" -> Some (Ast.Gt, 1)
+  | ">=" -> Some (Ast.Ge, 1)
+  | "|" -> Some (Ast.Or, 2)
+  | "^" -> Some (Ast.Xor, 3)
+  | "&" -> Some (Ast.And, 4)
+  | "<<" -> Some (Ast.Shl, 5)
+  | ">>" -> Some (Ast.Shr, 5)
+  | "+" -> Some (Ast.Add, 6)
+  | "-" -> Some (Ast.Sub, 6)
+  | "*" -> Some (Ast.Mul, 7)
+  | "/" -> Some (Ast.Div, 7)
+  | "%" -> Some (Ast.Mod, 7)
+  | _ -> None
+
+let rec parse_expr lx = parse_binary lx 1
+
+and parse_binary lx min_prec =
+  let lhs = parse_unary lx in
+  let rec loop lhs =
+    match lx.tok with
+    | Tpunct p -> (
+        match binop_of_punct p with
+        | Some (op, prec) when prec >= min_prec ->
+            next_token lx;
+            let rhs = parse_binary lx (prec + 1) in
+            loop (Ast.Binop (op, lhs, rhs))
+        | _ -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+and parse_unary lx =
+  match lx.tok with
+  | Tpunct "-" ->
+      next_token lx;
+      (* Negative literals fold immediately so that printing [-5]
+         re-parses to the same AST. *)
+      (match parse_unary lx with
+      | Ast.Int n -> Ast.Int (Word.norm (-n))
+      | e -> Ast.Unop (Ast.Neg, e))
+  | Tpunct "~" ->
+      next_token lx;
+      Ast.Unop (Ast.Bnot, parse_unary lx)
+  | Tpunct "!" ->
+      next_token lx;
+      Ast.Unop (Ast.Lnot, parse_unary lx)
+  | _ -> parse_atom lx
+
+and parse_atom lx =
+  match lx.tok with
+  | Tint n ->
+      next_token lx;
+      Ast.Int (Word.norm n)
+  | Tpunct "(" ->
+      next_token lx;
+      let e = parse_expr lx in
+      eat_punct lx ")";
+      e
+  | Tident name when not (is_keyword name) ->
+      next_token lx;
+      if try_punct lx "(" then begin
+        let args = parse_args lx in
+        Ast.Call (name, args)
+      end
+      else if try_punct lx "[" then begin
+        let idx = parse_expr lx in
+        eat_punct lx "]";
+        Ast.Load (name, idx)
+      end
+      else Ast.Var name
+  | t -> fail lx "expected an expression, found %s" (describe t)
+
+and parse_args lx =
+  if try_punct lx ")" then []
+  else begin
+    let rec go acc =
+      let e = parse_expr lx in
+      if try_punct lx "," then go (e :: acc)
+      else begin
+        eat_punct lx ")";
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+(* --- statements --- *)
+
+let mk node = { Ast.sid = -1; node }
+
+let rec parse_block lx =
+  eat_punct lx "{";
+  let rec go acc =
+    if try_punct lx "}" then List.rev acc else go (parse_stmt lx :: acc)
+  in
+  go []
+
+and parse_stmt lx =
+  match lx.tok with
+  | Tident "if" ->
+      next_token lx;
+      let c = parse_expr lx in
+      let t = parse_block lx in
+      let e =
+        match lx.tok with
+        | Tident "else" ->
+            next_token lx;
+            parse_block lx
+        | _ -> []
+      in
+      mk (Ast.If (c, t, e))
+  | Tident "while" ->
+      next_token lx;
+      let c = parse_expr lx in
+      let b = parse_block lx in
+      mk (Ast.While (c, b))
+  | Tident "for" ->
+      next_token lx;
+      let v = ident lx in
+      eat_punct lx "=";
+      let lo = parse_expr lx in
+      eat_keyword lx "to";
+      let hi = parse_expr lx in
+      let b = parse_block lx in
+      mk (Ast.For (v, lo, hi, b))
+  | Tident "print" ->
+      next_token lx;
+      let e = parse_expr lx in
+      eat_punct lx ";";
+      mk (Ast.Print e)
+  | Tident "return" ->
+      next_token lx;
+      if try_punct lx ";" then mk (Ast.Return None)
+      else begin
+        let e = parse_expr lx in
+        eat_punct lx ";";
+        mk (Ast.Return (Some e))
+      end
+  | Tident name when not (is_keyword name) -> (
+      next_token lx;
+      match lx.tok with
+      | Tpunct "=" ->
+          next_token lx;
+          let e = parse_expr lx in
+          eat_punct lx ";";
+          mk (Ast.Assign (name, e))
+      | Tpunct "[" -> (
+          next_token lx;
+          let idx = parse_expr lx in
+          eat_punct lx "]";
+          match lx.tok with
+          | Tpunct "=" ->
+              next_token lx;
+              let v = parse_expr lx in
+              eat_punct lx ";";
+              mk (Ast.Store (name, idx, v))
+          | _ ->
+              (* It was a load expression statement: re-parse as the
+                 start of a larger expression. *)
+              let lhs = Ast.Load (name, idx) in
+              let e = parse_expr_from lx lhs in
+              eat_punct lx ";";
+              mk (Ast.Expr e))
+      | Tpunct "(" ->
+          next_token lx;
+          let args = parse_args lx in
+          let e = parse_expr_from lx (Ast.Call (name, args)) in
+          eat_punct lx ";";
+          mk (Ast.Expr e)
+      | _ ->
+          let e = parse_expr_from lx (Ast.Var name) in
+          eat_punct lx ";";
+          mk (Ast.Expr e))
+  | _ ->
+      let e = parse_expr lx in
+      eat_punct lx ";";
+      mk (Ast.Expr e)
+
+(* Continue binary parsing when the leftmost atom was already
+   consumed. *)
+and parse_expr_from lx lhs =
+  let rec loop lhs =
+    match lx.tok with
+    | Tpunct p -> (
+        match binop_of_punct p with
+        | Some (op, prec) ->
+            next_token lx;
+            let rhs = parse_binary lx (prec + 1) in
+            loop (Ast.Binop (op, lhs, rhs))
+        | None -> lhs)
+    | _ -> lhs
+  in
+  loop lhs
+
+(* --- top level --- *)
+
+let parse_name_list lx =
+  eat_punct lx "(";
+  if try_punct lx ")" then []
+  else begin
+    let rec go acc =
+      let n = ident lx in
+      if try_punct lx "," then go (n :: acc)
+      else begin
+        eat_punct lx ")";
+        List.rev (n :: acc)
+      end
+    in
+    go []
+  end
+
+let parse_array lx =
+  eat_keyword lx "array";
+  let name = ident lx in
+  eat_punct lx "[";
+  let size = integer lx in
+  eat_punct lx "]";
+  let init =
+    if try_punct lx "=" then begin
+      eat_punct lx "{";
+      let rec go acc =
+        let n = integer lx in
+        if try_punct lx "," then go (n :: acc)
+        else begin
+          eat_punct lx "}";
+          List.rev (n :: acc)
+        end
+      in
+      Some (Array.of_list (go []))
+    end
+    else None
+  in
+  eat_punct lx ";";
+  { Ast.aname = name; size; init }
+
+let parse_func lx =
+  eat_keyword lx "func";
+  let name = ident lx in
+  let params = parse_name_list lx in
+  let locals =
+    match lx.tok with
+    | Tident "locals" ->
+        next_token lx;
+        parse_name_list lx
+    | _ -> []
+  in
+  let body = parse_block lx in
+  { Ast.fname = name; params; locals; body }
+
+let program_of_string src =
+  let lx = make_lexer src in
+  let arrays = ref [] in
+  let funcs = ref [] in
+  let entry = ref None in
+  let rec go () =
+    match lx.tok with
+    | Teof -> ()
+    | Tident "array" ->
+        arrays := parse_array lx :: !arrays;
+        go ()
+    | Tident "func" ->
+        funcs := parse_func lx :: !funcs;
+        go ()
+    | Tident "entry" ->
+        next_token lx;
+        let name = ident lx in
+        eat_punct lx ";";
+        entry := Some name;
+        go ()
+    | t -> fail lx "expected 'array', 'func' or 'entry', found %s" (describe t)
+  in
+  go ();
+  let entry = Option.value ~default:"main" !entry in
+  Builder.program ~entry ~arrays:(List.rev !arrays) (List.rev !funcs)
+
+let expr_of_string src =
+  let lx = make_lexer src in
+  let e = parse_expr lx in
+  match lx.tok with
+  | Teof -> e
+  | t -> fail lx "trailing input after expression: %s" (describe t)

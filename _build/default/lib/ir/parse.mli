@@ -1,0 +1,40 @@
+(** Parser for the IR's concrete syntax — the inverse of {!Printer}, so
+    behavioural descriptions can be written in plain text files and fed
+    to the flow without touching OCaml.
+
+    Grammar (C-flavoured; [//] comments to end of line):
+
+    {v
+      program  := (array | func)* "entry" IDENT ";"
+      array    := "array" IDENT "[" INT "]" ("=" "{" INT ("," INT)* "}")? ";"
+      func     := "func" IDENT "(" params? ")" ("locals" "(" params? ")")?
+                  "{" stmt* "}"
+      stmt     := IDENT "=" expr ";"
+                | IDENT "[" expr "]" "=" expr ";"
+                | "if" expr "{" stmt* "}" ("else" "{" stmt* "}")?
+                | "while" expr "{" stmt* "}"
+                | "for" IDENT "=" expr "to" expr "{" stmt* "}"
+                | "print" expr ";"
+                | "return" expr? ";"
+                | expr ";"
+      expr     := binary expression with C-like precedence:
+                  (weakest) == != < <= > >=  |  ^  &  << >>  + -  * / %
+                  (strongest) unary - ~ !  then atoms:
+                  INT, IDENT, IDENT "(" args ")", IDENT "[" expr "]",
+                  "(" expr ")"
+    v}
+
+    The result is validated and densely renumbered, exactly as if built
+    with {!Builder.program}. Round-trip law (property tested):
+    [parse (Printer.program_to_string p)] equals [p] up to statement
+    ids. *)
+
+exception Parse_error of string
+(** Carries a line/column-annotated message. *)
+
+val program_of_string : string -> Ast.program
+(** @raise Parse_error on a syntax error.
+    @raise Validate.Error on a well-formedness error. *)
+
+val expr_of_string : string -> Ast.expr
+(** Parse a single expression (for tools and tests). *)

@@ -1,0 +1,60 @@
+open Ast
+
+let rec pp_expr ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Var v -> Format.pp_print_string ppf v
+  | Load (a, i) -> Format.fprintf ppf "%s[%a]" a pp_expr i
+  | Binop (op, x, y) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr x (binop_to_string op) pp_expr y
+  | Unop (op, e) -> Format.fprintf ppf "%s%a" (unop_to_string op) pp_expr e
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+           pp_expr)
+        args
+
+let rec pp_stmt ppf s =
+  match s.node with
+  | Assign (v, e) -> Format.fprintf ppf "@[<h>%s = %a;@]" v pp_expr e
+  | Store (a, i, v) ->
+      Format.fprintf ppf "@[<h>%s[%a] = %a;@]" a pp_expr i pp_expr v
+  | If (c, t, []) ->
+      Format.fprintf ppf "@[<v 2>if %a {%a@]@,}" pp_expr c pp_block t
+  | If (c, t, e) ->
+      Format.fprintf ppf "@[<v 2>if %a {%a@]@,@[<v 2>} else {%a@]@,}" pp_expr c
+        pp_block t pp_block e
+  | While (c, b) ->
+      Format.fprintf ppf "@[<v 2>while %a {%a@]@,}" pp_expr c pp_block b
+  | For (v, lo, hi, b) ->
+      Format.fprintf ppf "@[<v 2>for %s = %a to %a {%a@]@,}" v pp_expr lo
+        pp_expr hi pp_block b
+  | Print e -> Format.fprintf ppf "@[<h>print %a;@]" pp_expr e
+  | Return (Some e) -> Format.fprintf ppf "@[<h>return %a;@]" pp_expr e
+  | Return None -> Format.pp_print_string ppf "return;"
+  | Expr e -> Format.fprintf ppf "@[<h>%a;@]" pp_expr e
+
+and pp_block ppf stmts =
+  List.iter (fun s -> Format.fprintf ppf "@,%a" pp_stmt s) stmts
+
+let pp_func ppf f =
+  Format.fprintf ppf "@[<v 2>func %s(%s) locals(%s) {%a@]@,}" f.fname
+    (String.concat ", " f.params)
+    (String.concat ", " f.locals)
+    pp_block f.body
+
+let pp_program ppf p =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun a ->
+      match a.init with
+      | None -> Format.fprintf ppf "array %s[%d];@," a.aname a.size
+      | Some data ->
+          Format.fprintf ppf "array %s[%d] = {%s};@," a.aname a.size
+            (String.concat ", "
+               (List.map string_of_int (Array.to_list data))))
+    p.arrays;
+  List.iter (fun f -> Format.fprintf ppf "%a@," pp_func f) p.funcs;
+  Format.fprintf ppf "entry %s;@]" p.entry
+
+let program_to_string p = Format.asprintf "%a" pp_program p

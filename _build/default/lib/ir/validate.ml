@@ -1,0 +1,99 @@
+open Ast
+
+exception Error of string
+
+module Sset = Set.Make (String)
+
+let errors (p : program) =
+  let problems = ref [] in
+  let report fmt = Format.kasprintf (fun s -> problems := s :: !problems) fmt in
+  (* Unique names. *)
+  let check_dup what names =
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun n ->
+        if Hashtbl.mem seen n then report "duplicate %s %S" what n
+        else Hashtbl.add seen n ())
+      names
+  in
+  check_dup "array" (List.map (fun a -> a.aname) p.arrays);
+  check_dup "function" (List.map (fun f -> f.fname) p.funcs);
+  List.iter
+    (fun a ->
+      if a.size <= 0 then report "array %S has non-positive size %d" a.aname a.size;
+      match a.init with
+      | Some data when Array.length data <> a.size ->
+          report "array %S: init length %d <> size %d" a.aname
+            (Array.length data) a.size
+      | Some _ | None -> ())
+    p.arrays;
+  let arity name = Option.map (fun f -> List.length f.params) (find_func p name) in
+  let array_exists a = Option.is_some (find_array p a) in
+  (* Per-function scope checks. *)
+  let check_func f =
+    check_dup (Printf.sprintf "scalar in %S" f.fname) (f.params @ f.locals);
+    let base_scope = Sset.of_list (f.params @ f.locals) in
+    let rec check_expr scope = function
+      | Int _ -> ()
+      | Var v ->
+          if not (Sset.mem v scope) then
+            report "%s: undeclared scalar %S" f.fname v
+      | Load (a, i) ->
+          if not (array_exists a) then report "%s: undeclared array %S" f.fname a;
+          check_expr scope i
+      | Binop (_, x, y) ->
+          check_expr scope x;
+          check_expr scope y
+      | Unop (_, e) -> check_expr scope e
+      | Call (g, args) ->
+          (match arity g with
+          | None -> report "%s: call to undefined function %S" f.fname g
+          | Some n ->
+              if n <> List.length args then
+                report "%s: call to %S with %d args, expected %d" f.fname g
+                  (List.length args) n);
+          List.iter (check_expr scope) args
+    in
+    let rec check_stmt scope s =
+      match s.node with
+      | Assign (v, e) ->
+          if not (Sset.mem v scope) then
+            report "%s: assignment to undeclared scalar %S" f.fname v;
+          check_expr scope e
+      | Store (a, i, v) ->
+          if not (array_exists a) then report "%s: undeclared array %S" f.fname a;
+          check_expr scope i;
+          check_expr scope v
+      | If (c, t, e) ->
+          check_expr scope c;
+          List.iter (check_stmt scope) t;
+          List.iter (check_stmt scope) e
+      | While (c, b) ->
+          check_expr scope c;
+          List.iter (check_stmt scope) b
+      | For (v, lo, hi, b) ->
+          check_expr scope lo;
+          check_expr scope hi;
+          (* The loop index is implicitly declared for the body (and the
+             bound expressions must not use it). *)
+          let scope' = Sset.add v scope in
+          List.iter (check_stmt scope') b
+      | Print e -> check_expr scope e
+      | Return (Some e) -> check_expr scope e
+      | Return None -> ()
+      | Expr e -> check_expr scope e
+    in
+    List.iter (check_stmt base_scope) f.body
+  in
+  List.iter check_func p.funcs;
+  (match find_func p p.entry with
+  | None -> report "entry function %S is not defined" p.entry
+  | Some f ->
+      if f.params <> [] then
+        report "entry function %S must take no parameters" p.entry);
+  List.rev !problems
+
+let check p =
+  match errors p with
+  | [] -> ()
+  | first :: _ -> raise (Error first)

@@ -1,0 +1,17 @@
+(** Static well-formedness checks on IR programs.
+
+    Rejects programs before they reach the interpreter, compiler or
+    partitioner, so those stages can assume: every referenced scalar is a
+    declared parameter/local (or a [For] index), every array is declared
+    with positive size, every call targets an existing function with the
+    right arity, the entry function exists and takes no parameters, and
+    names are unique where required. *)
+
+exception Error of string
+(** Raised with a human-readable description of the first problem. *)
+
+val check : Ast.program -> unit
+(** @raise Error when the program is ill-formed. *)
+
+val errors : Ast.program -> string list
+(** All problems found (empty list = well-formed). *)

@@ -1,0 +1,28 @@
+let mask = 0xFFFFFFFF
+let min_int32 = -0x80000000
+let max_int32 = 0x7FFFFFFF
+
+let norm x =
+  let y = x land mask in
+  if y land 0x80000000 <> 0 then y - 0x100000000 else y
+
+let add a b = norm (a + b)
+let sub a b = norm (a - b)
+let neg a = norm (-a)
+let mul a b = norm (a * b)
+
+let div a b =
+  if b = 0 then raise Division_by_zero
+  else norm (a / b) (* OCaml division truncates toward zero, as required *)
+
+let rem a b = if b = 0 then raise Division_by_zero else norm (a mod b)
+
+let logand a b = norm (a land b)
+let logor a b = norm (a lor b)
+let logxor a b = norm (a lxor b)
+let lognot a = norm (lnot a)
+
+let shl a b = norm ((a land mask) lsl (b land 31))
+let shr a b = norm (norm a asr (b land 31))
+let lshr a b = norm ((a land mask) lsr (b land 31))
+let of_bool b = if b then 1 else 0

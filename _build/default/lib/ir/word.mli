@@ -1,0 +1,41 @@
+(** 32-bit two's-complement machine-word arithmetic.
+
+    Values are OCaml [int]s constrained to the signed 32-bit range
+    [-2^31, 2^31 - 1]. Both the reference interpreter and the
+    instruction-set simulator compute with these functions, so their
+    results are bit-identical by construction — the differential tests
+    rely on this. *)
+
+val norm : int -> int
+(** [norm x] truncates [x] to 32 bits and sign-extends. *)
+
+val min_int32 : int
+val max_int32 : int
+
+val add : int -> int -> int
+val sub : int -> int -> int
+val neg : int -> int
+val mul : int -> int -> int
+
+val div : int -> int -> int
+(** Truncating division. @raise Division_by_zero *)
+
+val rem : int -> int -> int
+(** Remainder with the sign of the dividend. @raise Division_by_zero *)
+
+val logand : int -> int -> int
+val logor : int -> int -> int
+val logxor : int -> int -> int
+val lognot : int -> int
+
+val shl : int -> int -> int
+(** Shift left; the shift amount is taken modulo 32 (SPARC semantics). *)
+
+val shr : int -> int -> int
+(** Arithmetic shift right, amount modulo 32. *)
+
+val lshr : int -> int -> int
+(** Logical shift right, amount modulo 32. *)
+
+val of_bool : bool -> int
+(** 1 / 0. *)

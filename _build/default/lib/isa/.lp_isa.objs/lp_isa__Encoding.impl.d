@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Array Int32 Isa List Printf

@@ -1,0 +1,44 @@
+type item =
+  | Label of string
+  | Instr of Isa.instr
+  | Bnez_l of Isa.reg * string
+  | Beqz_l of Isa.reg * string
+  | Jmp_l of string
+  | Jal_l of string
+
+exception Error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Error s)) fmt
+
+let assemble ~entry ~data_words ~symbols items =
+  (* Pass 1: label addresses. *)
+  let labels = Hashtbl.create 64 in
+  let pc = ref 0 in
+  List.iter
+    (fun item ->
+      match item with
+      | Label l ->
+          if Hashtbl.mem labels l then fail "duplicate label %S" l;
+          Hashtbl.replace labels l !pc
+      | Instr _ | Bnez_l _ | Beqz_l _ | Jmp_l _ | Jal_l _ -> incr pc)
+    items;
+  let resolve l =
+    match Hashtbl.find_opt labels l with
+    | Some a -> a
+    | None -> fail "undefined label %S" l
+  in
+  (* Pass 2: emit. *)
+  let code =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Label _ -> None
+        | Instr i -> Some i
+        | Bnez_l (r, l) -> Some (Isa.Bnez (r, resolve l))
+        | Beqz_l (r, l) -> Some (Isa.Beqz (r, resolve l))
+        | Jmp_l l -> Some (Isa.Jmp (resolve l))
+        | Jal_l l -> Some (Isa.Jal (resolve l)))
+      items
+    |> Array.of_list
+  in
+  { Isa.code; data_words; entry_pc = resolve entry; symbols }

@@ -1,0 +1,198 @@
+exception Encode_error of string
+exception Decode_error of string
+
+let efail fmt = Printf.ksprintf (fun s -> raise (Encode_error s)) fmt
+let dfail fmt = Printf.ksprintf (fun s -> raise (Decode_error s)) fmt
+
+(* Opcode numbers (6 bits). *)
+let op_add = 1
+and op_addi = 2
+and op_sub = 3
+and op_mul = 4
+and op_div = 5
+and op_rem = 6
+and op_and = 7
+and op_or = 8
+and op_xor = 9
+and op_andi = 10
+and op_ori = 11
+and op_xori = 12
+and op_sll = 13
+and op_sra = 14
+and op_srl = 15
+and op_slli = 16
+and op_srai = 17
+and op_srli = 18
+and op_set = 19
+and op_li = 20
+and op_li_wide = 21
+and op_mov = 22
+and op_ld = 23
+and op_st = 24
+and op_bnez = 25
+and op_beqz = 26
+and op_jmp = 27
+and op_jal = 28
+and op_jr = 29
+and op_print = 30
+and op_acall = 31
+and op_halt = 32
+and op_nop = 33
+
+let cmp_code = function
+  | Isa.Clt -> 0
+  | Isa.Cle -> 1
+  | Isa.Cgt -> 2
+  | Isa.Cge -> 3
+  | Isa.Ceq -> 4
+  | Isa.Cne -> 5
+
+let cmp_of_code = function
+  | 0 -> Isa.Clt
+  | 1 -> Isa.Cle
+  | 2 -> Isa.Cgt
+  | 3 -> Isa.Cge
+  | 4 -> Isa.Ceq
+  | 5 -> Isa.Cne
+  | c -> dfail "bad comparison code %d" c
+
+let check_reg r = if r < 0 || r > 31 then efail "register r%d out of range" r
+
+let imm16_ok n = n >= -32768 && n <= 32767
+
+let word op rd rs rt funct =
+  check_reg rd;
+  check_reg rs;
+  check_reg rt;
+  if funct < 0 || funct > 0x7FF then efail "funct %d out of range" funct;
+  Int32.of_int
+    ((op lsl 26) lor (rd lsl 21) lor (rs lsl 16) lor (rt lsl 11) lor funct)
+
+let word_i op rd rs imm =
+  check_reg rd;
+  check_reg rs;
+  if not (imm16_ok imm) then efail "immediate %d out of 16-bit range" imm;
+  Int32.of_int ((op lsl 26) lor (rd lsl 21) lor (rs lsl 16) lor (imm land 0xFFFF))
+
+let word_j op target =
+  if target < 0 || target > 0x3FFFFFF then efail "target %d out of range" target;
+  Int32.of_int ((op lsl 26) lor target)
+
+let encode_instr (i : Isa.instr) =
+  match i with
+  | Isa.Add (d, a, b) -> [ word op_add d a b 0 ]
+  | Isa.Sub (d, a, b) -> [ word op_sub d a b 0 ]
+  | Isa.Mul (d, a, b) -> [ word op_mul d a b 0 ]
+  | Isa.Div (d, a, b) -> [ word op_div d a b 0 ]
+  | Isa.Rem (d, a, b) -> [ word op_rem d a b 0 ]
+  | Isa.And (d, a, b) -> [ word op_and d a b 0 ]
+  | Isa.Or (d, a, b) -> [ word op_or d a b 0 ]
+  | Isa.Xor (d, a, b) -> [ word op_xor d a b 0 ]
+  | Isa.Sll (d, a, b) -> [ word op_sll d a b 0 ]
+  | Isa.Sra (d, a, b) -> [ word op_sra d a b 0 ]
+  | Isa.Srl (d, a, b) -> [ word op_srl d a b 0 ]
+  | Isa.Set (c, d, a, b) -> [ word op_set d a b (cmp_code c) ]
+  | Isa.Addi (d, a, n) -> [ word_i op_addi d a n ]
+  | Isa.Andi (d, a, n) -> [ word_i op_andi d a n ]
+  | Isa.Ori (d, a, n) -> [ word_i op_ori d a n ]
+  | Isa.Xori (d, a, n) -> [ word_i op_xori d a n ]
+  | Isa.Slli (d, a, n) -> [ word_i op_slli d a (n land 31) ]
+  | Isa.Srai (d, a, n) -> [ word_i op_srai d a (n land 31) ]
+  | Isa.Srli (d, a, n) -> [ word_i op_srli d a (n land 31) ]
+  | Isa.Li (d, n) ->
+      if imm16_ok n then [ word_i op_li d 0 n ]
+      else [ word_i op_li_wide d 0 0; Int32.of_int (n land 0xFFFFFFFF) ]
+  | Isa.Mov (d, a) -> [ word op_mov d a 0 0 ]
+  | Isa.Ld (d, a, off) -> [ word_i op_ld d a off ]
+  | Isa.St (v, a, off) -> [ word_i op_st v a off ]
+  | Isa.Bnez (r, t) ->
+      if t < 0 || t > 0xFFFF then efail "branch target %d out of range" t;
+      [ word_i op_bnez r 0 (if t > 32767 then t - 65536 else t) ]
+  | Isa.Beqz (r, t) ->
+      if t < 0 || t > 0xFFFF then efail "branch target %d out of range" t;
+      [ word_i op_beqz r 0 (if t > 32767 then t - 65536 else t) ]
+  | Isa.Jmp t -> [ word_j op_jmp t ]
+  | Isa.Jal t -> [ word_j op_jal t ]
+  | Isa.Jr r -> [ word op_jr 0 r 0 0 ]
+  | Isa.Print r -> [ word op_print 0 r 0 0 ]
+  | Isa.Acall k ->
+      if k < 0 || k > 0xFFFF then efail "acall id %d out of range" k;
+      [ word_j op_acall k ]
+  | Isa.Halt -> [ word_j op_halt 0 ]
+  | Isa.Nop -> [ word_j op_nop 0 ]
+
+let fields w =
+  let w = Int32.to_int w land 0xFFFFFFFF in
+  let op = (w lsr 26) land 0x3F in
+  let rd = (w lsr 21) land 0x1F in
+  let rs = (w lsr 16) land 0x1F in
+  let rt = (w lsr 11) land 0x1F in
+  let funct = w land 0x7FF in
+  let imm =
+    let v = w land 0xFFFF in
+    if v land 0x8000 <> 0 then v - 0x10000 else v
+  in
+  let target = w land 0x3FFFFFF in
+  (op, rd, rs, rt, funct, imm, target)
+
+let decode_instr words =
+  match words with
+  | [] -> None
+  | w :: rest ->
+      let op, rd, rs, rt, funct, imm, target = fields w in
+      let utarget16 = if imm < 0 then imm + 65536 else imm in
+      let one i = Some (i, rest) in
+      (match op with
+      | x when x = op_add -> one (Isa.Add (rd, rs, rt))
+      | x when x = op_sub -> one (Isa.Sub (rd, rs, rt))
+      | x when x = op_mul -> one (Isa.Mul (rd, rs, rt))
+      | x when x = op_div -> one (Isa.Div (rd, rs, rt))
+      | x when x = op_rem -> one (Isa.Rem (rd, rs, rt))
+      | x when x = op_and -> one (Isa.And (rd, rs, rt))
+      | x when x = op_or -> one (Isa.Or (rd, rs, rt))
+      | x when x = op_xor -> one (Isa.Xor (rd, rs, rt))
+      | x when x = op_sll -> one (Isa.Sll (rd, rs, rt))
+      | x when x = op_sra -> one (Isa.Sra (rd, rs, rt))
+      | x when x = op_srl -> one (Isa.Srl (rd, rs, rt))
+      | x when x = op_set -> one (Isa.Set (cmp_of_code funct, rd, rs, rt))
+      | x when x = op_addi -> one (Isa.Addi (rd, rs, imm))
+      | x when x = op_andi -> one (Isa.Andi (rd, rs, imm))
+      | x when x = op_ori -> one (Isa.Ori (rd, rs, imm))
+      | x when x = op_xori -> one (Isa.Xori (rd, rs, imm))
+      | x when x = op_slli -> one (Isa.Slli (rd, rs, imm))
+      | x when x = op_srai -> one (Isa.Srai (rd, rs, imm))
+      | x when x = op_srli -> one (Isa.Srli (rd, rs, imm))
+      | x when x = op_li -> one (Isa.Li (rd, imm))
+      | x when x = op_li_wide -> (
+          match rest with
+          | [] -> dfail "truncated wide immediate"
+          | v :: rest' ->
+              let n = Int32.to_int v land 0xFFFFFFFF in
+              let n = if n land 0x80000000 <> 0 then n - 0x100000000 else n in
+              Some (Isa.Li (rd, n), rest'))
+      | x when x = op_mov -> one (Isa.Mov (rd, rs))
+      | x when x = op_ld -> one (Isa.Ld (rd, rs, imm))
+      | x when x = op_st -> one (Isa.St (rd, rs, imm))
+      | x when x = op_bnez -> one (Isa.Bnez (rd, utarget16))
+      | x when x = op_beqz -> one (Isa.Beqz (rd, utarget16))
+      | x when x = op_jmp -> one (Isa.Jmp target)
+      | x when x = op_jal -> one (Isa.Jal target)
+      | x when x = op_jr -> one (Isa.Jr rs)
+      | x when x = op_print -> one (Isa.Print rs)
+      | x when x = op_acall -> one (Isa.Acall target)
+      | x when x = op_halt -> one Isa.Halt
+      | x when x = op_nop -> one Isa.Nop
+      | x -> dfail "unknown opcode %d" x)
+
+let encode instrs =
+  Array.to_list instrs |> List.concat_map encode_instr |> Array.of_list
+
+let decode image =
+  let rec go acc words =
+    match decode_instr words with
+    | None -> List.rev acc
+    | Some (i, rest) -> go (i :: acc) rest
+  in
+  Array.of_list (go [] (Array.to_list image))
+
+let code_bytes (p : Isa.program) = 4 * Array.length (encode p.Isa.code)

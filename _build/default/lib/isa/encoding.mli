@@ -1,0 +1,41 @@
+(** Binary encoding of the instruction set — the memory image a ROM or
+    instruction memory would hold, and the basis of honest code-size
+    numbers (the paper's applications are quoted in kB of C; ours can
+    be quoted in bytes of machine code).
+
+    Fixed 32-bit words. Most instructions occupy one word:
+
+    {v
+      [31:26] opcode  [25:21] rd  [20:16] rs  [15:11] rt  [10:0] funct
+      [31:26] opcode  [25:21] rd  [20:16] rs  [15:0]  imm16 (signed)
+      [31:26] opcode  [25:0]  target
+    v}
+
+    [Li] with an immediate outside the signed 16-bit range (and any
+    other immediate instruction that overflows) is encoded as two
+    words: an escape opcode followed by the raw 32-bit value — the
+    constant-pool idiom of embedded RISCs.
+
+    {!decode} inverts {!encode} exactly; the round-trip is property
+    tested over random instructions and over every compiled benchmark
+    application. *)
+
+exception Encode_error of string
+exception Decode_error of string
+
+val encode_instr : Isa.instr -> int32 list
+(** One or two words. @raise Encode_error on an out-of-range field
+    (register, shift amount, branch target beyond 26 bits). *)
+
+val decode_instr : int32 list -> (Isa.instr * int32 list) option
+(** [decode_instr words] consumes one instruction from the head of
+    [words]; [None] at the end of stream.
+    @raise Decode_error on a malformed word. *)
+
+val encode : Isa.instr array -> int32 array
+
+val decode : int32 array -> Isa.instr array
+(** @raise Decode_error when the image is malformed or truncated. *)
+
+val code_bytes : Isa.program -> int
+(** Size of the encoded text segment, in bytes. *)

@@ -1,0 +1,136 @@
+type reg = int
+
+let reg_count = 32
+let zero_reg = 0
+let ret_val_reg = 1
+let arg_regs = [ 2; 3; 4; 5; 6; 7 ]
+let tmp_regs = [ 8; 9; 10; 11; 12; 13; 14; 15 ]
+let saved_regs = [ 16; 17; 18; 19; 20; 21; 22; 23; 24; 25; 26; 27 ]
+let scratch_reg = 28
+let sp_reg = 29
+let fp_reg = 30
+let ra_reg = 31
+
+type cmp = Clt | Cle | Cgt | Cge | Ceq | Cne
+
+type instr =
+  | Add of reg * reg * reg
+  | Addi of reg * reg * int
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Xori of reg * reg * int
+  | Sll of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Slli of reg * reg * int
+  | Srai of reg * reg * int
+  | Srli of reg * reg * int
+  | Set of cmp * reg * reg * reg
+  | Li of reg * int
+  | Mov of reg * reg
+  | Ld of reg * reg * int
+  | St of reg * reg * int
+  | Bnez of reg * int
+  | Beqz of reg * int
+  | Jmp of int
+  | Jal of int
+  | Jr of reg
+  | Print of reg
+  | Acall of int
+  | Halt
+  | Nop
+
+type program = {
+  code : instr array;
+  data_words : int;
+  entry_pc : int;
+  symbols : (string * int) list;
+}
+
+type opclass =
+  | C_alu
+  | C_shift
+  | C_mul
+  | C_div
+  | C_move
+  | C_load
+  | C_store
+  | C_branch
+  | C_jump
+  | C_sys
+
+let opclass = function
+  | Add _ | Addi _ | Sub _ | And _ | Or _ | Xor _ | Andi _ | Ori _ | Xori _
+  | Set _ ->
+      C_alu
+  | Sll _ | Sra _ | Srl _ | Slli _ | Srai _ | Srli _ -> C_shift
+  | Mul _ -> C_mul
+  | Div _ | Rem _ -> C_div
+  | Li _ | Mov _ -> C_move
+  | Ld _ -> C_load
+  | St _ -> C_store
+  | Bnez _ | Beqz _ -> C_branch
+  | Jmp _ | Jal _ | Jr _ -> C_jump
+  | Print _ | Acall _ | Halt | Nop -> C_sys
+
+let cmp_to_string = function
+  | Clt -> "lt"
+  | Cle -> "le"
+  | Cgt -> "gt"
+  | Cge -> "ge"
+  | Ceq -> "eq"
+  | Cne -> "ne"
+
+let pp_instr ppf i =
+  let p fmt = Format.fprintf ppf fmt in
+  match i with
+  | Add (d, a, b) -> p "add r%d, r%d, r%d" d a b
+  | Addi (d, a, n) -> p "addi r%d, r%d, %d" d a n
+  | Sub (d, a, b) -> p "sub r%d, r%d, r%d" d a b
+  | Mul (d, a, b) -> p "mul r%d, r%d, r%d" d a b
+  | Div (d, a, b) -> p "div r%d, r%d, r%d" d a b
+  | Rem (d, a, b) -> p "rem r%d, r%d, r%d" d a b
+  | And (d, a, b) -> p "and r%d, r%d, r%d" d a b
+  | Or (d, a, b) -> p "or r%d, r%d, r%d" d a b
+  | Xor (d, a, b) -> p "xor r%d, r%d, r%d" d a b
+  | Andi (d, a, n) -> p "andi r%d, r%d, %d" d a n
+  | Ori (d, a, n) -> p "ori r%d, r%d, %d" d a n
+  | Xori (d, a, n) -> p "xori r%d, r%d, %d" d a n
+  | Sll (d, a, b) -> p "sll r%d, r%d, r%d" d a b
+  | Sra (d, a, b) -> p "sra r%d, r%d, r%d" d a b
+  | Srl (d, a, b) -> p "srl r%d, r%d, r%d" d a b
+  | Slli (d, a, n) -> p "slli r%d, r%d, %d" d a n
+  | Srai (d, a, n) -> p "srai r%d, r%d, %d" d a n
+  | Srli (d, a, n) -> p "srli r%d, r%d, %d" d a n
+  | Set (c, d, a, b) -> p "s%s r%d, r%d, r%d" (cmp_to_string c) d a b
+  | Li (d, n) -> p "li r%d, %d" d n
+  | Mov (d, a) -> p "mov r%d, r%d" d a
+  | Ld (d, a, o) -> p "ld r%d, %d(r%d)" d o a
+  | St (v, a, o) -> p "st r%d, %d(r%d)" v o a
+  | Bnez (r, t) -> p "bnez r%d, @%d" r t
+  | Beqz (r, t) -> p "beqz r%d, @%d" r t
+  | Jmp t -> p "jmp @%d" t
+  | Jal t -> p "jal @%d" t
+  | Jr r -> p "jr r%d" r
+  | Print r -> p "print r%d" r
+  | Acall k -> p "acall %d" k
+  | Halt -> p "halt"
+  | Nop -> p "nop"
+
+let pp_program ppf prog =
+  Format.fprintf ppf "@[<v>; %d instructions, %d data words, entry @%d"
+    (Array.length prog.code) prog.data_words prog.entry_pc;
+  List.iter
+    (fun (s, base) -> Format.fprintf ppf "@,; %s at %d" s base)
+    prog.symbols;
+  Array.iteri
+    (fun i instr -> Format.fprintf ppf "@,%4d: %a" i pp_instr instr)
+    prog.code;
+  Format.fprintf ppf "@]"

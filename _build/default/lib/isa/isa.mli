@@ -1,0 +1,105 @@
+(** SPARClite-class 32-bit RISC instruction set.
+
+    This is the target of [lp_compiler] and the input of the
+    instruction-set simulator [lp_iss] — our stand-in for the LSI
+    SPARClite uP core the paper simulates (Section 4). It is a classic
+    integer RISC: 32 general registers ([r0] hard-wired to zero),
+    register+immediate addressing, compare-into-register, pc-relative
+    control flow resolved to absolute instruction indices by {!Asm}.
+
+    One extension carries the paper's architecture: {!Acall} invokes an
+    application-specific core and blocks until it completes (the
+    "uP core calls the ASIC core" handshake of Section 3.3).
+
+    Data memory is word-addressed; an instruction occupies one slot of
+    instruction memory and its byte address (for the i-cache) is
+    [4 * index]. *)
+
+type reg = int
+(** Register number, 0..31. [r0] always reads 0; writes to it vanish. *)
+
+val reg_count : int
+
+(** Conventions used by the compiler (documentary; the hardware does not
+    enforce them). *)
+
+val zero_reg : reg  (** r0 *)
+
+val ret_val_reg : reg  (** r1: return value *)
+
+val arg_regs : reg list  (** r2..r7: arguments *)
+
+val tmp_regs : reg list  (** r8..r15: expression temporaries *)
+
+val saved_regs : reg list  (** r16..r27: register-resident scalars *)
+
+val scratch_reg : reg  (** r28: assembler/codegen scratch *)
+
+val sp_reg : reg  (** r29: stack pointer, grows downward *)
+
+val fp_reg : reg  (** r30: frame pointer *)
+
+val ra_reg : reg  (** r31: return address (written by [Jal]) *)
+
+type cmp = Clt | Cle | Cgt | Cge | Ceq | Cne
+
+type instr =
+  | Add of reg * reg * reg
+  | Addi of reg * reg * int
+  | Sub of reg * reg * reg
+  | Mul of reg * reg * reg
+  | Div of reg * reg * reg
+  | Rem of reg * reg * reg
+  | And of reg * reg * reg
+  | Or of reg * reg * reg
+  | Xor of reg * reg * reg
+  | Andi of reg * reg * int
+  | Ori of reg * reg * int
+  | Xori of reg * reg * int
+  | Sll of reg * reg * reg
+  | Sra of reg * reg * reg
+  | Srl of reg * reg * reg
+  | Slli of reg * reg * int
+  | Srai of reg * reg * int
+  | Srli of reg * reg * int
+  | Set of cmp * reg * reg * reg  (** [Set (c, rd, a, b)]: rd = a c b *)
+  | Li of reg * int  (** load 32-bit immediate *)
+  | Mov of reg * reg
+  | Ld of reg * reg * int  (** rd = mem.(rs + off) *)
+  | St of reg * reg * int  (** mem.(rs + off) = rv *)
+  | Bnez of reg * int  (** branch to instruction index if reg <> 0 *)
+  | Beqz of reg * int
+  | Jmp of int
+  | Jal of int  (** call: ra := pc + 1; pc := target *)
+  | Jr of reg  (** indirect jump (function return) *)
+  | Print of reg  (** simulator trap: emit observable output *)
+  | Acall of int  (** invoke ASIC-core cluster [k], block to completion *)
+  | Halt
+  | Nop
+
+type program = {
+  code : instr array;
+  data_words : int;  (** size of the data memory, in 32-bit words *)
+  entry_pc : int;
+  symbols : (string * int) list;  (** data symbols: array name -> base *)
+}
+
+(** Opcode classes of the instruction-level power model (Tiwari-style:
+    instructions in the same class have indistinguishable base cost). *)
+type opclass =
+  | C_alu
+  | C_shift
+  | C_mul
+  | C_div
+  | C_move
+  | C_load
+  | C_store
+  | C_branch
+  | C_jump
+  | C_sys  (** Print / Acall / Halt / Nop *)
+
+val opclass : instr -> opclass
+
+val pp_instr : Format.formatter -> instr -> unit
+
+val pp_program : Format.formatter -> program -> unit

@@ -1,0 +1,1 @@
+lib/iss/energy_model.ml: Lp_isa Lp_tech

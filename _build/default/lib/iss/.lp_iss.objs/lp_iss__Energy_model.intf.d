@@ -1,0 +1,1 @@
+lib/iss/energy_model.mli: Lp_isa

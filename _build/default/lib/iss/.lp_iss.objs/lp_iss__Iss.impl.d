@@ -1,0 +1,1 @@
+lib/iss/iss.ml: Array Energy_model Format Hashtbl List Lp_ir Lp_isa Lp_tech Option

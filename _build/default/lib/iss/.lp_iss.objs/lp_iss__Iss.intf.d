@@ -1,0 +1,1 @@
+lib/iss/iss.mli: Lp_isa

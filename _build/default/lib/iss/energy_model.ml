@@ -1,0 +1,30 @@
+module Isa = Lp_isa.Isa
+module Units = Lp_tech.Units
+
+let base_cycles : Isa.opclass -> int = function
+  | Isa.C_alu | Isa.C_shift | Isa.C_move | Isa.C_branch -> 1
+  | Isa.C_mul -> 5
+  | Isa.C_div -> 20
+  | Isa.C_load | Isa.C_store -> 2
+  | Isa.C_jump -> 2
+  | Isa.C_sys -> 1
+
+let base_energy_j : Isa.opclass -> float = function
+  | Isa.C_alu -> Units.nj 13.0
+  | Isa.C_shift -> Units.nj 12.5
+  | Isa.C_mul -> Units.nj 72.0
+  | Isa.C_div -> Units.nj 250.0
+  | Isa.C_move -> Units.nj 11.0
+  | Isa.C_load -> Units.nj 16.0
+  | Isa.C_store -> Units.nj 15.0
+  | Isa.C_branch -> Units.nj 12.0
+  | Isa.C_jump -> Units.nj 14.0
+  | Isa.C_sys -> Units.nj 8.0
+
+let inter_instr_overhead_j = Units.nj 1.5
+let taken_branch_cycles = 1
+let taken_branch_energy_j = Units.nj 4.0
+let stall_energy_per_cycle_j = Units.nj 8.0
+
+let busy_power_w =
+  base_energy_j Isa.C_alu /. Lp_tech.Cmos6.clock_period_s

@@ -1,0 +1,31 @@
+(** Instruction-level power model of the uP core, after Tiwari et al.
+    ("Instruction Level Power Analysis and Optimization of Software",
+    the paper's reference [12], used by its ISS — Section 3.5).
+
+    Structure: a {e base cost} per opcode class (instructions in one
+    class are indistinguishable at the power meter), an
+    {e inter-instruction overhead} paid when consecutive instructions
+    come from different classes (circuit-state switching), a premium for
+    taken branches, and a {e stall power} burned while the core waits on
+    the memory system. Absolute values are calibrated to a
+    SPARClite-class 0.8u core at 3.3 V / 20 MHz (~250-300 mW busy). *)
+
+val base_cycles : Lp_isa.Isa.opclass -> int
+(** Issue-to-retire cycles of the class, without memory stalls. *)
+
+val base_energy_j : Lp_isa.Isa.opclass -> float
+
+val inter_instr_overhead_j : float
+(** Added when the current class differs from the previous one. *)
+
+val taken_branch_cycles : int
+(** Extra cycles of a taken branch (pipeline refill). *)
+
+val taken_branch_energy_j : float
+
+val stall_energy_per_cycle_j : float
+(** Core energy per cycle while stalled on a cache miss. *)
+
+val busy_power_w : float
+(** Indicative average power while executing (for documentation and
+    sanity checks): base energy of the ALU class over one clock. *)

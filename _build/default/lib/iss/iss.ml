@@ -1,0 +1,223 @@
+module Isa = Lp_isa.Isa
+module Word = Lp_ir.Word
+
+exception Runtime_error of string
+
+let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
+
+type t = {
+  prog : Isa.program;
+  regs : int array;
+  mem : int array;
+  mutable pc : int;
+  mutable halted : bool;
+  mutable fuel : int;
+  mutable out : int list;
+  mutable instr_count : int;
+  mutable up_cycles : int;
+  mutable stall_cycles : int;
+  mutable asic_cycles : int;
+  mutable up_energy : float;
+  mutable last_class : Isa.opclass option;
+  class_counts : (Isa.opclass, int) Hashtbl.t;
+  hooks : hooks;
+}
+
+and hooks = {
+  ifetch : int -> int;
+  dread : int -> int;
+  dwrite : int -> int;
+  acall : t -> int -> unit;
+}
+
+let null_hooks =
+  {
+    ifetch = (fun _ -> 0);
+    dread = (fun _ -> 0);
+    dwrite = (fun _ -> 0);
+    acall = (fun _ _ -> fail "acall with null hooks");
+  }
+
+let create ?(fuel = 500_000_000) prog hooks =
+  {
+    prog;
+    regs = Array.make Isa.reg_count 0;
+    mem = Array.make prog.Isa.data_words 0;
+    pc = prog.Isa.entry_pc;
+    halted = false;
+    fuel;
+    out = [];
+    instr_count = 0;
+    up_cycles = 0;
+    stall_cycles = 0;
+    asic_cycles = 0;
+    up_energy = 0.0;
+    last_class = None;
+    class_counts = Hashtbl.create 16;
+    hooks;
+  }
+
+let load_data t base img =
+  if base < 0 || base + Array.length img > Array.length t.mem then
+    fail "load_data out of range";
+  Array.blit img 0 t.mem base (Array.length img)
+
+let read_mem t a =
+  if a < 0 || a >= Array.length t.mem then fail "read at bad address %d" a;
+  t.mem.(a)
+
+let write_mem t a v =
+  if a < 0 || a >= Array.length t.mem then fail "write at bad address %d" a;
+  t.mem.(a) <- Word.norm v
+
+let mem_size t = Array.length t.mem
+
+let push_output t v = t.out <- v :: t.out
+
+let add_asic_cycles t c = t.asic_cycles <- t.asic_cycles + c
+
+let get t r = if r = Isa.zero_reg then 0 else t.regs.(r)
+
+let set t r v = if r <> Isa.zero_reg then t.regs.(r) <- Word.norm v
+
+let charge t cls =
+  t.instr_count <- t.instr_count + 1;
+  t.up_cycles <- t.up_cycles + Energy_model.base_cycles cls;
+  t.up_energy <- t.up_energy +. Energy_model.base_energy_j cls;
+  (match t.last_class with
+  | Some prev when prev <> cls ->
+      t.up_energy <- t.up_energy +. Energy_model.inter_instr_overhead_j
+  | Some _ | None -> ());
+  t.last_class <- Some cls;
+  let n = Option.value ~default:0 (Hashtbl.find_opt t.class_counts cls) in
+  Hashtbl.replace t.class_counts cls (n + 1)
+
+let stall t cycles =
+  if cycles > 0 then begin
+    t.stall_cycles <- t.stall_cycles + cycles;
+    t.up_energy <-
+      t.up_energy
+      +. (float_of_int cycles *. Energy_model.stall_energy_per_cycle_j)
+  end
+
+let taken_branch t =
+  t.up_cycles <- t.up_cycles + Energy_model.taken_branch_cycles;
+  t.up_energy <- t.up_energy +. Energy_model.taken_branch_energy_j
+
+let eval_cmp c a b =
+  match (c : Isa.cmp) with
+  | Isa.Clt -> a < b
+  | Isa.Cle -> a <= b
+  | Isa.Cgt -> a > b
+  | Isa.Cge -> a >= b
+  | Isa.Ceq -> a = b
+  | Isa.Cne -> a <> b
+
+let data_byte_addr word_addr = 0x100000 + (word_addr * 4)
+
+let step t =
+  if t.fuel <= 0 then fail "instruction fuel exhausted at pc %d" t.pc;
+  t.fuel <- t.fuel - 1;
+  if t.pc < 0 || t.pc >= Array.length t.prog.Isa.code then
+    fail "pc %d out of code range" t.pc;
+  stall t (t.hooks.ifetch (t.pc * 4));
+  let i = t.prog.Isa.code.(t.pc) in
+  charge t (Isa.opclass i);
+  let next = t.pc + 1 in
+  let dload a =
+    stall t (t.hooks.dread (data_byte_addr a));
+    read_mem t a
+  in
+  let dstore a v =
+    stall t (t.hooks.dwrite (data_byte_addr a));
+    write_mem t a v
+  in
+  (match i with
+  | Isa.Add (d, a, b) -> set t d (Word.add (get t a) (get t b))
+  | Isa.Addi (d, a, n) -> set t d (Word.add (get t a) n)
+  | Isa.Sub (d, a, b) -> set t d (Word.sub (get t a) (get t b))
+  | Isa.Mul (d, a, b) -> set t d (Word.mul (get t a) (get t b))
+  | Isa.Div (d, a, b) ->
+      let bv = get t b in
+      if bv = 0 then fail "division by zero at pc %d" t.pc;
+      set t d (Word.div (get t a) bv)
+  | Isa.Rem (d, a, b) ->
+      let bv = get t b in
+      if bv = 0 then fail "modulo by zero at pc %d" t.pc;
+      set t d (Word.rem (get t a) bv)
+  | Isa.And (d, a, b) -> set t d (Word.logand (get t a) (get t b))
+  | Isa.Or (d, a, b) -> set t d (Word.logor (get t a) (get t b))
+  | Isa.Xor (d, a, b) -> set t d (Word.logxor (get t a) (get t b))
+  | Isa.Andi (d, a, n) -> set t d (Word.logand (get t a) n)
+  | Isa.Ori (d, a, n) -> set t d (Word.logor (get t a) n)
+  | Isa.Xori (d, a, n) -> set t d (Word.logxor (get t a) n)
+  | Isa.Sll (d, a, b) -> set t d (Word.shl (get t a) (get t b))
+  | Isa.Sra (d, a, b) -> set t d (Word.shr (get t a) (get t b))
+  | Isa.Srl (d, a, b) -> set t d (Word.lshr (get t a) (get t b))
+  | Isa.Slli (d, a, n) -> set t d (Word.shl (get t a) n)
+  | Isa.Srai (d, a, n) -> set t d (Word.shr (get t a) n)
+  | Isa.Srli (d, a, n) -> set t d (Word.lshr (get t a) n)
+  | Isa.Set (c, d, a, b) ->
+      set t d (Word.of_bool (eval_cmp c (get t a) (get t b)))
+  | Isa.Li (d, n) -> set t d n
+  | Isa.Mov (d, a) -> set t d (get t a)
+  | Isa.Ld (d, a, off) -> set t d (dload (get t a + off))
+  | Isa.St (v, a, off) -> dstore (get t a + off) (get t v)
+  | Isa.Bnez (r, target) ->
+      if get t r <> 0 then begin
+        taken_branch t;
+        t.pc <- target
+      end
+      else t.pc <- next
+  | Isa.Beqz (r, target) ->
+      if get t r = 0 then begin
+        taken_branch t;
+        t.pc <- target
+      end
+      else t.pc <- next
+  | Isa.Jmp target -> t.pc <- target
+  | Isa.Jal target ->
+      set t Isa.ra_reg next;
+      t.pc <- target
+  | Isa.Jr r -> t.pc <- get t r
+  | Isa.Print r -> t.out <- get t r :: t.out
+  | Isa.Acall k -> t.hooks.acall t k
+  | Isa.Halt -> t.halted <- true
+  | Isa.Nop -> ());
+  (match i with
+  | Isa.Bnez _ | Isa.Beqz _ | Isa.Jmp _ | Isa.Jal _ | Isa.Jr _ -> ()
+  | Isa.Halt -> ()
+  | _ -> t.pc <- next)
+
+let run t =
+  while not t.halted do
+    step t
+  done
+
+type result = {
+  outputs : int list;
+  instr_count : int;
+  up_cycles : int;
+  stall_cycles : int;
+  asic_cycles : int;
+  up_energy_j : float;
+  class_counts : (Isa.opclass * int) list;
+}
+
+let result t =
+  {
+    outputs = List.rev t.out;
+    instr_count = t.instr_count;
+    up_cycles = t.up_cycles;
+    stall_cycles = t.stall_cycles;
+    asic_cycles = t.asic_cycles;
+    up_energy_j = t.up_energy;
+    class_counts =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.class_counts []
+      |> List.sort compare;
+  }
+
+let total_cycles r = r.up_cycles + r.stall_cycles + r.asic_cycles
+
+let runtime_s r =
+  float_of_int (total_cycles r) *. Lp_tech.Cmos6.clock_period_s

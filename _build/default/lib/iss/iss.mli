@@ -1,0 +1,71 @@
+(** Cycle- and energy-accounting instruction-set simulator for the
+    {!Lp_isa.Isa} core — the paper's "instruction set simulator tool
+    (ISS)" with "the facility to calculate the energy consumption
+    depending on the instruction executed at a point in time"
+    (Section 3.5).
+
+    The simulator owns the uP core only. The memory system (caches,
+    bus, main memory) and any ASIC cores are supplied as {!hooks} by the
+    system simulator, which charges their energy on its own books; the
+    hooks return the stall cycles the uP observes. This keeps the
+    per-core energy split of Table 1 honest: uP energy here, everything
+    else where it physically happens. *)
+
+type t
+(** A running machine. *)
+
+type hooks = {
+  ifetch : int -> int;
+      (** [ifetch byte_addr] models the instruction fetch; returns uP
+          stall cycles. *)
+  dread : int -> int;  (** data read at byte address; returns stalls *)
+  dwrite : int -> int;
+  acall : t -> int -> unit;
+      (** [acall machine k]: execute ASIC cluster [k]. The callback may
+          use {!read_mem}/{!write_mem}/{!push_output} and must add the
+          ASIC's cycles via {!add_asic_cycles}. The uP core is shut down
+          meanwhile (no uP energy, no uP cycles). *)
+}
+
+val null_hooks : hooks
+(** No memory system: zero stalls, failing [acall]. *)
+
+exception Runtime_error of string
+
+val create : ?fuel:int -> Lp_isa.Isa.program -> hooks -> t
+(** [fuel] bounds executed instructions (default 500 million). *)
+
+val load_data : t -> int -> int array -> unit
+(** Preload a data-memory image at a word address. *)
+
+val run : t -> unit
+(** Execute until [Halt]. @raise Runtime_error on a dynamic error. *)
+
+(** {2 State access (also for [acall] callbacks)} *)
+
+val read_mem : t -> int -> int
+val write_mem : t -> int -> int -> unit
+val mem_size : t -> int
+val push_output : t -> int -> unit
+val add_asic_cycles : t -> int -> unit
+
+(** {2 Results} *)
+
+type result = {
+  outputs : int list;
+  instr_count : int;
+  up_cycles : int;  (** cycles the uP core was executing *)
+  stall_cycles : int;  (** uP stalled on the memory system *)
+  asic_cycles : int;  (** cycles spent inside ASIC cores *)
+  up_energy_j : float;  (** uP core energy (incl. stall energy) *)
+  class_counts : (Lp_isa.Isa.opclass * int) list;
+}
+
+val result : t -> result
+
+val total_cycles : result -> int
+(** [up_cycles + stall_cycles + asic_cycles]: the wall-clock of the
+    run. *)
+
+val runtime_s : result -> float
+(** Total cycles at the system clock. *)

@@ -1,0 +1,54 @@
+module Cmos6 = Lp_tech.Cmos6
+
+type t = {
+  mutable mem_reads : int;
+  mutable mem_writes : int;
+  mutable bus_reads : int;
+  mutable bus_writes : int;
+}
+
+let create () = { mem_reads = 0; mem_writes = 0; bus_reads = 0; bus_writes = 0 }
+
+let mem_read_word t = t.mem_reads <- t.mem_reads + 1
+let mem_write_word t = t.mem_writes <- t.mem_writes + 1
+let mem_read_words t n = t.mem_reads <- t.mem_reads + n
+let mem_write_words t n = t.mem_writes <- t.mem_writes + n
+let bus_read_words t n = t.bus_reads <- t.bus_reads + n
+let bus_write_words t n = t.bus_writes <- t.bus_writes + n
+
+type totals = {
+  mem_reads : int;
+  mem_writes : int;
+  bus_reads : int;
+  bus_writes : int;
+  mem_access_energy_j : float;
+  bus_energy_j : float;
+}
+
+let totals (t : t) =
+  {
+    mem_reads = t.mem_reads;
+    mem_writes = t.mem_writes;
+    bus_reads = t.bus_reads;
+    bus_writes = t.bus_writes;
+    mem_access_energy_j =
+      float_of_int (t.mem_reads + t.mem_writes) *. Cmos6.dram_access_energy_j;
+    bus_energy_j =
+      (float_of_int t.bus_reads *. Cmos6.bus_read_energy_j)
+      +. (float_of_int t.bus_writes *. Cmos6.bus_write_energy_j);
+  }
+
+let standby_energy_j ~runtime_s = Cmos6.dram_standby_power_w *. runtime_s
+
+let mem_energy_j t ~runtime_s =
+  (totals t).mem_access_energy_j +. standby_energy_j ~runtime_s
+
+(* 4-cycle first-word latency, then one word per cycle (page-mode
+   burst). *)
+let miss_penalty_cycles ~words = if words <= 0 then 0 else 4 + words
+
+let pp_totals ppf t =
+  Format.fprintf ppf
+    "mem r/w words %d/%d (%a), bus r/w words %d/%d (%a)" t.mem_reads
+    t.mem_writes Lp_tech.Units.pp_energy t.mem_access_energy_j t.bus_reads
+    t.bus_writes Lp_tech.Units.pp_energy t.bus_energy_j

@@ -1,0 +1,47 @@
+(** Main-memory and shared-bus energy accounting (the paper's "mem" and
+    bus columns; analytic model fed with 0.8u parameters).
+
+    The memory core charges a fixed energy per word accessed plus a
+    standby (refresh) power over the whole run. The bus charges per word
+    moved, with writes costing more than reads (paper footnote 9). All
+    word movements between uP/caches/ASIC and memory go through
+    {!mem_read_word} / {!mem_write_word} of an accounting instance. *)
+
+type t
+
+val create : unit -> t
+
+val mem_read_word : t -> unit
+val mem_write_word : t -> unit
+
+val mem_read_words : t -> int -> unit
+val mem_write_words : t -> int -> unit
+
+val bus_read_words : t -> int -> unit
+(** Words moved over the shared bus toward a consumer. *)
+
+val bus_write_words : t -> int -> unit
+
+type totals = {
+  mem_reads : int;  (** words *)
+  mem_writes : int;
+  bus_reads : int;
+  bus_writes : int;
+  mem_access_energy_j : float;
+  bus_energy_j : float;
+}
+
+val totals : t -> totals
+
+val standby_energy_j : runtime_s:float -> float
+(** Refresh/standby energy of the memory core for a run of the given
+    duration. *)
+
+val mem_energy_j : t -> runtime_s:float -> float
+(** Access + standby energy of the memory core. *)
+
+val miss_penalty_cycles : words:int -> int
+(** Stall cycles the uP pays for a line transfer of [words] (first-word
+    latency + per-word streaming). *)
+
+val pp_totals : Format.formatter -> totals -> unit

@@ -1,0 +1,1 @@
+lib/preselect/preselect.ml: Format List Lp_cluster Lp_dataflow Lp_tech Printf

@@ -1,0 +1,1 @@
+lib/preselect/preselect.mli: Format Lp_cluster Lp_dataflow Lp_ir

@@ -1,0 +1,114 @@
+module Cluster = Lp_cluster.Cluster
+module Dataflow = Lp_dataflow.Dataflow
+module Sset = Dataflow.Sset
+
+type t = {
+  chain : Cluster.chain;
+  sets : (int * Dataflow.sets) list;
+}
+
+type estimate = {
+  cid : int;
+  n_up_to_mem : int;
+  n_asic_to_mem : int;
+  energy_j : float;
+}
+
+let create p chain = { chain; sets = Dataflow.of_chain p chain }
+
+let chain t = t.chain
+
+let cluster_sets t cid =
+  match List.assoc_opt cid t.sets with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Preselect: unknown cluster %d" cid)
+
+let array_ref_words = 2
+
+(* Bus words needed to hand over [gen(a) ∩ use(b)]. *)
+let handover_words gen_side use_side =
+  let scalars =
+    Sset.cardinal
+      (Sset.inter gen_side.Dataflow.gen_scalars use_side.Dataflow.use_scalars)
+  in
+  let arrays =
+    Sset.cardinal
+      (Sset.inter gen_side.Dataflow.gen_arrays use_side.Dataflow.use_arrays)
+  in
+  scalars + (array_ref_words * arrays)
+
+let union_sets t cids =
+  List.fold_left
+    (fun acc cid -> Dataflow.union acc (cluster_sets t cid))
+    Dataflow.empty cids
+
+let estimate t ~in_asic cid =
+  let ids = List.map (fun (c : Cluster.t) -> c.cid) t.chain in
+  let self = cluster_sets t cid in
+  let preds = List.filter (fun i -> i < cid) ids in
+  let succs = List.filter (fun i -> i > cid) ids in
+  (* Step 1: data generated anywhere before c_i and used inside it. *)
+  let n_up = handover_words (union_sets t preds) self in
+  (* Step 2: synergy with an ASIC-resident immediate predecessor. *)
+  let n_up =
+    if List.mem (cid - 1) ids && in_asic (cid - 1) then
+      n_up - handover_words (cluster_sets t (cid - 1)) self
+    else n_up
+  in
+  (* Step 3: data c_i generates that any later cluster uses. *)
+  let n_asic = handover_words self (union_sets t succs) in
+  (* Step 4: synergy with an ASIC-resident immediate successor. *)
+  let n_asic =
+    if List.mem (cid + 1) ids && in_asic (cid + 1) then
+      n_asic - handover_words self (cluster_sets t (cid + 1))
+    else n_asic
+  in
+  let n_up = max 0 n_up and n_asic = max 0 n_asic in
+  (* Step 5: each word is deposited (bus write) then downloaded (bus
+     read). *)
+  let per_word = Lp_tech.Cmos6.bus_write_energy_j +. Lp_tech.Cmos6.bus_read_energy_j in
+  {
+    cid;
+    n_up_to_mem = n_up;
+    n_asic_to_mem = n_asic;
+    energy_j = float_of_int (n_up + n_asic) *. per_word;
+  }
+
+let dynamic_work t ~profile cid =
+  let c = List.find (fun (c : Cluster.t) -> c.cid = cid) t.chain in
+  List.fold_left
+    (fun acc (ops, times) -> acc + (List.length ops * times))
+    0
+    (Cluster.dynamic_ops c ~profile)
+
+let pre_select t ~profile ~n_max =
+  let no_asic _ = false in
+  let candidates =
+    List.filter
+      (fun (c : Cluster.t) ->
+        Cluster.asic_candidate c && dynamic_work t ~profile c.cid > 0)
+      t.chain
+  in
+  let scored =
+    List.map
+      (fun (c : Cluster.t) ->
+        let e = estimate t ~in_asic:no_asic c.cid in
+        let work = dynamic_work t ~profile c.cid in
+        (* Bus energy paid per unit of profiled work: lower is better. *)
+        let score = e.energy_j /. float_of_int work in
+        (c, e, score, work))
+      candidates
+  in
+  let sorted =
+    List.sort
+      (fun (_, _, s1, w1) (_, _, s2, w2) ->
+        match compare s1 s2 with 0 -> compare w2 w1 | c -> c)
+      scored
+  in
+  List.filteri (fun i _ -> i < n_max) sorted
+  |> List.map (fun (c, e, _, _) -> (c, e))
+
+let pp_estimate ppf e =
+  Format.fprintf ppf
+    "cluster %d: uP->mem %d words, ASIC->mem %d words, E_trans %a" e.cid
+    e.n_up_to_mem e.n_asic_to_mem Lp_tech.Units.pp_energy e.energy_j

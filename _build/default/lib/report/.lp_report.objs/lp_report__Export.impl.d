@@ -1,0 +1,1 @@
+lib/report/export.ml: Buffer Char List Lp_cluster Lp_core Lp_graph Lp_ir Lp_system Lp_tech Printf String

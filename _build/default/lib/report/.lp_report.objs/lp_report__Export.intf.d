@@ -1,0 +1,1 @@
+lib/report/export.mli: Lp_cluster Lp_core Lp_ir

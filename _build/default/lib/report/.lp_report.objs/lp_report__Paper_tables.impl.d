@@ -1,0 +1,1 @@
+lib/report/paper_tables.ml: Buffer Float Format List Lp_cluster Lp_core Lp_isa Lp_iss Lp_preselect Lp_system Lp_tech Printf String Table

@@ -1,0 +1,1 @@
+lib/report/paper_tables.mli: Lp_core Lp_system

@@ -1,0 +1,122 @@
+module Flow = Lp_core.Flow
+module System = Lp_system.System
+
+(* Minimal JSON emission: enough structure for plotting scripts without
+   pulling a dependency. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 32 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let j_str s = "\"" ^ json_escape s ^ "\""
+let j_int n = string_of_int n
+let j_float x = Printf.sprintf "%.6g" x
+let j_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> j_str k ^ ":" ^ v) fields) ^ "}"
+let j_arr items = "[" ^ String.concat "," items ^ "]"
+
+let report_json (r : System.report) =
+  j_obj
+    [
+      ("icache_j", j_float r.System.icache_j);
+      ("dcache_j", j_float r.System.dcache_j);
+      ("mem_j", j_float r.System.mem_j);
+      ("bus_j", j_float r.System.bus_j);
+      ("up_j", j_float r.System.up_j);
+      ("asic_j", j_float r.System.asic_j);
+      ("total_j", j_float (System.total_energy_j r));
+      ("up_cycles", j_int r.System.up_cycles);
+      ("stall_cycles", j_int r.System.stall_cycles);
+      ("asic_cycles", j_int r.System.asic_cycles);
+      ("total_cycles", j_int (System.total_cycles r));
+      ("instructions", j_int r.System.instr_count);
+    ]
+
+let core_json (c : Flow.core) =
+  j_obj
+    [
+      ("clusters", j_arr (List.map j_int c.Flow.core_cids));
+      ("cells", j_int c.Flow.core_cells);
+      ("power_w", j_float c.Flow.core_power_w);
+      ("gate_energy_j", j_float c.Flow.core_gate_energy_j);
+      ( "instances",
+        j_arr
+          (List.map
+             (fun (k, n) ->
+               j_obj
+                 [
+                   ("kind", j_str (Lp_tech.Resource.kind_to_string k));
+                   ("count", j_int n);
+                 ])
+             c.Flow.core_instances) );
+    ]
+
+let result_json (r : Flow.result) =
+  j_obj
+    [
+      ("app", j_str r.Flow.name);
+      ("energy_saving", j_float r.Flow.energy_saving);
+      ("time_change", j_float r.Flow.time_change);
+      ("total_cells", j_int r.Flow.total_cells);
+      ("clusters", j_int (List.length r.Flow.chain));
+      ("preselected", j_int (List.length r.Flow.preselected));
+      ("candidates", j_int (List.length r.Flow.candidates));
+      ( "selected",
+        j_arr
+          (List.map
+             (fun s ->
+               j_int
+                 s.Flow.candidate.Lp_core.Candidate.cluster
+                   .Lp_cluster.Cluster.cid)
+             r.Flow.selected) );
+      ("initial", report_json r.Flow.initial);
+      ("partitioned", report_json r.Flow.partitioned);
+      ("cores", j_arr (List.map core_json r.Flow.cores));
+    ]
+
+let results_json rs = j_arr (List.map result_json rs)
+
+let dfg_dot dfg =
+  Lp_graph.Dot.render ~name:"dfg"
+    ~node_label:(fun v ->
+      let info = Lp_ir.Dfg.node_info dfg v in
+      match info.Lp_ir.Dfg.array with
+      | Some a -> Printf.sprintf "%d: %s[%s]" v (Lp_tech.Op.to_string info.Lp_ir.Dfg.op) a
+      | None -> Printf.sprintf "%d: %s" v (Lp_tech.Op.to_string info.Lp_ir.Dfg.op))
+    ~node_attrs:(fun v ->
+      match (Lp_ir.Dfg.node_info dfg v).Lp_ir.Dfg.op with
+      | Lp_tech.Op.Load | Lp_tech.Op.Store -> [ ("shape", "box") ]
+      | Lp_tech.Op.Mul | Lp_tech.Op.Div | Lp_tech.Op.Mod ->
+          [ ("shape", "diamond") ]
+      | _ -> [])
+    (Lp_ir.Dfg.graph dfg)
+
+let chain_dot chain =
+  let g = Lp_graph.Digraph.create () in
+  ignore (Lp_graph.Digraph.add_nodes g (List.length chain));
+  List.iter
+    (fun (c : Lp_cluster.Cluster.t) ->
+      if c.cid > 0 then Lp_graph.Digraph.add_edge g (c.cid - 1) c.cid)
+    chain;
+  Lp_graph.Dot.render ~name:"chain"
+    ~node_label:(fun v ->
+      let c = List.nth chain v in
+      Printf.sprintf "c%d\n%s" v
+        (match c.Lp_cluster.Cluster.kind with
+        | Lp_cluster.Cluster.Loop -> "loop"
+        | Lp_cluster.Cluster.Branch -> "branch"
+        | Lp_cluster.Cluster.Straight -> "straight"))
+    ~node_attrs:(fun v ->
+      if Lp_cluster.Cluster.asic_candidate (List.nth chain v) then
+        [ ("shape", "box"); ("style", "rounded") ]
+      else [ ("shape", "box"); ("style", "dashed") ])
+    g

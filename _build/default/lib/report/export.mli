@@ -1,0 +1,16 @@
+(** Machine-readable exports of flow results: JSON summaries for
+    plotting/regression tracking, dot files for the graph artifacts. *)
+
+val result_json : Lp_core.Flow.result -> string
+(** One application's result as a JSON object: per-core energy
+    breakdown of both designs, cycle counts, savings, selected
+    clusters, synthesised cores. Self-contained (no external schema). *)
+
+val results_json : Lp_core.Flow.result list -> string
+(** A JSON array of {!result_json} objects. *)
+
+val dfg_dot : Lp_ir.Dfg.t -> string
+(** A segment DFG as graphviz, operation labels on the nodes. *)
+
+val chain_dot : Lp_cluster.Cluster.chain -> string
+(** The cluster chain as a linear graphviz chain (Fig. 2b). *)

@@ -1,0 +1,190 @@
+module Flow = Lp_core.Flow
+module System = Lp_system.System
+module Units = Lp_tech.Units
+
+let energy_str x = Units.energy_to_string x
+
+let int_str n =
+  (* Group thousands the way the paper prints cycle counts. *)
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ',';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let report_row name tag (r : System.report) ~sav ~chg =
+  [
+    Printf.sprintf "%s %s" name tag;
+    energy_str r.System.icache_j;
+    energy_str r.System.dcache_j;
+    energy_str (r.System.mem_j +. r.System.bus_j);
+    energy_str r.System.up_j;
+    (if r.System.asic_j > 0.0 then energy_str r.System.asic_j else "n/a");
+    energy_str (System.total_energy_j r);
+    sav;
+    int_str (r.System.up_cycles + r.System.stall_cycles);
+    (if r.System.asic_cycles > 0 then int_str r.System.asic_cycles else "n/a");
+    int_str (System.total_cycles r);
+    chg;
+  ]
+
+let table1 results =
+  let header =
+    [
+      "App.";
+      "i-cache";
+      "d-cache";
+      "mem+bus";
+      "uP core";
+      "ASIC core";
+      "total";
+      "Sav%";
+      "uP cyc";
+      "ASIC cyc";
+      "total cyc";
+      "Chg%";
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (r : Flow.result) ->
+        let sav = Printf.sprintf "%.2f" (-100.0 *. r.Flow.energy_saving) in
+        let chg = Printf.sprintf "%+.2f" (100.0 *. r.Flow.time_change) in
+        [
+          report_row r.Flow.name "I" r.Flow.initial ~sav:"" ~chg:"";
+          report_row r.Flow.name "P" r.Flow.partitioned ~sav ~chg;
+        ])
+      results
+  in
+  Table.render ~header rows
+
+let bar ?(scale = 0.5) value =
+  let n = int_of_float (Float.abs value *. scale) in
+  String.make (min n 60) (if value >= 0.0 then '#' else '<')
+
+let fig6 results =
+  let header = [ "App."; "energy saving %"; ""; "time change %"; "" ] in
+  let rows =
+    List.map
+      (fun (r : Flow.result) ->
+        let sav = 100.0 *. r.Flow.energy_saving in
+        let chg = 100.0 *. r.Flow.time_change in
+        [
+          r.Flow.name;
+          Printf.sprintf "%.2f" sav;
+          bar sav;
+          Printf.sprintf "%+.2f" chg;
+          bar chg;
+        ])
+      results
+  in
+  Table.render ~header rows
+
+let fig6_csv results =
+  Table.render_csv
+    ~header:[ "app"; "energy_saving_pct"; "time_change_pct" ]
+    (List.map
+       (fun (r : Flow.result) ->
+         [
+           r.Flow.name;
+           Printf.sprintf "%.4f" (100.0 *. r.Flow.energy_saving);
+           Printf.sprintf "%.4f" (100.0 *. r.Flow.time_change);
+         ])
+       results)
+
+let hardware_cost results =
+  let header =
+    [ "App."; "core (clusters)"; "bound instances"; "cells"; "total cells" ]
+  in
+  let instances_str insts =
+    String.concat "+"
+      (List.map
+         (fun (k, n) ->
+           Printf.sprintf "%d%s" n (Lp_tech.Resource.kind_to_string k))
+         insts)
+  in
+  let rows =
+    List.concat_map
+      (fun (r : Flow.result) ->
+        match r.Flow.cores with
+        | [] -> [ [ r.Flow.name; "none"; "-"; "-"; "0" ] ]
+        | cores ->
+            List.mapi
+              (fun i (c : Flow.core) ->
+                [
+                  (if i = 0 then r.Flow.name else "");
+                  String.concat "," (List.map string_of_int c.Flow.core_cids);
+                  instances_str c.Flow.core_instances;
+                  int_str c.Flow.core_cells;
+                  (if i = 0 then int_str r.Flow.total_cells else "");
+                ])
+              cores)
+      results
+  in
+  Table.render ~header rows
+
+let partition_detail (r : Flow.result) =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (fun s -> Buffer.add_string buf (s ^ "\n")) fmt in
+  add "application %s: %d clusters in chain" r.Flow.name (List.length r.Flow.chain);
+  List.iter
+    (fun ((c : Lp_cluster.Cluster.t), (e : Lp_preselect.Preselect.estimate)) ->
+      add "  preselected cluster %d: E_trans=%s (uP->mem %d, ASIC->mem %d words)"
+        c.Lp_cluster.Cluster.cid
+        (energy_str e.Lp_preselect.Preselect.energy_j)
+        e.Lp_preselect.Preselect.n_up_to_mem
+        e.Lp_preselect.Preselect.n_asic_to_mem)
+    r.Flow.preselected;
+  List.iter
+    (fun (c : Lp_core.Candidate.t) ->
+      add "  candidate: %s" (Format.asprintf "%a" Lp_core.Candidate.pp c))
+    r.Flow.candidates;
+  List.iter
+    (fun (s : Flow.selected) ->
+      let c = s.Flow.candidate in
+      add "  SELECTED cluster %d on %s: cells=%d gate-energy=%s power=%.1fmW"
+        c.Lp_core.Candidate.cluster.Lp_cluster.Cluster.cid
+        (Format.asprintf "%a" Lp_tech.Resource_set.pp c.Lp_core.Candidate.rset)
+        c.Lp_core.Candidate.cells
+        (energy_str s.Flow.gate_energy_j)
+        (1000.0 *. s.Flow.power_w))
+    r.Flow.selected;
+  Buffer.contents buf
+
+let opclass_name : Lp_isa.Isa.opclass -> string = function
+  | Lp_isa.Isa.C_alu -> "alu"
+  | Lp_isa.Isa.C_shift -> "shift"
+  | Lp_isa.Isa.C_mul -> "mul"
+  | Lp_isa.Isa.C_div -> "div"
+  | Lp_isa.Isa.C_move -> "move"
+  | Lp_isa.Isa.C_load -> "load"
+  | Lp_isa.Isa.C_store -> "store"
+  | Lp_isa.Isa.C_branch -> "branch"
+  | Lp_isa.Isa.C_jump -> "jump"
+  | Lp_isa.Isa.C_sys -> "sys"
+
+let uproc_breakdown (r : System.report) =
+  let rows =
+    List.map
+      (fun (cls, n) ->
+        let base = Lp_iss.Energy_model.base_energy_j cls in
+        let e = float_of_int n *. base in
+        [
+          opclass_name cls;
+          int_str n;
+          energy_str base;
+          energy_str e;
+          Printf.sprintf "%.1f%%" (100.0 *. e /. r.System.up_j);
+        ])
+      (List.sort
+         (fun (_, a) (_, b) -> compare b a)
+         r.System.class_counts)
+  in
+  Table.render
+    ~header:[ "class"; "instructions"; "base energy"; "total"; "share of uP" ]
+    rows

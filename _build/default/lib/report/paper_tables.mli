@@ -1,0 +1,27 @@
+(** Renders flow results in the layout of the paper's evaluation
+    artifacts: Table 1 (per-core energy + execution time, initial vs
+    partitioned) and Figure 6 (savings / time-change series). *)
+
+val table1 : Lp_core.Flow.result list -> string
+(** Two rows per application ("I" and "P"), columns: i-cache, d-cache,
+    mem, uP core, ASIC core, total energy, Sav%, uP / ASIC / total
+    cycles, Chg% — the exact shape of the paper's Table 1. *)
+
+val fig6 : Lp_core.Flow.result list -> string
+(** The Figure 6 series: energy saving (%) and execution-time change
+    (%) per application, with an ASCII bar rendering. *)
+
+val fig6_csv : Lp_core.Flow.result list -> string
+
+val hardware_cost : Lp_core.Flow.result list -> string
+(** Per-application ASIC hardware audit: clusters selected, resource
+    sets, bound instances, cell estimate (the "<16k cells" claim). *)
+
+val partition_detail : Lp_core.Flow.result -> string
+(** One application's partitioning decisions: pre-selected clusters,
+    all candidates with U_R / U_uP / cells, and what was selected. *)
+
+val uproc_breakdown : Lp_system.System.report -> string
+(** Per-opcode-class instruction counts and uP energy share — the
+    instruction-level power model's own granularity (after Tiwari et
+    al., the paper's reference [12]). *)

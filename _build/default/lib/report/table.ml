@@ -1,0 +1,34 @@
+let pad_row width row =
+  row @ List.init (max 0 (width - List.length row)) (fun _ -> "")
+
+let render ~header rows =
+  let width = List.length header in
+  let rows = List.map (pad_row width) rows in
+  let cells = header :: rows in
+  let col_width i =
+    List.fold_left (fun acc row -> max acc (String.length (List.nth row i))) 0 cells
+  in
+  let widths = List.init width col_width in
+  let render_row row =
+    String.concat "  "
+      (List.mapi
+         (fun i cell ->
+           let w = List.nth widths i in
+           if i = 0 then Printf.sprintf "%-*s" w cell
+           else Printf.sprintf "%*s" w cell)
+         row)
+  in
+  let sep =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n" (render_row header :: sep :: List.map render_row rows)
+
+let escape_csv cell =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') cell then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' cell) ^ "\""
+  else cell
+
+let render_csv ~header rows =
+  let width = List.length header in
+  let line row = String.concat "," (List.map escape_csv (pad_row width row)) in
+  String.concat "\n" (line header :: List.map line rows)

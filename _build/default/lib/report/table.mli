@@ -1,0 +1,10 @@
+(** Plain-text table rendering for the experiment reports: fixed-width
+    columns, first column left-aligned, the rest right-aligned. *)
+
+val render : header:string list -> string list list -> string
+(** [render ~header rows] lays the table out with a separator line
+    under the header. Rows shorter than the header are padded with
+    empty cells. *)
+
+val render_csv : header:string list -> string list list -> string
+(** The same data as comma-separated values (for plotting). *)

@@ -1,0 +1,1 @@
+lib/rtl/gate_energy.ml: Array Float List Lp_bind Lp_ir Lp_sched Lp_tech Netlist

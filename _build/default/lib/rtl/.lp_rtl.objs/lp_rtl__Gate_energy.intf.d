@@ -1,0 +1,1 @@
+lib/rtl/gate_energy.mli: Lp_bind Lp_tech Netlist

@@ -1,0 +1,1 @@
+lib/rtl/netlist.ml: Array Format Hashtbl List Lp_bind Lp_graph Lp_ir Lp_sched Lp_tech Option

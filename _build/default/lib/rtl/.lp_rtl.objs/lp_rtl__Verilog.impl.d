@@ -1,0 +1,1 @@
+lib/rtl/verilog.ml: Array Buffer List Lp_bind Lp_graph Lp_ir Lp_sched Lp_tech Netlist Printf String

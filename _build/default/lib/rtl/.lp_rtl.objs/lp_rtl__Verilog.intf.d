@@ -1,0 +1,1 @@
+lib/rtl/verilog.mli: Lp_bind Netlist

@@ -1,0 +1,39 @@
+(** Gate-level switching-energy estimation of a generated core (the
+    "Gate-Level Simulation / Switching Energy Calculation" box of
+    Fig. 5, line 15 of Fig. 1).
+
+    A cycle-by-cycle sweep over the bound schedule: in every control
+    step each functional unit is either {e active} (executing an
+    operation — switching activity depends on the operation class) or
+    {e idle} (still clocked: the core has no per-unit gated clocks, the
+    very premise of the paper); registers, muxes and the controller
+    toggle every cycle at their own activity. Energy per toggled gate
+    equivalent comes from {!Lp_tech.Cmos6.gate_switch_energy_j}.
+
+    The result is an estimate {e independent} of the P_av-based model
+    used inside the partitioning loop, which is the point: line 15
+    confirms the rough line-11 estimate after synthesis. *)
+
+val activity_of_op : Lp_tech.Op.t -> float
+(** Average fraction of the executing unit's gates toggling per cycle. *)
+
+val idle_activity : float
+(** Activity of a clocked-but-idle unit (clock tree + glitches). *)
+
+val reg_activity : float
+
+val mux_activity : float
+
+val fsm_activity : float
+
+val estimate :
+  Lp_bind.Bind.result ->
+  Lp_bind.Bind.segment_schedule list ->
+  Netlist.t ->
+  float
+(** Total switching energy in joules of executing the cluster with its
+    profiled iteration counts. *)
+
+val average_power_w : energy_j:float -> cycles:int -> float
+(** Convenience: energy over the runtime implied by [cycles] at the
+    system clock. *)

@@ -1,0 +1,101 @@
+module Bind = Lp_bind.Bind
+module Sched = Lp_sched.Sched
+module Resource = Lp_tech.Resource
+module Digraph = Lp_graph.Digraph
+
+type t = {
+  fus : (Resource.kind * int) list;
+  registers : int;
+  mux_inputs : int;
+  fsm_states : int;
+}
+
+let reg_geq = 220
+let mux_slice_geq = 96
+let fsm_state_geq = 12
+let control_base_geq = 250
+
+(* Values alive across a control-step boundary need a register: count
+   edges (u, v) with finish(u) <= t < start(v) for each boundary t and
+   take the maximum. *)
+let max_live (sched : Sched.t) =
+  let g = Lp_ir.Dfg.graph sched.Sched.dfg in
+  let best = ref 0 in
+  for t = 0 to sched.Sched.length - 1 do
+    let live = ref 0 in
+    Digraph.iter_edges
+      (fun u v ->
+        if Sched.finish sched u <= t && sched.Sched.start.(v) > t then incr live)
+      g;
+    if !live > !best then best := !live
+  done;
+  !best
+
+let generate (bind : Bind.result) segments =
+  let fus = bind.Bind.instances in
+  let n_fus = List.fold_left (fun acc (_, n) -> acc + n) 0 fus in
+  let pipeline_regs =
+    List.fold_left (fun acc s -> max acc (max_live s.Bind.sched)) 0 segments
+  in
+  (* Mux slices: every distinct producer beyond the first that feeds an
+     instance costs a 2:1 slice on that instance's input. *)
+  let mux_inputs = ref 0 in
+  List.iteri
+    (fun seg_i (s : Bind.segment_schedule) ->
+      ignore s;
+      let bound = bind.Bind.binding.(seg_i) in
+      let feeders = Hashtbl.create 16 in
+      List.iter
+        (fun (v, (inst : Bind.instance)) ->
+          let g =
+            Lp_ir.Dfg.graph (List.nth segments seg_i).Bind.sched.Sched.dfg
+          in
+          List.iter
+            (fun u ->
+              let key = (inst.Bind.res_kind, inst.Bind.index) in
+              let srcs =
+                Option.value ~default:[] (Hashtbl.find_opt feeders key)
+              in
+              let src =
+                match List.assoc_opt u bound with
+                | Some i -> (i.Bind.res_kind, i.Bind.index)
+                | None -> (Resource.Mover, -1 - u)
+              in
+              if not (List.mem src srcs) then
+                Hashtbl.replace feeders key (src :: srcs))
+            (Digraph.preds g v))
+        bound;
+      Hashtbl.iter
+        (fun _ srcs ->
+          let extra = List.length srcs - 1 in
+          if extra > 0 then mux_inputs := !mux_inputs + extra)
+        feeders)
+    segments;
+  let fsm_states =
+    List.fold_left (fun acc s -> acc + s.Bind.sched.Sched.length) 0 segments
+  in
+  {
+    fus;
+    registers = n_fus + pipeline_regs;
+    mux_inputs = !mux_inputs;
+    fsm_states = max fsm_states 1;
+  }
+
+let cell_estimate t =
+  let fu_cells =
+    List.fold_left (fun acc (k, n) -> acc + (n * Resource.geq k)) 0 t.fus
+  in
+  fu_cells + (t.registers * reg_geq)
+  + (t.mux_inputs * mux_slice_geq)
+  + (t.fsm_states * fsm_state_geq)
+  + control_base_geq
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>netlist: fus=[";
+  List.iteri
+    (fun i (k, n) ->
+      if i > 0 then Format.pp_print_string ppf ", ";
+      Format.fprintf ppf "%dx%s" n (Resource.kind_to_string k))
+    t.fus;
+  Format.fprintf ppf "] regs=%d mux=%d states=%d cells=%d@]" t.registers
+    t.mux_inputs t.fsm_states (cell_estimate t)

@@ -1,0 +1,40 @@
+(** Structural datapath generation — the "HW Synthesis" box of the
+    paper's design flow (Fig. 5): behavioural compilation of the bound
+    schedule into functional units, registers, input multiplexers and an
+    FSM controller, with a standard-cell count estimate (the paper's
+    "cells", which we equate with gate equivalents).
+
+    The estimate drives two results: the objective function's hardware
+    term and the "<16k cells" hardware-cost audit of Section 4. *)
+
+type t = {
+  fus : (Lp_tech.Resource.kind * int) list;  (** functional units *)
+  registers : int;  (** 32-bit registers *)
+  mux_inputs : int;  (** total 2:1-equivalent mux slices *)
+  fsm_states : int;  (** controller states (sum of schedule lengths) *)
+}
+
+val generate :
+  Lp_bind.Bind.result -> Lp_bind.Bind.segment_schedule list -> t
+(** Derive the datapath structure from the binding: one FU per bound
+    instance, an output register per FU plus pipeline registers for the
+    maximum number of values crossing a control-step boundary, a mux
+    slice per extra distinct producer feeding an FU, and one controller
+    state per control step of every segment. *)
+
+val reg_geq : int
+(** Gate equivalents of one 32-bit register. *)
+
+val mux_slice_geq : int
+(** Gate equivalents of one 32-bit 2:1 mux slice. *)
+
+val fsm_state_geq : int
+(** Controller cost per state (one-hot next-state + output logic). *)
+
+val control_base_geq : int
+(** Fixed control/handshake overhead of any generated core. *)
+
+val cell_estimate : t -> int
+(** Total standard-cell estimate of the core. *)
+
+val pp : Format.formatter -> t -> unit

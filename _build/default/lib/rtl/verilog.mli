@@ -1,0 +1,31 @@
+(** Structural Verilog emission for a synthesised core — the tangible
+    output of the paper's "HW Synthesis" box (Fig. 5), so a generated
+    partition can be inspected (or handed to a downstream logic
+    synthesis flow) rather than existing only as an energy number.
+
+    The emitted module contains:
+
+    - a clock/reset/start/done control interface and a localparam-coded
+      FSM with one state per control step of every scheduled segment;
+    - one output register per bound functional-unit instance;
+    - per-state register transfers wired from the DFG: an operation's
+      operands are the output registers of its producers (or external
+      operand inputs when the value enters the segment from outside);
+    - a word-addressed local-buffer port for [load]/[store] operations.
+
+    Loop/branch sequencing between segments is the co-processor
+    controller's job and is emitted as the conservative linear state
+    chain with a [seg_done] annotation per segment boundary — the
+    datapath content (which is what the cell and energy models measure)
+    is complete. *)
+
+val of_core :
+  name:string ->
+  Lp_bind.Bind.result ->
+  Lp_bind.Bind.segment_schedule list ->
+  Netlist.t ->
+  string
+(** [of_core ~name bind segments netlist] renders the module text. *)
+
+val instance_reg_name : Lp_bind.Bind.instance -> string
+(** Register naming used in the emitted text, e.g. [r_mult0]. *)

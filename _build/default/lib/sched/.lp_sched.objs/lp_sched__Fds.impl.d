@@ -1,0 +1,1 @@
+lib/sched/fds.ml: Array Hashtbl List Lp_graph Lp_ir Lp_tech Sched

@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Format Hashtbl List Lp_graph Lp_ir Lp_tech

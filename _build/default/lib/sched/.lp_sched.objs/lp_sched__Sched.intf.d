@@ -1,0 +1,1 @@
+lib/sched/sched.mli: Format Lp_ir Lp_tech

@@ -1,0 +1,129 @@
+module Dfg = Lp_ir.Dfg
+module Digraph = Lp_graph.Digraph
+module Resource = Lp_tech.Resource
+
+(* Cheapest executable kind (and its latency) per operation — the same
+   smallest-first policy as the rest of the flow. *)
+let kind_of dfg v =
+  match Resource.candidates (Dfg.node_info dfg v).Dfg.op with
+  | [] -> invalid_arg "Fds: operation with no resource"
+  | (k, lat) :: _ -> (k, lat)
+
+let min_latency dfg =
+  Lp_graph.Paths.critical_path_length (Dfg.graph dfg)
+    ~weight:(fun v -> snd (kind_of dfg v))
+
+let schedule dfg ~latency =
+  let g = Dfg.graph dfg in
+  let n = Digraph.node_count g in
+  if n = 0 then
+    Some { Sched.dfg; start = [||]; kind = [||]; latency = [||]; length = 0 }
+  else if latency < min_latency dfg then None
+  else begin
+    let kind = Array.init n (fun v -> fst (kind_of dfg v)) in
+    let lat = Array.init n (fun v -> snd (kind_of dfg v)) in
+    let weight v = lat.(v) in
+    (* Mobility windows, updated as operations are fixed. *)
+    let asap = Lp_graph.Paths.longest_from_roots g ~weight in
+    let to_leaves = Lp_graph.Paths.longest_to_leaves g ~weight in
+    let alap = Array.init n (fun v -> latency - to_leaves.(v)) in
+    let fixed = Array.make n false in
+    (* Distribution graph per kind: expected occupancy per step. *)
+    let dg = Hashtbl.create 8 in
+    let dg_of k =
+      match Hashtbl.find_opt dg k with
+      | Some a -> a
+      | None ->
+          let a = Array.make latency 0.0 in
+          Hashtbl.add dg k a;
+          a
+    in
+    let add_distribution sign v =
+      let w = alap.(v) - asap.(v) + 1 in
+      let p = sign /. float_of_int w in
+      let a = dg_of kind.(v) in
+      for t0 = asap.(v) to alap.(v) do
+        for s = t0 to min (latency - 1) (t0 + lat.(v) - 1) do
+          a.(s) <- a.(s) +. p
+        done
+      done
+    in
+    Digraph.iter_nodes (fun v -> add_distribution 1.0 v) g;
+    (* Force of placing v at t: occupancy above the window average. *)
+    let force v t =
+      let a = dg_of kind.(v) in
+      let occupancy t0 =
+        let acc = ref 0.0 in
+        for s = t0 to min (latency - 1) (t0 + lat.(v) - 1) do
+          acc := !acc +. a.(s)
+        done;
+        !acc
+      in
+      let w = alap.(v) - asap.(v) + 1 in
+      let avg = ref 0.0 in
+      for t0 = asap.(v) to alap.(v) do
+        avg := !avg +. occupancy t0
+      done;
+      occupancy t -. (!avg /. float_of_int w)
+    in
+    (* Constraint propagation after fixing v at t. *)
+    let rec tighten_succs v =
+      List.iter
+        (fun w ->
+          if not fixed.(w) then begin
+            let lb = asap.(v) + lat.(v) in
+            if lb > asap.(w) then begin
+              add_distribution (-1.0) w;
+              asap.(w) <- lb;
+              add_distribution 1.0 w;
+              tighten_succs w
+            end
+          end)
+        (Digraph.succs g v)
+    and tighten_preds v =
+      List.iter
+        (fun u ->
+          if not fixed.(u) then begin
+            let ub = alap.(v) - lat.(u) in
+            if ub < alap.(u) then begin
+              add_distribution (-1.0) u;
+              alap.(u) <- ub;
+              add_distribution 1.0 u;
+              tighten_preds u
+            end
+          end)
+        (Digraph.preds g v)
+    in
+    (* Fix one operation per round: the (op, step) pair of least force
+       among the ops with the smallest remaining mobility (ties by id
+       for determinism). *)
+    for _round = 1 to n do
+      let best = ref None in
+      Digraph.iter_nodes
+        (fun v ->
+          if not fixed.(v) then
+            for t = asap.(v) to alap.(v) do
+              let f = force v t in
+              match !best with
+              | Some (_, _, f') when f' <= f -> ()
+              | _ -> best := Some (v, t, f)
+            done)
+        g;
+      match !best with
+      | None -> ()
+      | Some (v, t, _) ->
+          add_distribution (-1.0) v;
+          asap.(v) <- t;
+          alap.(v) <- t;
+          add_distribution 1.0 v;
+          fixed.(v) <- true;
+          tighten_succs v;
+          tighten_preds v
+    done;
+    let start = Array.copy asap in
+    let length =
+      Array.to_list (Array.init n (fun v -> start.(v) + lat.(v)))
+      |> List.fold_left max 0
+    in
+    Some { Sched.dfg; start; kind; latency = lat; length }
+  end

@@ -1,0 +1,26 @@
+(** Force-directed scheduling (Paulin & Knight), the classic
+    {e time-constrained} counterpart to the paper's "simple list
+    schedule": given a latency budget, place each operation in the
+    control step that best balances the expected demand on every
+    resource type, so the binder needs as few instances as possible.
+
+    Used as a comparison baseline for the evaluation's scheduling
+    ablation: the list scheduler fixes the hardware and minimises
+    latency; FDS fixes the latency and minimises hardware. Both feed
+    the same binder (Fig. 4), so utilisation rates and cell counts are
+    directly comparable.
+
+    Operations are pre-assigned their cheapest executable resource kind
+    (the same smallest-first rule the rest of the flow uses); the
+    distribution graphs are per kind. *)
+
+val schedule : Lp_ir.Dfg.t -> latency:int -> Sched.t option
+(** [schedule dfg ~latency] places every operation within [latency]
+    control steps. [None] when [latency] is below the critical path.
+    The result satisfies the same invariants as a list schedule:
+    producers finish before consumers start, every op has a start time,
+    and [length <= latency]. *)
+
+val min_latency : Lp_ir.Dfg.t -> int
+(** The critical path under the cheapest-kind latencies — the smallest
+    feasible budget. *)

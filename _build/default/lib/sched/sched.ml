@@ -1,0 +1,141 @@
+module Dfg = Lp_ir.Dfg
+module Digraph = Lp_graph.Digraph
+module Resource = Lp_tech.Resource
+module Resource_set = Lp_tech.Resource_set
+
+type t = {
+  dfg : Dfg.t;
+  start : int array;
+  kind : Resource.kind array;
+  latency : int array;
+  length : int;
+}
+
+let min_latency dfg v =
+  match Resource.candidates (Dfg.node_info dfg v).op with
+  | [] -> 1
+  | cands -> List.fold_left (fun acc (_, l) -> min acc l) max_int cands
+
+let asap dfg =
+  Lp_graph.Paths.longest_from_roots (Dfg.graph dfg) ~weight:(min_latency dfg)
+
+let critical_path dfg =
+  Lp_graph.Paths.critical_path_length (Dfg.graph dfg) ~weight:(min_latency dfg)
+
+let alap dfg ~length =
+  let to_leaves =
+    Lp_graph.Paths.longest_to_leaves (Dfg.graph dfg) ~weight:(min_latency dfg)
+  in
+  Array.map (fun d -> length - d) to_leaves
+
+let mobility dfg =
+  let len = critical_path dfg in
+  let a = asap dfg in
+  let l = alap dfg ~length:len in
+  Array.init (Array.length a) (fun i -> l.(i) - a.(i))
+
+let schedule dfg rs =
+  let g = Dfg.graph dfg in
+  let n = Digraph.node_count g in
+  if n = 0 then
+    Some { dfg; start = [||]; kind = [||]; latency = [||]; length = 0 }
+  else begin
+    (* Feasibility: every op must have a kind available in the set. *)
+    let cands_of v =
+      List.filter
+        (fun (k, _) -> Resource_set.count rs k > 0)
+        (Resource.candidates (Dfg.node_info dfg v).op)
+    in
+    let feasible = ref true in
+    for v = 0 to n - 1 do
+      if cands_of v = [] then feasible := false
+    done;
+    if not !feasible then None
+    else begin
+      (* Priority: longest path to a sink (higher = more urgent). *)
+      let priority =
+        Lp_graph.Paths.longest_to_leaves g ~weight:(min_latency dfg)
+      in
+      let start = Array.make n (-1) in
+      let kind = Array.make n Resource.Alu in
+      let latency = Array.make n 1 in
+      let unscheduled_preds = Array.init n (Digraph.in_degree g) in
+      let ready_at = Array.make n 0 (* earliest data-ready step *) in
+      (* Per kind: busy-until step of each instance. *)
+      let busy = Hashtbl.create 8 in
+      List.iter
+        (fun (k, cnt) -> Hashtbl.replace busy k (Array.make cnt 0))
+        (Resource_set.bindings rs);
+      let scheduled = ref 0 in
+      let t = ref 0 in
+      let guard = ref (10 * n * 64) in
+      while !scheduled < n && !guard > 0 do
+        decr guard;
+        let ready =
+          List.filter
+            (fun v ->
+              start.(v) < 0 && unscheduled_preds.(v) = 0 && ready_at.(v) <= !t)
+            (Digraph.nodes g)
+        in
+        let ready =
+          List.sort
+            (fun a b -> compare (priority.(b), a) (priority.(a), b))
+            ready
+        in
+        List.iter
+          (fun v ->
+            (* Smallest compatible kind with an instance free now. *)
+            let rec try_kinds = function
+              | [] -> ()
+              | (k, lat) :: rest -> (
+                  let insts = Hashtbl.find busy k in
+                  let free = ref (-1) in
+                  Array.iteri
+                    (fun i until -> if !free < 0 && until <= !t then free := i)
+                    insts;
+                  match !free with
+                  | -1 -> try_kinds rest
+                  | i ->
+                      insts.(i) <- !t + lat;
+                      start.(v) <- !t;
+                      kind.(v) <- k;
+                      latency.(v) <- lat;
+                      incr scheduled;
+                      List.iter
+                        (fun w ->
+                          unscheduled_preds.(w) <- unscheduled_preds.(w) - 1;
+                          if !t + lat > ready_at.(w) then
+                            ready_at.(w) <- !t + lat)
+                        (Digraph.succs g v))
+            in
+            try_kinds (cands_of v))
+          ready;
+        incr t
+      done;
+      assert (!scheduled = n);
+      let length =
+        Array.to_list (Array.init n (fun v -> start.(v) + latency.(v)))
+        |> List.fold_left max 0
+      in
+      Some { dfg; start; kind; latency; length }
+    end
+  end
+
+let finish s v = s.start.(v) + s.latency.(v)
+
+let ops_in_step s t =
+  List.filter
+    (fun v -> s.start.(v) <= t && t < finish s v)
+    (Digraph.nodes (Dfg.graph s.dfg))
+
+let pp ppf s =
+  Format.fprintf ppf "@[<v>schedule (%d steps, %d ops)" s.length
+    (Array.length s.start);
+  Array.iteri
+    (fun v st ->
+      Format.fprintf ppf "@,op %d (%a): step %d..%d on %a" v Lp_tech.Op.pp
+        (Dfg.node_info s.dfg v).op st
+        (st + s.latency.(v) - 1)
+        Resource.pp_kind s.kind.(v))
+    s.start;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,1 @@
+lib/system/system.ml: Array Float Format List Lp_cache Lp_compiler Lp_ir Lp_isa Lp_iss Lp_mem Lp_tech Printf

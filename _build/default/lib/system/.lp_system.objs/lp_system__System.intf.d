@@ -1,0 +1,1 @@
+lib/system/system.mli: Format Lp_cache Lp_ir Lp_isa Lp_mem

@@ -1,0 +1,1 @@
+lib/system/trace.ml: List Lp_cache Lp_compiler Lp_graph Lp_iss

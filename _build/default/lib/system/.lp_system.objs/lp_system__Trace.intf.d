@@ -1,0 +1,1 @@
+lib/system/trace.mli: Lp_cache Lp_ir

@@ -1,0 +1,332 @@
+open Lp_ir.Ast
+module Cache = Lp_cache.Cache
+module Memory = Lp_mem.Memory
+module Compiler = Lp_compiler.Compiler
+module Iss = Lp_iss.Iss
+module Cmos6 = Lp_tech.Cmos6
+
+type config = {
+  icache : Cache.config;
+  dcache : Cache.config;
+  fuel : int;
+  buffer_capacity_words : int;
+  asic_word_cycles : int;
+  peephole : bool;
+}
+
+let default_config =
+  {
+    icache = Cache.default_icache;
+    dcache = Cache.default_dcache;
+    fuel = 500_000_000;
+    buffer_capacity_words = 2048;
+    asic_word_cycles = 12;
+    peephole = false;
+  }
+
+type asic_task = {
+  acall_id : int;
+  stmts : stmt list;
+  use_scalars : string list;
+  gen_scalars : string list;
+  private_arrays : string list;
+  buffer_in_arrays : (string * int) list;
+  buffer_out_arrays : (string * int) list;
+  stream_arrays : string list;
+  power_w : float;
+  clock_scale : float;
+  seg_lengths : (int * int) list;
+}
+
+type report = {
+  outputs : int list;
+  up_cycles : int;
+  stall_cycles : int;
+  asic_cycles : int;
+  instr_count : int;
+  icache_j : float;
+  dcache_j : float;
+  mem_j : float;
+  bus_j : float;
+  up_j : float;
+  asic_j : float;
+  icache_stats : Cache.stats;
+  dcache_stats : Cache.stats;
+  mem_totals : Memory.totals;
+  asic_invocations : int;
+  class_counts : (Lp_isa.Isa.opclass * int) list;
+}
+
+let total_energy_j r =
+  r.icache_j +. r.dcache_j +. r.mem_j +. r.bus_j +. r.up_j +. r.asic_j
+
+let total_cycles r = r.up_cycles + r.stall_cycles + r.asic_cycles
+
+let runtime_s r = float_of_int (total_cycles r) *. Cmos6.clock_period_s
+
+let mailbox_name = "$mailbox"
+
+(* Execute one ASIC invocation functionally: interpret the cluster body
+   against the current shared memory, with scalars passed through the
+   mailbox array. Returns the interpreter result plus the mailbox
+   contents/array images written back. *)
+let run_asic_cluster (p : program) (layout : Compiler.layout) task machine =
+  let mailbox_slots = List.assoc task.acall_id layout.Compiler.mailbox_slots in
+  let mailbox_base = List.fold_left (fun acc (_, a) -> min acc a) max_int
+      (("", max_int) :: mailbox_slots) in
+  let n_slots = List.length mailbox_slots in
+  (* Snapshot arrays (and the mailbox) out of shared memory. *)
+  let array_decl a =
+    let base = List.assoc a.aname layout.Compiler.array_bases in
+    let img = Array.init a.size (fun i -> Iss.read_mem machine (base + i)) in
+    { aname = a.aname; size = a.size; init = Some img }
+  in
+  let arrays = List.map array_decl p.arrays in
+  let mailbox_img =
+    Array.init (max n_slots 1) (fun i ->
+        if i < n_slots then Iss.read_mem machine (mailbox_base + i) else 0)
+  in
+  let arrays =
+    arrays
+    @ [ { aname = mailbox_name; size = max n_slots 1; init = Some mailbox_img } ]
+  in
+  (* Prelude/epilogue marshal the scalars; their sid -1 keeps them out
+     of the profile. *)
+  let slot v =
+    match List.assoc_opt v mailbox_slots with
+    | Some addr -> addr - mailbox_base
+    | None -> invalid_arg ("System: no mailbox slot for " ^ v)
+  in
+  (* Every mailbox scalar is loaded, not only the uses: gen is
+     may-write, and an unwritten scalar must round-trip unchanged. *)
+  let prelude =
+    List.map
+      (fun (v, _) ->
+        { sid = -1; node = Assign (v, Load (mailbox_name, Int (slot v))) })
+      mailbox_slots
+  in
+  let epilogue =
+    List.map
+      (fun v ->
+        { sid = -1; node = Store (mailbox_name, Int (slot v), Var v) })
+      task.gen_scalars
+  in
+  let scalars = List.map fst mailbox_slots in
+  let mini =
+    {
+      arrays;
+      funcs =
+        [
+          {
+            fname = "$asic";
+            params = [];
+            locals = scalars;
+            body = prelude @ task.stmts @ epilogue;
+          };
+        ];
+      entry = "$asic";
+    }
+  in
+  let result = Lp_ir.Interp.run mini in
+  (* Write results back to shared memory. *)
+  List.iter
+    (fun (name, img) ->
+      if name = mailbox_name then
+        Array.iteri
+          (fun i v -> if i < n_slots then Iss.write_mem machine (mailbox_base + i) v)
+          img
+      else begin
+        let base = List.assoc name layout.Compiler.array_bases in
+        Array.iteri (fun i v -> Iss.write_mem machine (base + i) v) img
+      end)
+    result.Lp_ir.Interp.final_arrays;
+  List.iter (fun v -> Iss.push_output machine v) result.Lp_ir.Interp.outputs;
+  result
+
+type accounting = {
+  mutable asic_energy : float;
+  mutable asic_invocations : int;
+}
+
+let run ?(config = default_config) ?(tasks = []) (p : program) =
+  let stubs =
+    List.map
+      (fun t ->
+        {
+          Compiler.acall_id = t.acall_id;
+          top_sids = List.map (fun s -> s.sid) t.stmts;
+          use_scalars = t.use_scalars;
+          gen_scalars = t.gen_scalars;
+        })
+      tasks
+  in
+  let prog, layout = Compiler.compile ~stubs ~peephole:config.peephole p in
+  let icache = Cache.create config.icache in
+  let dcache = Cache.create config.dcache in
+  let mem = Memory.create () in
+  let acc = { asic_energy = 0.0; asic_invocations = 0 } in
+  (* Word-address window of the uncached mailbox region. *)
+  let mailbox_lo = layout.Compiler.mailbox_base in
+  let mailbox_hi = layout.Compiler.stack_top - Compiler.stack_words in
+  let data_word_of_byte a = (a - 0x100000) / 4 in
+  let charge_line_traffic ev =
+    Memory.mem_read_words mem ev.Cache.fill_words;
+    Memory.bus_read_words mem ev.Cache.fill_words;
+    Memory.mem_write_words mem ev.Cache.writeback_words;
+    Memory.bus_write_words mem ev.Cache.writeback_words;
+    Memory.mem_write_words mem ev.Cache.through_words;
+    Memory.bus_write_words mem ev.Cache.through_words;
+    let words =
+      ev.Cache.fill_words + ev.Cache.writeback_words + ev.Cache.through_words
+    in
+    if ev.Cache.hit then 0 else Memory.miss_penalty_cycles ~words
+  in
+  let ifetch addr =
+    let ev = Cache.read icache addr in
+    charge_line_traffic ev
+  in
+  let dread addr =
+    let w = data_word_of_byte addr in
+    if w >= mailbox_lo && w < mailbox_hi then begin
+      (* Uncached handover word: straight over the bus. *)
+      Memory.mem_read_word mem;
+      Memory.bus_read_words mem 1;
+      Memory.miss_penalty_cycles ~words:1
+    end
+    else charge_line_traffic (Cache.read dcache addr)
+  in
+  let dwrite addr =
+    let w = data_word_of_byte addr in
+    if w >= mailbox_lo && w < mailbox_hi then begin
+      Memory.mem_write_word mem;
+      Memory.bus_write_words mem 1;
+      Memory.miss_penalty_cycles ~words:1
+    end
+    else charge_line_traffic (Cache.write dcache addr)
+  in
+  let task_of_id k =
+    match List.find_opt (fun t -> t.acall_id = k) tasks with
+    | Some t -> t
+    | None -> raise (Iss.Runtime_error (Printf.sprintf "unknown acall %d" k))
+  in
+  let acall machine k =
+    let task = task_of_id k in
+    acc.asic_invocations <- acc.asic_invocations + 1;
+    (* Coherence: push dirty uP lines to memory before the ASIC reads
+       it, and invalidate so the uP re-reads what the ASIC wrote. *)
+    let wb = Cache.flush dcache in
+    Memory.mem_write_words mem wb;
+    Memory.bus_write_words mem wb;
+    let handshake_cycles = Memory.miss_penalty_cycles ~words:wb in
+    let result = run_asic_cluster p layout task machine in
+    (* Execution cycles: schedule length times profiled iterations,
+       scaled by the core's clock ratio (an FSM core clocks at its
+       slowest functional unit). *)
+    let exec_cycles =
+      List.fold_left
+        (fun cyc (anchor, len) ->
+          cyc + (len * Lp_ir.Interp.ex_times result anchor))
+        0 task.seg_lengths
+    in
+    let exec_cycles =
+      int_of_float (Float.ceil (float_of_int exec_cycles *. task.clock_scale))
+    in
+    (* Burst copies: small shared arrays move through the local buffer
+       once per invocation, page-mode (one word per cycle + startup). *)
+    let burst_in =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 task.buffer_in_arrays
+    in
+    let burst_out =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 task.buffer_out_arrays
+    in
+    Memory.mem_read_words mem burst_in;
+    Memory.bus_read_words mem burst_in;
+    Memory.mem_write_words mem burst_out;
+    Memory.bus_write_words mem burst_out;
+    let burst_cycles =
+      (if burst_in > 0 then burst_in + 8 else 0)
+      + if burst_out > 0 then burst_out + 8 else 0
+    in
+    (* Oversized shared arrays stream word by word at their dynamic
+       access counts; private arrays live entirely in the local buffer
+       (their traffic is covered by the memory-port power). *)
+    let stream_words get =
+      List.fold_left
+        (fun acc (a, n) ->
+          if List.mem a task.stream_arrays then acc + n else acc)
+        0 (get result)
+    in
+    let stream_in = stream_words (fun r -> r.Lp_ir.Interp.array_reads) in
+    let stream_out = stream_words (fun r -> r.Lp_ir.Interp.array_writes) in
+    Memory.mem_read_words mem stream_in;
+    Memory.bus_read_words mem stream_in;
+    Memory.mem_write_words mem stream_out;
+    Memory.bus_write_words mem stream_out;
+    (* Mailbox handover on the ASIC side: every slot word is read (gen
+       scalars must round-trip), the gen words are written back. *)
+    let n_slots =
+      match List.assoc_opt task.acall_id layout.Compiler.mailbox_slots with
+      | Some slots -> List.length slots
+      | None -> 0
+    in
+    let n_use = n_slots in
+    let n_gen = List.length task.gen_scalars in
+    Memory.mem_read_words mem n_use;
+    Memory.bus_read_words mem n_use;
+    Memory.mem_write_words mem n_gen;
+    Memory.bus_write_words mem n_gen;
+    (* Streamed and mailbox words are single-word non-burst bus
+       transactions: arbitration + non-page DRAM + coherence, every
+       word. *)
+    let word_cost = config.asic_word_cycles in
+    let total_cycles =
+      handshake_cycles + exec_cycles + burst_cycles
+      + (word_cost * (stream_in + stream_out + n_use + n_gen))
+    in
+    Iss.add_asic_cycles machine total_cycles;
+    acc.asic_energy <-
+      acc.asic_energy
+      +. (task.power_w *. float_of_int total_cycles *. Cmos6.clock_period_s)
+  in
+  let hooks = { Iss.ifetch; dread; dwrite; acall } in
+  let machine = Iss.create ~fuel:config.fuel prog hooks in
+  List.iter
+    (fun (base, img) -> Iss.load_data machine base img)
+    (Compiler.initial_data p layout);
+  Iss.run machine;
+  let r = Iss.result machine in
+  let mem_totals = Memory.totals mem in
+  let run_s =
+    float_of_int (r.Iss.up_cycles + r.Iss.stall_cycles + r.Iss.asic_cycles)
+    *. Cmos6.clock_period_s
+  in
+  {
+    outputs = r.Iss.outputs;
+    up_cycles = r.Iss.up_cycles;
+    stall_cycles = r.Iss.stall_cycles;
+    asic_cycles = r.Iss.asic_cycles;
+    instr_count = r.Iss.instr_count;
+    icache_j = (Cache.stats icache).Cache.energy_j;
+    dcache_j = (Cache.stats dcache).Cache.energy_j;
+    mem_j =
+      mem_totals.Memory.mem_access_energy_j
+      +. Memory.standby_energy_j ~runtime_s:run_s;
+    bus_j = mem_totals.Memory.bus_energy_j;
+    up_j = r.Iss.up_energy_j;
+    asic_j = acc.asic_energy;
+    icache_stats = Cache.stats icache;
+    dcache_stats = Cache.stats dcache;
+    mem_totals;
+    asic_invocations = acc.asic_invocations;
+    class_counts = r.Iss.class_counts;
+  }
+
+let pp_report ppf r =
+  let u = Lp_tech.Units.pp_energy in
+  Format.fprintf ppf
+    "@[<v>i-cache %a | d-cache %a | mem %a | bus %a | uP %a | ASIC %a | \
+     total %a@,\
+     cycles: uP %d + stall %d + ASIC %d = %d (%d instrs, %d acalls)@]" u
+    r.icache_j u r.dcache_j u r.mem_j u r.bus_j u r.up_j u r.asic_j u
+    (total_energy_j r) r.up_cycles r.stall_cycles r.asic_cycles
+    (total_cycles r) r.instr_count r.asic_invocations

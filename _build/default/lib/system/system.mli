@@ -1,0 +1,100 @@
+(** Whole-system co-simulation: uP core + instruction cache + data
+    cache + main memory + shared bus + optional ASIC cores.
+
+    This produces the per-core energy and cycle numbers of the paper's
+    Table 1. Every word that moves is charged where it physically moves:
+    instruction fetches in the i-cache, data accesses in the d-cache,
+    line fills/write-backs and uncached mailbox words in the memory and
+    bus accounts, instruction execution in the uP core, and ASIC-cluster
+    execution in the ASIC account.
+
+    Architecture (paper Fig. 2a): uP and ASIC communicate through the
+    shared memory. Scalars are handed over through a per-cluster
+    {e mailbox} region which is uncached (so handovers really cross the
+    bus); before an ASIC core runs, the d-cache is flushed so the ASIC
+    sees, and leaves behind, a coherent main memory.
+
+    Arrays private to the ASIC (never touched by software clusters) live
+    in ASIC-local buffers: their element traffic is covered by the
+    memory-port power of the ASIC datapath and does not hit the shared
+    memory. Shared arrays are streamed over the bus at their dynamic
+    access counts. *)
+
+type config = {
+  icache : Lp_cache.Cache.config;
+  dcache : Lp_cache.Cache.config;
+  fuel : int;
+  buffer_capacity_words : int;
+      (** ASIC-local SRAM capacity: a shared array no larger than this
+          is burst-copied in/out once per invocation; a larger one is
+          streamed word by word (default 2048 words = 8 KiB) *)
+  asic_word_cycles : int;
+      (** cost of one ASIC single-word shared-memory transaction:
+          bus arbitration + non-page-mode DRAM access + coherence
+          snoop — unlike the uP's page-mode line bursts (default 12) *)
+  peephole : bool;
+      (** run the assembly peephole optimiser (default off: software
+          code quality is an experimental axis of its own — see the
+          bench harness's ablations) *)
+}
+
+val default_config : config
+
+(** One ASIC-mapped cluster, as the partitioner hands it over. *)
+type asic_task = {
+  acall_id : int;
+  stmts : Lp_ir.Ast.stmt list;  (** cluster body (straight from the IR) *)
+  use_scalars : string list;  (** mailbox in *)
+  gen_scalars : string list;  (** mailbox out *)
+  private_arrays : string list;  (** held in ASIC-local buffers *)
+  buffer_in_arrays : (string * int) list;
+      (** shared arrays (name, words) burst-copied into the local
+          buffer at invocation start *)
+  buffer_out_arrays : (string * int) list;
+      (** shared arrays burst-copied back at completion *)
+  stream_arrays : string list;
+      (** shared arrays too large to buffer: every dynamic access is a
+          single-word bus transaction *)
+  power_w : float;  (** average power of the serving core *)
+  clock_scale : float;
+      (** core clock period relative to the system clock: an FSM core
+          clocks at its slowest functional unit + mux/control margin *)
+  seg_lengths : (int * int) list;
+      (** (anchor sid, schedule length) per segment: cycles of one
+          segment execution *)
+}
+
+type report = {
+  outputs : int list;
+  up_cycles : int;
+  stall_cycles : int;
+  asic_cycles : int;
+  instr_count : int;
+  icache_j : float;
+  dcache_j : float;
+  mem_j : float;  (** memory access + standby *)
+  bus_j : float;
+  up_j : float;
+  asic_j : float;
+  icache_stats : Lp_cache.Cache.stats;
+  dcache_stats : Lp_cache.Cache.stats;
+  mem_totals : Lp_mem.Memory.totals;
+  asic_invocations : int;
+  class_counts : (Lp_isa.Isa.opclass * int) list;
+      (** executed instructions per opcode class — the instruction-level
+          power model's native granularity (Tiwari-style) *)
+}
+
+val total_energy_j : report -> float
+val total_cycles : report -> int
+val runtime_s : report -> float
+
+val run : ?config:config -> ?tasks:asic_task list -> Lp_ir.Ast.program -> report
+(** [run p] compiles and simulates [p]. With [tasks], the corresponding
+    clusters execute on ASIC cores ([Acall] handshake); without, the
+    whole program runs in software — the paper's initial design "I".
+
+    The observable outputs are independent of the partitioning; the
+    differential tests rely on that. *)
+
+val pp_report : Format.formatter -> report -> unit

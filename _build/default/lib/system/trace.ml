@@ -1,0 +1,66 @@
+module Cache = Lp_cache.Cache
+module Compiler = Lp_compiler.Compiler
+module Iss = Lp_iss.Iss
+
+type event = Ifetch of int | Dread of int | Dwrite of int
+
+type t = { events : event Lp_graph.Vec.t }
+
+let capture ?(fuel = 200_000_000) p =
+  let trace = { events = Lp_graph.Vec.create () } in
+  let prog, layout = Compiler.compile p in
+  let push e =
+    Lp_graph.Vec.push trace.events e;
+    0 (* no stalls: the trace tool has no memory system *)
+  in
+  let hooks =
+    {
+      Iss.ifetch = (fun a -> push (Ifetch a));
+      dread = (fun a -> push (Dread a));
+      dwrite = (fun a -> push (Dwrite a));
+      acall = (fun _ _ -> raise (Iss.Runtime_error "trace capture is software-only"));
+    }
+  in
+  let m = Iss.create ~fuel prog hooks in
+  List.iter
+    (fun (base, img) -> Iss.load_data m base img)
+    (Compiler.initial_data p layout);
+  Iss.run m;
+  trace
+
+let length t = Lp_graph.Vec.length t.events
+
+let events t = Lp_graph.Vec.to_array t.events
+
+let replay t ~icache ~dcache =
+  let ic = Cache.create icache in
+  let dc = Cache.create dcache in
+  Lp_graph.Vec.iter
+    (fun e ->
+      match e with
+      | Ifetch a -> ignore (Cache.read ic a)
+      | Dread a -> ignore (Cache.read dc a)
+      | Dwrite a -> ignore (Cache.write dc a))
+    t.events;
+  (Cache.stats ic, Cache.stats dc)
+
+let sweep_dcache t configs =
+  List.map
+    (fun cfg ->
+      let dc = Cache.create cfg in
+      Lp_graph.Vec.iter
+        (fun e ->
+          match e with
+          | Ifetch _ -> ()
+          | Dread a -> ignore (Cache.read dc a)
+          | Dwrite a -> ignore (Cache.write dc a))
+        t.events;
+      (cfg, Cache.stats dc))
+    configs
+
+let miss_rate (s : Cache.stats) =
+  let accesses = s.Cache.reads + s.Cache.writes in
+  if accesses = 0 then 0.0
+  else
+    float_of_int (s.Cache.read_misses + s.Cache.write_misses)
+    /. float_of_int accesses

@@ -1,0 +1,1 @@
+lib/tech/battery.ml: Format

@@ -1,0 +1,1 @@
+lib/tech/cmos6.mli:

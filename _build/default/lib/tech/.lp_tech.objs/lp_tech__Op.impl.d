@@ -1,0 +1,1 @@
+lib/tech/op.ml: Format Stdlib

@@ -1,0 +1,1 @@
+lib/tech/op.mli: Format

@@ -1,0 +1,1 @@
+lib/tech/resource.ml: Format List Op Option Stdlib Units

@@ -1,0 +1,1 @@
+lib/tech/resource.mli: Format Op

@@ -1,0 +1,1 @@
+lib/tech/resource_set.ml: Format List Option Printf Resource

@@ -1,0 +1,1 @@
+lib/tech/resource_set.mli: Format Op Resource

@@ -1,0 +1,1 @@
+lib/tech/units.ml: Float Format

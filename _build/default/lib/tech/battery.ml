@@ -1,0 +1,30 @@
+type t = {
+  label : string;
+  capacity_mah : float;
+  voltage_v : float;
+  usable_fraction : float;
+}
+
+let nimh_aa_pair =
+  { label = "2x NiMH AA"; capacity_mah = 1100.0; voltage_v = 2.4; usable_fraction = 0.8 }
+
+let li_ion_phone =
+  { label = "Li-ion 750mAh"; capacity_mah = 750.0; voltage_v = 3.6; usable_fraction = 0.85 }
+
+let coin_cell =
+  { label = "CR2032"; capacity_mah = 220.0; voltage_v = 3.0; usable_fraction = 0.7 }
+
+let usable_energy_j b =
+  b.capacity_mah /. 1000.0 *. 3600.0 *. b.voltage_v *. b.usable_fraction
+
+let lifetime_s b ~avg_power_w =
+  if avg_power_w <= 0.0 then
+    invalid_arg "Battery.lifetime_s: power must be positive";
+  usable_energy_j b /. avg_power_w
+
+let lifetime_hours b ~avg_power_w = lifetime_s b ~avg_power_w /. 3600.0
+
+let pp_lifetime ppf seconds =
+  let hours = seconds /. 3600.0 in
+  if hours < 48.0 then Format.fprintf ppf "%.1f h" hours
+  else Format.fprintf ppf "%.1f d" (hours /. 24.0)

@@ -1,0 +1,38 @@
+(** Battery-lifetime model — the paper's opening motivation made
+    quantitative: "mobile computing devices (like cell phones, PDAs,
+    digital cameras etc.) draw their current from batteries, thus
+    limiting the amount of energy that can be consumed between two
+    re-charging phases. Hence, minimizing the power consumption of
+    those systems means to increase the device's 'mobility'".
+
+    Given a battery's usable energy and a system's average power, the
+    runtime between charges follows directly; the examples use it to
+    express Table 1's savings in hours of device life. *)
+
+type t = {
+  label : string;
+  capacity_mah : float;
+  voltage_v : float;
+  usable_fraction : float;
+      (** derating for cutoff voltage, self-discharge, converter loss *)
+}
+
+val nimh_aa_pair : t
+(** Two 1999-class NiMH AA cells: 1100 mAh at 2.4 V, 80 % usable. *)
+
+val li_ion_phone : t
+(** An early lithium-ion phone pack: 750 mAh at 3.6 V, 85 % usable. *)
+
+val coin_cell : t
+(** CR2032-class: 220 mAh at 3.0 V, 70 % usable. *)
+
+val usable_energy_j : t -> float
+
+val lifetime_s : t -> avg_power_w:float -> float
+(** Runtime at a sustained average power.
+    @raise Invalid_argument when the power is not positive. *)
+
+val lifetime_hours : t -> avg_power_w:float -> float
+
+val pp_lifetime : Format.formatter -> float -> unit
+(** Seconds rendered as hours/days, e.g. [37.2 h] or [5.3 d]. *)

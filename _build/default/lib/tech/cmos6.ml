@@ -1,0 +1,39 @@
+let feature_size_um = 0.8
+let vdd_v = 3.3
+let vt_v = 0.8
+
+let voltage_energy_ratio v = (v /. vdd_v) ** 2.0
+
+let delay v = v /. ((v -. vt_v) ** 2.0)
+
+let voltage_delay_ratio v =
+  if v <= vt_v then invalid_arg "Cmos6.voltage_delay_ratio: v <= Vt";
+  delay v /. delay vdd_v
+let clock_mhz = 20.0
+let clock_period_s = Units.mhz_period_s clock_mhz
+
+(* One gate equivalent at 0.8u carries roughly 50 fF of switched
+   capacitance; E = C * Vdd^2 ~= 0.54 pJ per transition. *)
+let gate_switch_energy_j = 50e-15 *. vdd_v *. vdd_v
+
+(* An off-core bus line (pad, package, board trace) is two orders of
+   magnitude heavier than an internal net. *)
+let bus_wire_capacitance_f = 15e-12
+let bus_width_bits = 32
+
+let bus_line_energy_j = bus_wire_capacitance_f *. vdd_v *. vdd_v
+
+(* Average activity: half the lines toggle per transferred word. Writes
+   additionally drive the heavier memory-side drivers. *)
+let bus_read_energy_j = 0.5 *. float_of_int bus_width_bits *. bus_line_energy_j
+let bus_write_energy_j = 1.25 *. bus_read_energy_j
+
+(* SRAM primitives for the analytic cache model (Kamble/Ghose-style
+   decomposition: decoder + wordline + bitlines + sense amplifiers). *)
+let sram_bitline_energy_j = 1.2e-12 *. vdd_v (* partial bitline swing *)
+let sram_wordline_energy_j = 2.0e-12 *. vdd_v *. vdd_v
+let sram_sense_energy_j = 0.4e-12 *. vdd_v *. vdd_v
+let sram_decode_energy_j = 0.8e-12 *. vdd_v *. vdd_v
+
+let dram_access_energy_j = 12e-9
+let dram_standby_power_w = 1.5e-3

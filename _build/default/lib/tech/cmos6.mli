@@ -1,0 +1,70 @@
+(** Process and system constants of the synthetic "CMOS6" technology.
+
+    The paper's gate-level and analytical models are driven by NEC's
+    proprietary CMOS6 standard-cell library on a 0.8 micron process; this
+    module is our stand-in. All values are representative of published
+    0.8u, 3.3 V data (SPARClite-class embedded systems of the late 90s)
+    and are the single calibration point of the whole reproduction: every
+    energy number anywhere in the code derives from these constants. *)
+
+val feature_size_um : float
+(** 0.8 — the process node, microns. *)
+
+val vdd_v : float
+(** Nominal supply voltage (3.3 V). *)
+
+val vt_v : float
+(** Device threshold voltage (0.8 V) — sets how hard delay degrades
+    when the supply is lowered. *)
+
+val voltage_energy_ratio : float -> float
+(** [voltage_energy_ratio v]: dynamic energy per switched capacitance
+    at supply [v] relative to nominal ([ (v/vdd)^2 ]). *)
+
+val voltage_delay_ratio : float -> float
+(** [voltage_delay_ratio v]: gate delay at supply [v] relative to
+    nominal, using the classic alpha-power model
+    [d(V) ~ V / (V - Vt)^2]. > 1 when [v < vdd].
+    @raise Invalid_argument when [v <= vt]. *)
+
+val clock_mhz : float
+(** System clock of the uP core and bus (20 MHz, SPARClite-class). *)
+
+val clock_period_s : float
+(** Convenience: period of {!clock_mhz}. *)
+
+val gate_switch_energy_j : float
+(** Average energy of one gate-equivalent switching once (used by the
+    gate-level estimator: E = alpha * GEQ * E_gate). *)
+
+val bus_wire_capacitance_f : float
+(** Total capacitance one off-core bus line drives (pad + trace). *)
+
+val bus_width_bits : int
+(** Shared-bus width (32). *)
+
+val bus_read_energy_j : float
+(** Energy of one 32-bit word read over the shared bus, average switching
+    activity of one half of the lines. *)
+
+val bus_write_energy_j : float
+(** Same for a write; writes drive the bus harder (paper footnote 9 notes
+    read and write imply different energies). *)
+
+val sram_bitline_energy_j : float
+(** Per-bit bitline swing energy of the on-chip cache SRAM. *)
+
+val sram_wordline_energy_j : float
+(** Per-row wordline activation energy. *)
+
+val sram_sense_energy_j : float
+(** Per-bit sense-amplifier energy. *)
+
+val sram_decode_energy_j : float
+(** Address-decoder energy per access, per address bit. *)
+
+val dram_access_energy_j : float
+(** One main-memory (embedded DRAM / off-chip SRAM) word access. *)
+
+val dram_standby_power_w : float
+(** Memory standby (refresh) power, charged for the whole run time. *)

@@ -1,0 +1,57 @@
+type t =
+  | Add
+  | Sub
+  | Neg
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | Band
+  | Bor
+  | Bxor
+  | Bnot
+  | Cmp
+  | Move
+  | Select
+  | Load
+  | Store
+
+let all =
+  [
+    Add; Sub; Neg; Mul; Div; Mod; Shl; Shr; Band; Bor; Bxor; Bnot; Cmp; Move;
+    Select; Load; Store;
+  ]
+
+let equal (a : t) (b : t) = a = b
+
+let compare (a : t) (b : t) = Stdlib.compare a b
+
+let to_string = function
+  | Add -> "add"
+  | Sub -> "sub"
+  | Neg -> "neg"
+  | Mul -> "mul"
+  | Div -> "div"
+  | Mod -> "mod"
+  | Shl -> "shl"
+  | Shr -> "shr"
+  | Band -> "and"
+  | Bor -> "or"
+  | Bxor -> "xor"
+  | Bnot -> "not"
+  | Cmp -> "cmp"
+  | Move -> "move"
+  | Select -> "select"
+  | Load -> "load"
+  | Store -> "store"
+
+let pp ppf op = Format.pp_print_string ppf (to_string op)
+
+let is_memory = function Load | Store -> true | _ -> false
+
+let is_commutative = function
+  | Add | Mul | Band | Bor | Bxor -> true
+  | Sub | Neg | Div | Mod | Shl | Shr | Bnot | Cmp | Move | Select | Load
+  | Store ->
+      false

@@ -1,0 +1,97 @@
+type t = { label : string; counts : (Resource.kind * int) list }
+
+let normalise l =
+  List.iter
+    (fun (k, n) ->
+      if n <= 0 then
+        invalid_arg
+          (Printf.sprintf "Resource_set: non-positive count %d for %s" n
+             (Resource.kind_to_string k)))
+    l;
+  let add acc (k, n) =
+    match List.assoc_opt k acc with
+    | None -> (k, n) :: acc
+    | Some m -> (k, n + m) :: List.remove_assoc k acc
+  in
+  let merged = List.fold_left add [] l in
+  List.sort (fun (a, _) (b, _) -> Resource.compare_kind a b) merged
+
+let named label l = { label; counts = normalise l }
+
+let make l = named "custom" l
+
+let name t = t.label
+
+let count t k = Option.value ~default:0 (List.assoc_opt k t.counts)
+
+let kinds t = List.map fst t.counts
+
+let bindings t = t.counts
+
+let total_instances t = List.fold_left (fun acc (_, n) -> acc + n) 0 t.counts
+
+let total_geq t =
+  List.fold_left (fun acc (k, n) -> acc + (n * Resource.geq k)) 0 t.counts
+
+let can_execute t op =
+  List.exists (fun (k, _) -> Resource.can_execute k op) t.counts
+
+let covers_ops t ops = List.for_all (can_execute t) ops
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>%s{" t.label;
+  List.iteri
+    (fun i (k, n) ->
+      if i > 0 then Format.pp_print_string ppf ", ";
+      Format.fprintf ppf "%dx%s" n (Resource.kind_to_string k))
+    t.counts;
+  Format.fprintf ppf "}@]"
+
+let tiny =
+  named "tiny" [ (Resource.Adder, 1); (Resource.Mover, 1); (Resource.Comparator, 1) ]
+
+let small =
+  named "small"
+    [
+      (Resource.Alu, 1);
+      (Resource.Shifter, 1);
+      (Resource.Mover, 1);
+      (Resource.Mem_port, 1);
+      (Resource.Comparator, 1);
+    ]
+
+let medium_dsp =
+  named "medium-dsp"
+    [
+      (Resource.Multiplier, 1);
+      (Resource.Adder, 2);
+      (Resource.Alu, 1);
+      (Resource.Mem_port, 1);
+      (Resource.Mover, 1);
+      (Resource.Comparator, 1);
+    ]
+
+let large_dsp =
+  named "large-dsp"
+    [
+      (Resource.Multiplier, 2);
+      (Resource.Adder, 2);
+      (Resource.Alu, 1);
+      (Resource.Shifter, 1);
+      (Resource.Logic_unit, 1);
+      (Resource.Mem_port, 2);
+      (Resource.Mover, 2);
+      (Resource.Comparator, 1);
+    ]
+
+let control =
+  named "control"
+    [
+      (Resource.Alu, 1);
+      (Resource.Comparator, 1);
+      (Resource.Logic_unit, 1);
+      (Resource.Mover, 1);
+      (Resource.Mem_port, 1);
+    ]
+
+let default_sets = [ tiny; small; medium_dsp; large_dsp ]

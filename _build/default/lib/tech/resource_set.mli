@@ -1,0 +1,65 @@
+(** Designer-supplied resource sets.
+
+    Section 3.2: "The designer tells the partitioning algorithm how much
+    hardware (#ALUs, #multipliers, #shifters, ...) they are willing to
+    spend for the implementation of an ASIC core. ... Due to our design
+    praxis 3 to 5 sets are given." A resource set bounds how many
+    instances of each resource type the list scheduler may use. *)
+
+type t
+
+val make : (Resource.kind * int) list -> t
+(** [make l] builds a set from (kind, instance-count) pairs. Counts must
+    be positive; duplicate kinds are summed.
+    @raise Invalid_argument on a non-positive count. *)
+
+val name : t -> string
+(** A short human-readable label ("custom" unless built by a preset). *)
+
+val named : string -> (Resource.kind * int) list -> t
+
+val count : t -> Resource.kind -> int
+(** Number of instances of a kind (0 when absent). *)
+
+val kinds : t -> Resource.kind list
+(** Kinds present, in {!Resource.compare_kind} order. *)
+
+val bindings : t -> (Resource.kind * int) list
+
+val total_instances : t -> int
+
+val total_geq : t -> int
+(** Sum of {!Resource.geq} over all instances. *)
+
+val can_execute : t -> Op.t -> bool
+(** True when at least one kind in the set can execute the operation. *)
+
+val covers_ops : t -> Op.t list -> bool
+
+val pp : Format.formatter -> t -> unit
+
+(** {2 Reference sets}
+
+    The "reference designs from past projects" of Section 3.2. *)
+
+val tiny : t
+(** One adder datapath with a mover and comparator: cheapest possible
+    accelerator for address/counter-style clusters. *)
+
+val small : t
+(** ALU + shifter + memory port: a generic scalar pipeline. *)
+
+val medium_dsp : t
+(** Multiplier + two adders + memory port: typical filter/transform
+    datapath. *)
+
+val large_dsp : t
+(** Two multipliers, wide datapath: throughput-oriented DSP core. *)
+
+val control : t
+(** Comparator/logic-heavy mix for decision-dominated clusters. *)
+
+val default_sets : t list
+(** The 4 sets handed to the partitioner when the designer supplies
+    nothing ("3 to 5 sets" per the paper): [tiny; small; medium_dsp;
+    large_dsp]. *)

@@ -1,0 +1,39 @@
+let nano = 1e-9
+let micro = 1e-6
+let milli = 1e-3
+let ns x = x *. nano
+let us x = x *. micro
+let ms x = x *. milli
+let nj x = x *. nano
+let uj x = x *. micro
+let mj x = x *. milli
+let mw x = x *. milli
+let mhz_period_s f = 1.0 /. (f *. 1e6)
+
+let pp_scaled suffixes unit_name ppf x =
+  let mag = Float.abs x in
+  let rec pick = function
+    | [] -> (1.0, unit_name)
+    | (scale, name) :: rest -> if mag < scale *. 1e3 then (scale, name) else pick rest
+  in
+  if x = 0.0 then Format.fprintf ppf "0%s" unit_name
+  else begin
+    let scale, name = pick suffixes in
+    Format.fprintf ppf "%.4g%s" (x /. scale) name
+  end
+
+let pp_energy ppf x =
+  pp_scaled
+    [ (1e-9, "nJ"); (1e-6, "uJ"); (1e-3, "mJ") ]
+    "J" ppf x
+
+let pp_time ppf x =
+  pp_scaled
+    [ (1e-9, "ns"); (1e-6, "us"); (1e-3, "ms") ]
+    "s" ppf x
+
+let pp_percent ppf x = Format.fprintf ppf "%.2f%%" (100.0 *. x)
+
+let energy_to_string x = Format.asprintf "%a" pp_energy x
+
+let time_to_string x = Format.asprintf "%a" pp_time x

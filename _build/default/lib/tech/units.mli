@@ -1,0 +1,44 @@
+(** Physical units and their formatting.
+
+    Every quantity in the code base is a [float] in SI base units —
+    joules, seconds, watts — carried in identifiers suffixed [_j], [_s],
+    [_w]. This module provides conversion helpers and printers that
+    render values the way the paper's Table 1 does (e.g. [116.93uJ],
+    [44.79mJ]). *)
+
+val nano : float
+val micro : float
+val milli : float
+
+val ns : float -> float
+(** [ns x] is [x] nanoseconds in seconds. *)
+
+val us : float -> float
+val ms : float -> float
+
+val nj : float -> float
+(** [nj x] is [x] nanojoules in joules. *)
+
+val uj : float -> float
+val mj : float -> float
+
+val mw : float -> float
+(** [mw x] is [x] milliwatts in watts. *)
+
+val mhz_period_s : float -> float
+(** [mhz_period_s f] is the clock period of an [f]-MHz clock, in
+    seconds. *)
+
+val pp_energy : Format.formatter -> float -> unit
+(** Prints an energy with an auto-selected engineering suffix
+    ([nJ]/[uJ]/[mJ]/[J]), four significant digits. *)
+
+val pp_time : Format.formatter -> float -> unit
+(** Same scheme for seconds ([ns]/[us]/[ms]/[s]). *)
+
+val pp_percent : Format.formatter -> float -> unit
+(** [pp_percent ppf 0.3521] prints [35.21%]. *)
+
+val energy_to_string : float -> string
+
+val time_to_string : float -> string

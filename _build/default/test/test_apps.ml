@@ -1,0 +1,139 @@
+(* The six benchmark applications: registry consistency, validity,
+   interpreter/system equivalence at reduced scales, and per-app shape
+   checks on the full flow (scaled down to keep the suite fast). *)
+
+module Apps = Lp_apps.Apps
+module System = Lp_system.System
+module Interp = Lp_ir.Interp
+module Flow = Lp_core.Flow
+
+let test_registry () =
+  Alcotest.(check (list string)) "paper order"
+    [ "3d"; "mpg"; "ckey"; "digs"; "engine"; "trick" ]
+    Apps.names;
+  Alcotest.(check bool) "find is case-insensitive" true
+    (Option.is_some (Apps.find "MPG"));
+  Alcotest.(check bool) "unknown app" true (Option.is_none (Apps.find "nope"));
+  Alcotest.(check int) "extended adds the probe" 7 (List.length Apps.extended);
+  Alcotest.(check bool) "protocol findable" true
+    (Option.is_some (Apps.find "protocol"));
+  List.iter
+    (fun (e : Apps.entry) ->
+      Alcotest.(check bool) (e.name ^ " has description") true
+        (String.length e.description > 0))
+    Apps.all
+
+(* Scaled-down builds keep the suite quick. *)
+let small_builds =
+  [
+    ("3d", fun () -> Lp_apps.Three_d.program ~vertices:16 ());
+    ("mpg", fun () -> Lp_apps.Mpg.program ~width:16 ());
+    ("ckey", fun () -> Lp_apps.Ckey.program ~pixels:300 ());
+    ("digs", fun () -> Lp_apps.Digs.program ~width:10 ());
+    ("engine", fun () -> Lp_apps.Engine.program ~steps:60 ());
+    ("trick", fun () -> Lp_apps.Trick.program ~frames:2 ~width:16 ());
+    ("protocol", fun () -> Lp_apps.Protocol.program ~packets:50 ());
+  ]
+
+(* Golden observable outputs at DEFAULT scale: any semantic drift in an
+   application (or in the interpreter) trips these. *)
+let goldens =
+  [
+    ("3d", [ 6259615 ]);
+    ("mpg", [ 10820; 125632512 ]);
+    ("ckey", [ 359166 ]);
+    ("digs", [ 5778415 ]);
+    ("engine", [ 216; 3921451 ]);
+    ("trick", [ 10915717 ]);
+    ("protocol", [ 1; 21; 400990 ]);
+  ]
+
+let test_golden_outputs () =
+  List.iter
+    (fun (e : Apps.entry) ->
+      let expected = List.assoc e.Apps.name goldens in
+      let actual = (Interp.run (e.Apps.build ())).Interp.outputs in
+      Alcotest.(check (list int)) (e.Apps.name ^ " golden") expected actual)
+    Apps.extended
+
+let test_apps_validate () =
+  List.iter
+    (fun (name, build) ->
+      match Lp_ir.Validate.errors (build ()) with
+      | [] -> ()
+      | e :: _ -> Alcotest.failf "%s: %s" name e)
+    small_builds
+
+let test_apps_have_output () =
+  List.iter
+    (fun (name, build) ->
+      let r = Interp.run (build ()) in
+      Alcotest.(check bool) (name ^ " prints something") true
+        (r.Interp.outputs <> []))
+    small_builds
+
+let test_apps_differential () =
+  List.iter
+    (fun (name, build) ->
+      let p = build () in
+      let expected = (Interp.run p).Interp.outputs in
+      let actual = (System.run p).System.outputs in
+      Alcotest.(check (list int)) (name ^ " ISS == interp") expected actual)
+    small_builds
+
+let test_apps_deterministic () =
+  List.iter
+    (fun (name, build) ->
+      let a = (Interp.run (build ())).Interp.outputs in
+      let b = (Interp.run (build ())).Interp.outputs in
+      Alcotest.(check (list int)) (name ^ " deterministic") a b)
+    small_builds
+
+let flow_of build name = Flow.run ~name (build ())
+
+(* Shape checks at reduced scale: the qualitative Table 1 story must
+   already hold (savings sign; trick's slowdown needs full scale and is
+   asserted in the bench harness instead). *)
+let test_flow_shapes () =
+  List.iter
+    (fun (name, build) ->
+      let r = flow_of build name in
+      Alcotest.(check bool)
+        (name ^ " saving in [0,1)")
+        true
+        (r.Flow.energy_saving >= 0.0 && r.Flow.energy_saving < 1.0))
+    small_builds
+
+let test_digs_small_still_wins_big () =
+  let r = flow_of (fun () -> Lp_apps.Digs.program ~width:16 ()) "digs16" in
+  Alcotest.(check bool) "digs saves > 60%" true (r.Flow.energy_saving > 0.6);
+  Alcotest.(check bool) "digs has hardware" true (r.Flow.total_cells > 0)
+
+let test_full_scale_apps_run_everything () =
+  (* The real evaluation entries: every app must run the whole flow
+     with verification on. [`Slow] so `dune runtest` covers it but -q
+     runs can skip. *)
+  List.iter
+    (fun (e : Apps.entry) ->
+      let r = Flow.run ~name:e.Apps.name (e.Apps.build ()) in
+      Alcotest.(check bool) (e.Apps.name ^ " saves energy") true
+        (r.Flow.energy_saving > 0.25))
+    Apps.all
+
+let () =
+  Alcotest.run "lp_apps"
+    [
+      ("registry", [ Alcotest.test_case "names and lookup" `Quick test_registry ]);
+      ( "small-scale",
+        [
+          Alcotest.test_case "golden outputs" `Quick test_golden_outputs;
+          Alcotest.test_case "validate" `Quick test_apps_validate;
+          Alcotest.test_case "produce output" `Quick test_apps_have_output;
+          Alcotest.test_case "ISS equivalence" `Quick test_apps_differential;
+          Alcotest.test_case "deterministic" `Quick test_apps_deterministic;
+          Alcotest.test_case "flow shapes" `Quick test_flow_shapes;
+          Alcotest.test_case "digs wins big" `Quick test_digs_small_still_wins_big;
+        ] );
+      ( "full-scale",
+        [ Alcotest.test_case "all apps, full flow" `Slow test_full_scale_apps_run_everything ] );
+    ]

@@ -1,0 +1,200 @@
+(* Binder (Fig. 4): instance allocation and reuse, utilisation-rate
+   computation, GEQ, the uP utilisation model, and cross-checks with
+   the scheduler. *)
+
+module Dfg = Lp_ir.Dfg
+module Sched = Lp_sched.Sched
+module Bind = Lp_bind.Bind
+module Resource = Lp_tech.Resource
+module Resource_set = Lp_tech.Resource_set
+module Op = Lp_tech.Op
+
+let sched_of exprs stmts rset =
+  Option.get (Sched.schedule (Dfg.of_segment_exn exprs stmts) rset)
+
+(* Builder-sugared fixtures (local opens keep host operators intact). *)
+let e_add = let open Lp_ir.Builder in var "a" + var "b"
+let e_add3 = let open Lp_ir.Builder in var "a" + var "b" + var "c"
+let e_add_cd = let open Lp_ir.Builder in var "c" + var "d"
+let e_muladd = let open Lp_ir.Builder in (var "a" * var "b") + var "c"
+let e_xy = let open Lp_ir.Builder in var "x" + var "y"
+let e_mulshift =
+  let open Lp_ir.Builder in
+  (var "a" * var "b") + (var "c" >>> int 2)
+let e_dense =
+  let open Lp_ir.Builder in
+  (var "a" * var "b") + (var "c" * var "d") + var "e"
+let overlap_block =
+  let open Lp_ir.Builder in
+  [
+    "x" := (var "a" + var "b") ^^^ (var "c" + var "d");
+    store "m" (var "x" &&& int 7) (var "x");
+    "y" := load "m" (int 1) + var "x";
+    print (var "y");
+  ]
+
+let test_single_add_full_utilisation () =
+  (* One add, one instance, schedule length 1: U_R = 1. *)
+  let s = sched_of [ e_add ] [] Resource_set.tiny in
+  let r = Bind.bind [ { Bind.sched = s; times = 10 } ] in
+  Alcotest.(check (float 1e-9)) "U_R = 1" 1.0 r.Bind.utilization;
+  Alcotest.(check int) "one adder" 1
+    (List.assoc Resource.Adder r.Bind.instances);
+  Alcotest.(check int) "GEQ of one adder" (Resource.geq Resource.Adder)
+    r.Bind.geq;
+  Alcotest.(check int) "N_cyc scales with times" 10 r.Bind.n_cyc
+
+let test_instance_reuse_across_steps () =
+  (* a+b then (a+b)+c: two adds in sequence share one instance. *)
+  let s = sched_of [ e_add3 ] [] Resource_set.medium_dsp in
+  let r = Bind.bind [ { Bind.sched = s; times = 1 } ] in
+  Alcotest.(check int) "one adder instance"
+    1
+    (List.assoc Resource.Adder r.Bind.instances);
+  Alcotest.(check (float 1e-9)) "fully busy" 1.0 r.Bind.utilization
+
+let test_parallel_ops_two_instances () =
+  (* Two independent adds in the same step need two instances. *)
+  let s = sched_of [ e_add; e_add_cd ] [] Resource_set.medium_dsp in
+  let r = Bind.bind [ { Bind.sched = s; times = 1 } ] in
+  Alcotest.(check int) "two adders" 2 (List.assoc Resource.Adder r.Bind.instances)
+
+let test_idle_instance_lowers_utilisation () =
+  (* mul (2 cycles) in parallel with one add (1 cycle): the adder idles
+     half the time. *)
+  let s = sched_of [ e_muladd ] [] Resource_set.medium_dsp in
+  let r = Bind.bind [ { Bind.sched = s; times = 1 } ] in
+  Alcotest.(check bool) "U_R strictly below 1" true (r.Bind.utilization < 1.0);
+  Alcotest.(check bool) "U_R positive" true (r.Bind.utilization > 0.0)
+
+let test_utilisation_in_unit_interval_weighted () =
+  let s1 = sched_of [ e_muladd ] [] Resource_set.medium_dsp in
+  let s2 = sched_of [ e_xy ] [] Resource_set.medium_dsp in
+  let r =
+    Bind.bind
+      [ { Bind.sched = s1; times = 17 }; { Bind.sched = s2; times = 3 } ]
+  in
+  Alcotest.(check bool) "0 < U_R <= 1" true
+    (r.Bind.utilization > 0.0 && r.Bind.utilization <= 1.0);
+  (* N_cyc = 17*len1 + 3*len2. *)
+  Alcotest.(check int) "weighted N_cyc"
+    ((17 * s1.Sched.length) + (3 * s2.Sched.length))
+    r.Bind.n_cyc
+
+let test_instances_shared_across_segments () =
+  (* The same physical adder serves both segments: still one
+     instance. *)
+  let s1 = sched_of [ e_add ] [] Resource_set.medium_dsp in
+  let s2 = sched_of [ e_add_cd ] [] Resource_set.medium_dsp in
+  let r =
+    Bind.bind [ { Bind.sched = s1; times = 1 }; { Bind.sched = s2; times = 1 } ]
+  in
+  Alcotest.(check int) "one adder across segments" 1
+    (List.assoc Resource.Adder r.Bind.instances)
+
+let test_empty_bind () =
+  let r = Bind.bind [] in
+  Alcotest.(check (float 0.0)) "empty utilisation" 0.0 r.Bind.utilization;
+  Alcotest.(check int) "no geq" 0 r.Bind.geq;
+  Alcotest.(check int) "no cycles" 0 r.Bind.n_cyc
+
+let test_binding_no_overlap () =
+  (* No two ops bound to the same instance may overlap in time. *)
+  let s = sched_of [] overlap_block Resource_set.small in
+  let r = Bind.bind [ { Bind.sched = s; times = 1 } ] in
+  let bound = r.Bind.binding.(0) in
+  List.iter
+    (fun (v, (iv : Bind.instance)) ->
+      List.iter
+        (fun (w, (iw : Bind.instance)) ->
+          if v < w && iv = iw then begin
+            let disjoint =
+              Sched.finish s v <= s.Sched.start.(w)
+              || Sched.finish s w <= s.Sched.start.(v)
+            in
+            Alcotest.(check bool)
+              (Printf.sprintf "ops %d and %d disjoint on shared instance" v w)
+              true disjoint
+          end)
+        bound)
+    bound
+
+let test_geq_equals_instance_sum () =
+  let s = sched_of [ e_mulshift ] [] Resource_set.large_dsp in
+  let r = Bind.bind [ { Bind.sched = s; times = 4 } ] in
+  let expected =
+    List.fold_left (fun acc (k, n) -> acc + (n * Resource.geq k)) 0 r.Bind.instances
+  in
+  Alcotest.(check int) "GEQ consistent" expected r.Bind.geq
+
+(* --- Uproc_model --- *)
+
+let test_uproc_single_op_classes () =
+  List.iter
+    (fun (op, expected) ->
+      Alcotest.(check string)
+        (Op.to_string op)
+        expected
+        (Resource.kind_to_string (Bind.Uproc_model.resource_of_op op)))
+    [
+      (Op.Add, "alu");
+      (Op.Shl, "shifter");
+      (Op.Mul, "mult");
+      (Op.Div, "div");
+      (Op.Load, "memport");
+      (Op.Move, "mover");
+    ]
+
+let test_uproc_utilisation_range () =
+  let u, cycles =
+    Bind.Uproc_model.utilization [ ([ Op.Add; Op.Mul; Op.Load ], 100) ]
+  in
+  Alcotest.(check bool) "0 < U_uP < 1" true (u > 0.0 && u < 1.0);
+  (* 1 + 5 + 2 op cycles + 2 overhead per execution. *)
+  Alcotest.(check int) "cycles" 1000 cycles
+
+let test_uproc_low_for_mixed_code () =
+  (* A single-resource stream keeps one of six units busy: U ~ 1/6
+     minus overhead. *)
+  let u, _ = Bind.Uproc_model.utilization [ ([ Op.Add; Op.Add; Op.Add ], 10) ] in
+  Alcotest.(check bool) "bounded by 1/6" true (u <= 1.0 /. 6.0 +. 1e-9);
+  let empty_u, empty_cycles = Bind.Uproc_model.utilization [] in
+  Alcotest.(check (float 0.0)) "empty" 0.0 empty_u;
+  Alcotest.(check int) "empty cycles" 0 empty_cycles
+
+let test_asic_beats_up_on_dense_kernel () =
+  (* The motivating comparison: a mul-add kernel gets a far better
+     utilisation on a tailored datapath than on the uP. *)
+  let s = sched_of [ e_dense ] [] Resource_set.medium_dsp in
+  let r = Bind.bind [ { Bind.sched = s; times = 1000 } ] in
+  let u_up, _ =
+    Bind.Uproc_model.utilization
+      [ ([ Op.Mul; Op.Mul; Op.Add; Op.Add ], 1000) ]
+  in
+  Alcotest.(check bool) "U_R > U_uP" true (r.Bind.utilization > u_up)
+
+let () =
+  Alcotest.run "lp_bind"
+    [
+      ( "binding",
+        [
+          Alcotest.test_case "full utilisation" `Quick test_single_add_full_utilisation;
+          Alcotest.test_case "reuse across steps" `Quick test_instance_reuse_across_steps;
+          Alcotest.test_case "parallel needs instances" `Quick test_parallel_ops_two_instances;
+          Alcotest.test_case "idle lowers U_R" `Quick test_idle_instance_lowers_utilisation;
+          Alcotest.test_case "weighted segments" `Quick test_utilisation_in_unit_interval_weighted;
+          Alcotest.test_case "instances shared across segments" `Quick
+            test_instances_shared_across_segments;
+          Alcotest.test_case "empty" `Quick test_empty_bind;
+          Alcotest.test_case "no temporal overlap" `Quick test_binding_no_overlap;
+          Alcotest.test_case "GEQ consistency" `Quick test_geq_equals_instance_sum;
+        ] );
+      ( "uproc",
+        [
+          Alcotest.test_case "op classes" `Quick test_uproc_single_op_classes;
+          Alcotest.test_case "utilisation range" `Quick test_uproc_utilisation_range;
+          Alcotest.test_case "mixed code is low" `Quick test_uproc_low_for_mixed_code;
+          Alcotest.test_case "ASIC beats uP on dense kernel" `Quick
+            test_asic_beats_up_on_dense_kernel;
+        ] );
+    ]

@@ -1,0 +1,186 @@
+(* Cache simulator: geometry validation, hit/miss behaviour per
+   configuration, LRU replacement, write policies, flush, energy model
+   monotonicity, plus random-trace properties. *)
+
+module Cache = Lp_cache.Cache
+
+let dm_config =
+  { Cache.size_bytes = 256; line_bytes = 16; assoc = 1; policy = Cache.Write_back }
+
+let w2_config = { dm_config with Cache.assoc = 2 }
+
+let wt_config = { dm_config with Cache.policy = Cache.Write_through }
+
+let test_config_validation () =
+  Alcotest.(check bool) "defaults valid" true
+    (Cache.config_valid Cache.default_icache && Cache.config_valid Cache.default_dcache);
+  Alcotest.(check bool) "non-pow2 size" false
+    (Cache.config_valid { dm_config with Cache.size_bytes = 300 });
+  Alcotest.(check bool) "line too small" false
+    (Cache.config_valid { dm_config with Cache.line_bytes = 2 });
+  Alcotest.(check bool) "assoc exceeds size" false
+    (Cache.config_valid { dm_config with Cache.assoc = 64 });
+  Alcotest.(check int) "sets" 16 (Cache.sets dm_config);
+  match Cache.create { dm_config with Cache.size_bytes = 300 } with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "invalid geometry accepted"
+
+let test_cold_miss_then_hit () =
+  let c = Cache.create dm_config in
+  let e1 = Cache.read c 0x100 in
+  Alcotest.(check bool) "cold miss" false e1.Cache.hit;
+  Alcotest.(check int) "fills a line" 4 e1.Cache.fill_words;
+  let e2 = Cache.read c 0x104 in
+  Alcotest.(check bool) "same line hits" true e2.Cache.hit;
+  Alcotest.(check int) "no refill" 0 e2.Cache.fill_words;
+  let s = Cache.stats c in
+  Alcotest.(check int) "reads" 2 s.Cache.reads;
+  Alcotest.(check int) "one miss" 1 s.Cache.read_misses
+
+let test_direct_mapped_conflict () =
+  let c = Cache.create dm_config in
+  (* Two addresses 256 bytes apart map to the same set in a 256-byte
+     direct-mapped cache. *)
+  ignore (Cache.read c 0);
+  ignore (Cache.read c 256);
+  let e = Cache.read c 0 in
+  Alcotest.(check bool) "evicted by conflict" false e.Cache.hit
+
+let test_two_way_avoids_conflict () =
+  let c = Cache.create w2_config in
+  ignore (Cache.read c 0);
+  ignore (Cache.read c 256);
+  let e = Cache.read c 0 in
+  Alcotest.(check bool) "second way holds it" true e.Cache.hit
+
+let test_lru_replacement () =
+  let c = Cache.create w2_config in
+  (* Fill both ways of set 0, touch the first again, then bring a third
+     line: the least recently used (second) must go. *)
+  ignore (Cache.read c 0);
+  ignore (Cache.read c 256);
+  ignore (Cache.read c 0);
+  ignore (Cache.read c 512);
+  Alcotest.(check bool) "first retained" true (Cache.read c 0).Cache.hit;
+  Alcotest.(check bool) "second evicted" false (Cache.read c 256).Cache.hit
+
+let test_writeback_dirty_eviction () =
+  let c = Cache.create dm_config in
+  let w = Cache.write c 0 in
+  Alcotest.(check bool) "write allocates" false w.Cache.hit;
+  Alcotest.(check int) "write fill" 4 w.Cache.fill_words;
+  Alcotest.(check int) "no immediate writeback" 0 w.Cache.writeback_words;
+  (* Conflict-evict the dirty line. *)
+  let e = Cache.read c 256 in
+  Alcotest.(check int) "dirty line written back" 4 e.Cache.writeback_words;
+  Alcotest.(check int) "writeback counted" 1 (Cache.stats c).Cache.writebacks
+
+let test_clean_eviction_no_writeback () =
+  let c = Cache.create dm_config in
+  ignore (Cache.read c 0);
+  let e = Cache.read c 256 in
+  Alcotest.(check int) "clean eviction free" 0 e.Cache.writeback_words
+
+let test_write_through () =
+  let c = Cache.create wt_config in
+  let w1 = Cache.write c 0 in
+  Alcotest.(check int) "write-through word" 1 w1.Cache.through_words;
+  Alcotest.(check int) "no allocate" 0 w1.Cache.fill_words;
+  (* A read of that address still misses (no-allocate). *)
+  Alcotest.(check bool) "read misses after WT write" false (Cache.read c 0).Cache.hit;
+  (* A write hit also goes through. *)
+  let w2 = Cache.write c 0 in
+  Alcotest.(check int) "hit writes through too" 1 w2.Cache.through_words
+
+let test_flush () =
+  let c = Cache.create dm_config in
+  ignore (Cache.write c 0);
+  ignore (Cache.write c 16);
+  ignore (Cache.read c 32);
+  let words = Cache.flush c in
+  Alcotest.(check int) "two dirty lines flushed" 8 words;
+  Alcotest.(check bool) "everything invalidated" false (Cache.read c 32).Cache.hit;
+  Alcotest.(check int) "second flush empty" 0 (Cache.flush c)
+
+let test_energy_accumulates () =
+  let c = Cache.create dm_config in
+  let e0 = (Cache.stats c).Cache.energy_j in
+  ignore (Cache.read c 0);
+  let e1 = (Cache.stats c).Cache.energy_j in
+  ignore (Cache.write c 0);
+  let e2 = (Cache.stats c).Cache.energy_j in
+  Alcotest.(check bool) "read adds energy" true (e1 > e0);
+  Alcotest.(check bool) "write adds more than read" true (e2 -. e1 > e1 -. e0)
+
+let test_energy_model_monotone () =
+  (* Bigger arrays cost more per access. *)
+  let small = Cache.read_energy_j dm_config in
+  let big = Cache.read_energy_j { dm_config with Cache.size_bytes = 4096 } in
+  Alcotest.(check bool) "bigger cache, bigger access energy" true (big > small);
+  let wide = Cache.read_energy_j { dm_config with Cache.assoc = 4 } in
+  Alcotest.(check bool) "higher assoc, bigger access energy" true (wide > small);
+  Alcotest.(check bool) "write >= read" true
+    (Cache.write_energy_j dm_config > Cache.read_energy_j dm_config)
+
+(* --- properties --- *)
+
+let addr_trace =
+  QCheck.make
+    ~print:(fun l -> String.concat "," (List.map string_of_int l))
+    QCheck.Gen.(list_size (int_range 1 200) (map (fun a -> a * 4) (int_range 0 512)))
+
+let prop_hit_after_access =
+  QCheck.Test.make ~name:"an address just read is a hit" ~count:200 addr_trace
+    (fun trace ->
+      let c = Cache.create w2_config in
+      List.for_all
+        (fun a ->
+          ignore (Cache.read c a);
+          (Cache.read c a).Cache.hit)
+        trace)
+
+let prop_stats_consistent =
+  QCheck.Test.make ~name:"misses never exceed accesses" ~count:200 addr_trace
+    (fun trace ->
+      let c = Cache.create dm_config in
+      List.iter (fun a -> ignore (if a mod 8 = 0 then Cache.write c a else Cache.read c a)) trace;
+      let s = Cache.stats c in
+      s.Cache.read_misses <= s.Cache.reads
+      && s.Cache.write_misses <= s.Cache.writes
+      && s.Cache.reads + s.Cache.writes = List.length trace)
+
+let prop_flush_writes_bounded =
+  QCheck.Test.make ~name:"flush writes back at most the capacity" ~count:200
+    addr_trace (fun trace ->
+      let c = Cache.create dm_config in
+      List.iter (fun a -> ignore (Cache.write c a)) trace;
+      Cache.flush c * 4 <= dm_config.Cache.size_bytes)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lp_cache"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+        ] );
+      ( "behaviour",
+        [
+          Alcotest.test_case "cold miss then hit" `Quick test_cold_miss_then_hit;
+          Alcotest.test_case "direct-mapped conflict" `Quick test_direct_mapped_conflict;
+          Alcotest.test_case "two-way avoids conflict" `Quick test_two_way_avoids_conflict;
+          Alcotest.test_case "LRU replacement" `Quick test_lru_replacement;
+          Alcotest.test_case "write-back dirty eviction" `Quick test_writeback_dirty_eviction;
+          Alcotest.test_case "clean eviction" `Quick test_clean_eviction_no_writeback;
+          Alcotest.test_case "write-through" `Quick test_write_through;
+          Alcotest.test_case "flush" `Quick test_flush;
+        ] );
+      ( "energy",
+        [
+          Alcotest.test_case "accumulates" `Quick test_energy_accumulates;
+          Alcotest.test_case "monotone in geometry" `Quick test_energy_model_monotone;
+        ] );
+      ( "properties",
+        qcheck [ prop_hit_after_access; prop_stats_consistent; prop_flush_writes_bounded ] );
+    ]

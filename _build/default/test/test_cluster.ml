@@ -1,0 +1,148 @@
+(* Cluster decomposition: chain structure, kinds, candidate gating,
+   segments and their anchors, dynamic op counts. *)
+
+open Lp_ir.Builder
+module Cluster = Lp_cluster.Cluster
+module Op = Lp_tech.Op
+
+let helper = func "h" ~params:[ "x" ] ~locals:[] [ return (var "x" + int 1) ]
+
+let sample_program () =
+  program ~arrays:[ array "a" 8 ]
+    [
+      helper;
+      func "main" ~params:[] ~locals:[ "s"; "t" ]
+        [
+          (* cluster 0: straight run of two assigns *)
+          "s" := int 1;
+          "t" := int 2;
+          (* cluster 1: loop (call-free -> candidate) *)
+          for_ "i" (int 0) (int 5) [ store "a" (var "i") (var "i" * var "s") ];
+          (* cluster 2: loop with a call -> software *)
+          for_ "i" (int 0) (int 5) [ "s" := call "h" [ var "s" ] ];
+          (* cluster 3: branch *)
+          if_ (var "s" > int 3) [ "t" := var "t" + int 1 ] [ "t" := int 0 ];
+          (* cluster 4: straight tail *)
+          print (var "t");
+        ];
+    ]
+
+let chain () = Cluster.decompose (sample_program ())
+
+let test_chain_shape () =
+  let c = chain () in
+  Alcotest.(check int) "five clusters" 5 (List.length c);
+  let kinds = List.map (fun (cl : Cluster.t) -> cl.Cluster.kind) c in
+  Alcotest.(check bool) "kinds" true
+    (kinds = [ Cluster.Straight; Cluster.Loop; Cluster.Loop; Cluster.Branch; Cluster.Straight ]);
+  List.iteri
+    (fun i (cl : Cluster.t) -> Alcotest.(check int) "cid is position" i cl.Cluster.cid)
+    c
+
+let nth i = List.nth (chain ()) i
+
+let test_candidate_gating () =
+  Alcotest.(check bool) "straight assigns ok" true (Cluster.asic_candidate (nth 0));
+  Alcotest.(check bool) "call-free loop ok" true (Cluster.asic_candidate (nth 1));
+  Alcotest.(check bool) "call loop rejected" false (Cluster.asic_candidate (nth 2));
+  Alcotest.(check bool) "contains_call" true (Cluster.contains_call (nth 2));
+  Alcotest.(check bool) "branch ok" true (Cluster.asic_candidate (nth 3))
+
+let test_sids_cover_subtree () =
+  let c = nth 1 in
+  (* The loop statement plus its body statement. *)
+  Alcotest.(check int) "loop has 2 sids" 2 (List.length (Cluster.sids c));
+  let total =
+    List.fold_left
+      (fun acc cl -> Stdlib.( + ) acc (List.length (Cluster.sids cl)))
+      0 (chain ())
+  in
+  (* main has 9 statements (2 + 2 + 2 + 3 + ... ) — count them all via
+     the chain partition: every main stmt belongs to exactly one
+     cluster. *)
+  let p = sample_program () in
+  let main = Option.get (Lp_ir.Ast.find_func p "main") in
+  let main_stmts = Lp_ir.Ast.fold_stmts (fun n _ -> Stdlib.( + ) n 1) 0 main.Lp_ir.Ast.body in
+  Alcotest.(check int) "chain covers main" main_stmts total
+
+let test_static_ops () =
+  let ops = Cluster.static_ops (nth 1) in
+  Alcotest.(check bool) "has store" true (List.mem Op.Store ops);
+  Alcotest.(check bool) "has mul" true (List.mem Op.Mul ops);
+  (* loop control contributes add + cmp *)
+  Alcotest.(check bool) "has add" true (List.mem Op.Add ops);
+  Alcotest.(check bool) "has cmp" true (List.mem Op.Cmp ops)
+
+let test_arrays_touched () =
+  Alcotest.(check (list string)) "loop touches a" [ "a" ]
+    (Cluster.arrays_touched (nth 1));
+  Alcotest.(check (list string)) "branch touches none" []
+    (Cluster.arrays_touched (nth 3))
+
+let test_segments_of_loop () =
+  let segs = Cluster.segments (nth 1) in
+  (* bounds segment + per-iteration overhead segment + body segment *)
+  Alcotest.(check int) "three segments" 3 (List.length segs);
+  let body_seg = List.nth segs 2 in
+  Alcotest.(check int) "body has one stmt" 1 (List.length body_seg.Cluster.seg_stmts);
+  (* overhead + body segments share the body-anchored sid *)
+  let overhead = List.nth segs 1 in
+  Alcotest.(check int) "same anchor" body_seg.Cluster.anchor_sid
+    overhead.Cluster.anchor_sid
+
+let test_segments_of_branch () =
+  let segs = Cluster.segments (nth 3) in
+  (* condition segment + then segment + else segment *)
+  Alcotest.(check int) "three segments" 3 (List.length segs);
+  let cond = List.hd segs in
+  Alcotest.(check int) "cond has no stmts" 0 (List.length cond.Cluster.seg_stmts);
+  Alcotest.(check int) "cond evaluates one expr" 1 (List.length cond.Cluster.seg_exprs)
+
+let test_dynamic_ops_profile () =
+  let p = sample_program () in
+  let r = Lp_ir.Interp.run p in
+  let c = List.nth (Cluster.decompose p) 1 in
+  let dyn = Cluster.dynamic_ops c ~profile:r.Lp_ir.Interp.profile in
+  (* The body segment must report 5 executions. *)
+  let body_ops, body_times = List.nth dyn 2 in
+  Alcotest.(check int) "body times" 5 body_times;
+  Alcotest.(check bool) "body ops nonempty" true (body_ops <> []);
+  (* The bounds segment runs once. *)
+  let _, bounds_times = List.hd dyn in
+  Alcotest.(check int) "bounds once" 1 bounds_times
+
+let test_empty_body_anchor () =
+  (* A loop with an empty body anchors its segments at the loop sid. *)
+  let p =
+    program ~arrays:[]
+      [ func "main" ~params:[] ~locals:[ "x" ]
+          [ "x" := int 0; while_ (var "x" > int 0) [] ] ]
+  in
+  let c = List.nth (Cluster.decompose p) 1 in
+  let segs = Cluster.segments c in
+  Alcotest.(check int) "one segment" 1 (List.length segs);
+  Alcotest.(check bool) "anchored at loop" true
+    Stdlib.((List.hd segs).Cluster.anchor_sid >= 0)
+
+let () =
+  Alcotest.run "lp_cluster"
+    [
+      ( "decompose",
+        [
+          Alcotest.test_case "chain shape" `Quick test_chain_shape;
+          Alcotest.test_case "candidate gating" `Quick test_candidate_gating;
+          Alcotest.test_case "sids cover subtree" `Quick test_sids_cover_subtree;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "static ops" `Quick test_static_ops;
+          Alcotest.test_case "arrays touched" `Quick test_arrays_touched;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "loop segments" `Quick test_segments_of_loop;
+          Alcotest.test_case "branch segments" `Quick test_segments_of_branch;
+          Alcotest.test_case "dynamic ops with profile" `Quick test_dynamic_ops_profile;
+          Alcotest.test_case "empty body anchor" `Quick test_empty_body_anchor;
+        ] );
+    ]

@@ -1,0 +1,305 @@
+(* Compiler + ISS: differential testing against the reference
+   interpreter — the golden-model check the whole evaluation rests on —
+   plus targeted codegen cases (spilling, recursion, deep expressions,
+   argument limits) and energy/cycle accounting sanity. *)
+
+module Compiler = Lp_compiler.Compiler
+module Iss = Lp_iss.Iss
+module Isa = Lp_isa.Isa
+module Interp = Lp_ir.Interp
+
+let run_iss ?(fuel = 50_000_000) p =
+  let prog, layout = Compiler.compile p in
+  let m = Iss.create ~fuel prog Iss.null_hooks in
+  List.iter (fun (base, img) -> Iss.load_data m base img) (Compiler.initial_data p layout);
+  Iss.run m;
+  Iss.result m
+
+let differential name p =
+  let expected = (Interp.run p).Interp.outputs in
+  let actual = (run_iss p).Iss.outputs in
+  Alcotest.(check (list int)) name expected actual
+
+let test_diff_basics () =
+  let open Lp_ir.Builder in
+  differential "arith"
+    (program ~arrays:[]
+       [
+         func "main" ~params:[] ~locals:[ "x" ]
+           [
+             "x" := ((int 7 * int 9) - int 3) >>> int 1;
+             print (var "x");
+             print (int (-13) % int 5);
+             print (int 0x7FFFFFFF + int 1);
+             print (int 1 <<< int 31);
+             print (bnot (int 0));
+             print (lnot (int 7));
+           ];
+       ])
+
+let test_diff_control () =
+  let open Lp_ir.Builder in
+  differential "control flow"
+    (program ~arrays:[]
+       [
+         func "main" ~params:[] ~locals:[ "x"; "y" ]
+           [
+             "x" := int 17;
+             while_ (var "x" > int 0)
+               [
+                 if_ ((var "x" % int 3) == int 0)
+                   [ "y" := var "y" + var "x" ]
+                   [ "y" := var "y" - int 1 ];
+                 "x" := var "x" - int 1;
+               ];
+             print (var "y");
+           ];
+       ])
+
+let test_diff_arrays () =
+  let open Lp_ir.Builder in
+  differential "arrays and init data"
+    (program
+       ~arrays:[ array "a" 32; array_init "t" [| 3; 1; 4; 1; 5; 9; 2; 6 |] ]
+       [
+         func "main" ~params:[] ~locals:[ "s" ]
+           [
+             for_ "i" (int 0) (int 32)
+               [ store "a" (var "i") (load "t" (var "i" &&& int 7) * var "i") ];
+             for_ "i" (int 0) (int 32) [ "s" := var "s" + load "a" (var "i") ];
+             print (var "s");
+           ];
+       ])
+
+let test_diff_recursion () =
+  let open Lp_ir.Builder in
+  differential "recursion with frames"
+    (program ~arrays:[]
+       [
+         func "ack" ~params:[ "m"; "n" ] ~locals:[]
+           [
+             if_ (var "m" == int 0)
+               [ return (var "n" + int 1) ]
+               [
+                 if_ (var "n" == int 0)
+                   [ return (call "ack" [ var "m" - int 1; int 1 ]) ]
+                   [
+                     return
+                       (call "ack"
+                          [ var "m" - int 1; call "ack" [ var "m"; var "n" - int 1 ] ]);
+                   ];
+               ];
+           ];
+         func "main" ~params:[] ~locals:[] [ print (call "ack" [ int 2; int 3 ]) ];
+       ])
+
+let test_diff_spilled_locals () =
+  (* 16 locals + loop vars exceed the 12 saved registers: some spill to
+     the frame; semantics must not change. *)
+  let open Lp_ir.Builder in
+  let names = List.init 16 (fun i -> Printf.sprintf "v%d" i) in
+  let assigns =
+    List.mapi (fun i v -> v := int (Stdlib.( * ) i 3)) names
+  in
+  let sum =
+    List.fold_left (fun acc v -> acc + var v) (int 0) names
+  in
+  differential "spilled scalars"
+    (program ~arrays:[]
+       [
+         func "main" ~params:[] ~locals:names
+           (assigns
+           @ [
+               for_ "i" (int 0) (int 10)
+                 [ "v0" := var "v0" + var "v15"; "v7" := var "v7" + var "i" ];
+               print sum;
+             ]);
+       ])
+
+let test_diff_call_in_loop_with_live_temps () =
+  (* The call must caller-save live temporaries. *)
+  let open Lp_ir.Builder in
+  differential "caller-saved temps"
+    (program ~arrays:[]
+       [
+         func "id" ~params:[ "x" ] ~locals:[] [ return (var "x") ];
+         func "main" ~params:[] ~locals:[ "s" ]
+           [
+             for_ "i" (int 0) (int 5)
+               [ "s" := var "s" + (var "i" * call "id" [ var "i" + int 1 ]) ];
+             print (var "s");
+           ];
+       ])
+
+let test_diff_six_args () =
+  let open Lp_ir.Builder in
+  differential "six arguments"
+    (program ~arrays:[]
+       [
+         func "sum6" ~params:[ "a"; "b"; "c"; "d"; "e"; "f" ] ~locals:[]
+           [ return (var "a" + var "b" + var "c" + var "d" + var "e" + var "f") ];
+         func "main" ~params:[] ~locals:[]
+           [ print (call "sum6" [ int 1; int 2; int 3; int 4; int 5; int 6 ]) ];
+       ])
+
+let test_too_many_args_rejected () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "f7" ~params:[ "a"; "b"; "c"; "d"; "e"; "f"; "g" ] ~locals:[]
+          [ return (var "a") ];
+        func "main" ~params:[] ~locals:[]
+          [ print (call "f7" [ int 1; int 2; int 3; int 4; int 5; int 6; int 7 ]) ];
+      ]
+  in
+  match Compiler.compile p with
+  | exception Compiler.Compile_error _ -> ()
+  | _ -> Alcotest.fail "seven args accepted"
+
+let test_deep_expression_rejected () =
+  (* Depth beyond the 8 temporaries must fail loudly, not silently
+     miscompile. *)
+  let p =
+    let open Lp_ir.Builder in
+    let rec deep n =
+      if n = 0 then var "x"
+      else deep (Stdlib.( - ) n 1) + deep (Stdlib.( - ) n 1)
+    in
+    program ~arrays:[]
+      [ func "main" ~params:[] ~locals:[ "x" ] [ print (deep 9) ] ]
+  in
+  match Compiler.compile p with
+  | exception Compiler.Compile_error _ -> ()
+  | _ ->
+      (* If it compiles (Sethi-Ullman style reuse keeps it within 8),
+         it must still be correct. *)
+      differential "deep expression" p
+
+let test_diff_large_address_space () =
+  (* Array bases beyond the 16-bit immediate range force the
+     scratch-register (Li+Add) addressing path in the code generator. *)
+  let open Lp_ir.Builder in
+  differential "scratch-register addressing"
+    (program
+       ~arrays:[ array "pad" 40_000; array "far" 16 ]
+       [
+         func "main" ~params:[] ~locals:[ "s" ]
+           [
+             store "pad" (int 39_999) (int 7);
+             for_ "i" (int 0) (int 16) [ store "far" (var "i") (var "i" * int 5) ];
+             for_ "i" (int 0) (int 16) [ "s" := var "s" + load "far" (var "i") ];
+             print (var "s" + load "pad" (int 39_999));
+           ];
+       ])
+
+let test_diff_nested_call_chains () =
+  let open Lp_ir.Builder in
+  differential "three-deep call chain with spilled frames"
+    (program ~arrays:[]
+       [
+         func "leaf" ~params:[ "x" ] ~locals:[] [ return (var "x" * int 3) ];
+         func "mid" ~params:[ "x" ] ~locals:[ "t" ]
+           [ "t" := call "leaf" [ var "x" + int 1 ]; return (var "t" + call "leaf" [ var "x" ]) ];
+         func "main" ~params:[] ~locals:[ "s" ]
+           [
+             for_ "i" (int 0) (int 8) [ "s" := var "s" + call "mid" [ var "i" ] ];
+             print (var "s");
+           ];
+       ])
+
+let test_iss_div_by_zero () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [ func "main" ~params:[] ~locals:[ "z" ] [ print (int 1 / var "z") ] ]
+  in
+  match run_iss p with
+  | exception Iss.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected ISS division trap"
+
+let test_iss_fuel () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "x" ]
+          [ "x" := int 1; while_ (var "x" > int 0) [ "x" := int 1 ] ];
+      ]
+  in
+  match run_iss ~fuel:1000 p with
+  | exception Iss.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_accounting_sane () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "s" ]
+          [ for_ "i" (int 0) (int 100) [ "s" := var "s" + (var "i" * var "i") ];
+            print (var "s") ];
+      ]
+  in
+  let r = run_iss p in
+  Alcotest.(check bool) "cycles >= instructions" true
+    (r.Iss.up_cycles >= r.Iss.instr_count);
+  Alcotest.(check bool) "energy positive" true (r.Iss.up_energy_j > 0.0);
+  Alcotest.(check bool) "muls counted" true
+    (List.mem_assoc Isa.C_mul r.Iss.class_counts);
+  (* Energy at least the sum of base costs of the cheapest class. *)
+  Alcotest.(check bool) "energy >= instr * min base" true
+    (r.Iss.up_energy_j
+    >= float_of_int r.Iss.instr_count *. Lp_iss.Energy_model.base_energy_j Isa.C_sys)
+
+let test_energy_scales_with_work () =
+  let prog n =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "s" ]
+          [ for_ "i" (int 0) (int n) [ "s" := var "s" + var "i" ]; print (var "s") ];
+      ]
+  in
+  let r1 = run_iss (prog 10) and r2 = run_iss (prog 1000) in
+  Alcotest.(check bool) "100x loop >> energy" true
+    (r2.Iss.up_energy_j > 10.0 *. r1.Iss.up_energy_j)
+
+let prop_random_programs =
+  QCheck.Test.make ~name:"random programs: ISS == interpreter" ~count:120
+    Lp_testkit.program_arbitrary (fun p ->
+      let expected = (Interp.run p).Interp.outputs in
+      let actual = (run_iss p).Iss.outputs in
+      expected = actual)
+
+let () =
+  Alcotest.run "compiler+iss"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_diff_basics;
+          Alcotest.test_case "control flow" `Quick test_diff_control;
+          Alcotest.test_case "arrays" `Quick test_diff_arrays;
+          Alcotest.test_case "recursion" `Quick test_diff_recursion;
+          Alcotest.test_case "spilled locals" `Quick test_diff_spilled_locals;
+          Alcotest.test_case "caller-saved temps" `Quick
+            test_diff_call_in_loop_with_live_temps;
+          Alcotest.test_case "six arguments" `Quick test_diff_six_args;
+          Alcotest.test_case "scratch-register addressing" `Quick
+            test_diff_large_address_space;
+          Alcotest.test_case "nested call chains" `Quick test_diff_nested_call_chains;
+        ] );
+      ( "limits",
+        [
+          Alcotest.test_case "too many args" `Quick test_too_many_args_rejected;
+          Alcotest.test_case "deep expression" `Quick test_deep_expression_rejected;
+          Alcotest.test_case "division trap" `Quick test_iss_div_by_zero;
+          Alcotest.test_case "fuel" `Quick test_iss_fuel;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "sane counters" `Quick test_accounting_sane;
+          Alcotest.test_case "energy scales" `Quick test_energy_scales_with_work;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_programs ]);
+    ]

@@ -1,0 +1,148 @@
+(* Binary encoding: field packing, wide immediates, error paths, and
+   exhaustive round-trip properties over random instructions and every
+   compiled application. *)
+
+module Isa = Lp_isa.Isa
+module Encoding = Lp_isa.Encoding
+
+let roundtrip name instrs =
+  let image = Encoding.encode (Array.of_list instrs) in
+  let back = Array.to_list (Encoding.decode image) in
+  Alcotest.(check bool) name true (back = instrs)
+
+let test_single_word_forms () =
+  roundtrip "r-type"
+    [ Isa.Add (1, 2, 3); Isa.Sub (31, 0, 15); Isa.Mul (8, 9, 10) ];
+  roundtrip "set all comparisons"
+    (List.map
+       (fun c -> Isa.Set (c, 4, 5, 6))
+       [ Isa.Clt; Isa.Cle; Isa.Cgt; Isa.Cge; Isa.Ceq; Isa.Cne ]);
+  roundtrip "i-type"
+    [
+      Isa.Addi (1, 2, -32768);
+      Isa.Addi (1, 2, 32767);
+      Isa.Ld (3, 29, -4);
+      Isa.St (3, 29, 100);
+      Isa.Slli (4, 5, 31);
+    ];
+  roundtrip "control"
+    [ Isa.Jmp 0; Isa.Jal 12345; Isa.Jr 31; Isa.Bnez (7, 65535); Isa.Beqz (7, 0) ];
+  roundtrip "sys" [ Isa.Print 3; Isa.Acall 42; Isa.Halt; Isa.Nop ]
+
+let test_wide_immediate () =
+  let instrs = [ Isa.Li (5, 0x12345678); Isa.Li (6, -1); Isa.Li (7, 42) ] in
+  let image = Encoding.encode (Array.of_list instrs) in
+  (* Two words for the wide value, one each for the narrow ones. *)
+  Alcotest.(check int) "wide uses 2 words" 4 (Array.length image);
+  roundtrip "wide roundtrip" instrs;
+  roundtrip "int32 extremes"
+    [ Isa.Li (1, Lp_ir.Word.min_int32); Isa.Li (2, Lp_ir.Word.max_int32) ]
+
+let test_encode_errors () =
+  (match Encoding.encode_instr (Isa.Add (32, 0, 0)) with
+  | exception Encoding.Encode_error _ -> ()
+  | _ -> Alcotest.fail "register 32 accepted");
+  match Encoding.encode_instr (Isa.Addi (1, 2, 100_000)) with
+  | exception Encoding.Encode_error _ -> ()
+  | _ -> Alcotest.fail "oversized immediate accepted"
+
+let test_decode_errors () =
+  (match Encoding.decode [| Int32.of_int (63 lsl 26) |] with
+  | exception Encoding.Decode_error _ -> ()
+  | _ -> Alcotest.fail "unknown opcode accepted");
+  (* A truncated wide immediate. *)
+  let wide_head = Encoding.encode [| Isa.Li (1, 0x7FFFFFF) |] in
+  match Encoding.decode [| wide_head.(0) |] with
+  | exception Encoding.Decode_error _ -> ()
+  | _ -> Alcotest.fail "truncated stream accepted"
+
+let reg_gen = QCheck.Gen.int_range 0 31
+let imm_gen = QCheck.Gen.int_range (-32768) 32767
+let target_gen = QCheck.Gen.int_range 0 65535
+
+let instr_gen =
+  QCheck.Gen.(
+    oneof
+      [
+        map3 (fun d a b -> Isa.Add (d, a, b)) reg_gen reg_gen reg_gen;
+        map3 (fun d a b -> Isa.Sub (d, a, b)) reg_gen reg_gen reg_gen;
+        map3 (fun d a b -> Isa.Mul (d, a, b)) reg_gen reg_gen reg_gen;
+        map3 (fun d a b -> Isa.Xor (d, a, b)) reg_gen reg_gen reg_gen;
+        map3 (fun d a n -> Isa.Addi (d, a, n)) reg_gen reg_gen imm_gen;
+        map3 (fun d a n -> Isa.Ld (d, a, n)) reg_gen reg_gen imm_gen;
+        map3 (fun d a n -> Isa.St (d, a, n)) reg_gen reg_gen imm_gen;
+        map2 (fun d n -> Isa.Li (d, Lp_ir.Word.norm n)) reg_gen
+          (int_range Lp_ir.Word.min_int32 Lp_ir.Word.max_int32);
+        map2 (fun r t -> Isa.Bnez (r, t)) reg_gen target_gen;
+        map2 (fun r t -> Isa.Beqz (r, t)) reg_gen target_gen;
+        map (fun t -> Isa.Jmp t) target_gen;
+        map (fun t -> Isa.Jal t) target_gen;
+        map (fun r -> Isa.Jr r) reg_gen;
+        map (fun r -> Isa.Print r) reg_gen;
+        map (fun k -> Isa.Acall k) target_gen;
+        return Isa.Halt;
+        return Isa.Nop;
+        map3 (fun d a b -> Isa.Set (Isa.Cge, d, a, b)) reg_gen reg_gen reg_gen;
+      ])
+
+let prop_roundtrip_random =
+  QCheck.Test.make ~name:"random instruction streams round-trip" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 50) instr_gen))
+    (fun instrs ->
+      let image = Encoding.encode (Array.of_list instrs) in
+      Array.to_list (Encoding.decode image) = instrs)
+
+let test_apps_roundtrip () =
+  List.iter
+    (fun (e : Lp_apps.Apps.entry) ->
+      let prog, _ = Lp_compiler.Compiler.compile (e.Lp_apps.Apps.build ()) in
+      let image = Encoding.encode prog.Isa.code in
+      let back = Encoding.decode image in
+      Alcotest.(check bool) (e.Lp_apps.Apps.name ^ " roundtrips") true
+        (back = prog.Isa.code);
+      let bytes = Encoding.code_bytes prog in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s code size %d B sane" e.Lp_apps.Apps.name bytes)
+        true
+        (bytes >= 4 * Array.length prog.Isa.code))
+    Lp_apps.Apps.extended
+
+let test_big_address_program_roundtrip () =
+  (* Wide immediates in the compiled stream: a 40k-word data segment
+     forces Li beyond the 16-bit range. *)
+  let p =
+    let open Lp_ir.Builder in
+    program
+      ~arrays:[ array "pad" 40_000; array "far" 8 ]
+      [
+        func "main" ~params:[] ~locals:[ "s" ]
+          [
+            store "far" (int 0) (int 42);
+            "s" := load "far" (int 0);
+            print (var "s");
+          ];
+      ]
+  in
+  let prog, _ = Lp_compiler.Compiler.compile p in
+  let image = Encoding.encode prog.Isa.code in
+  Alcotest.(check bool) "wide forms present" true
+    (Array.length image > Array.length prog.Isa.code);
+  Alcotest.(check bool) "roundtrips" true (Encoding.decode image = prog.Isa.code)
+
+let () =
+  Alcotest.run "lp_encoding"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "single-word forms" `Quick test_single_word_forms;
+          Alcotest.test_case "wide immediates" `Quick test_wide_immediate;
+          Alcotest.test_case "encode errors" `Quick test_encode_errors;
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+        ] );
+      ( "roundtrip",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip_random;
+          Alcotest.test_case "compiled applications" `Quick test_apps_roundtrip;
+          Alcotest.test_case "big address space" `Quick test_big_address_program_roundtrip;
+        ] );
+    ]

@@ -1,0 +1,245 @@
+(* End-to-end partitioning flow: Fig. 1 on small programs — selection
+   behaviour, objective-function knobs, verification, core merging. *)
+
+module Flow = Lp_core.Flow
+module Objective = Lp_core.Objective
+module Candidate = Lp_core.Candidate
+module System = Lp_system.System
+module Cluster = Lp_cluster.Cluster
+
+(* A miniature "digs": synth + convolve + reduce, all call-free, so the
+   whole pipeline is movable. *)
+let mini_digs =
+  let w = 12 in
+  let n = w * w in
+  let n1 = n - 1 in
+  let open Lp_ir.Builder in
+  program
+    ~arrays:[ array "img" n; array "out" n ]
+    [
+      func "main" ~params:[] ~locals:[ "s"; "acc" ]
+        [
+          "s" := int 17;
+          for_ "i" (int 0) (int n)
+            [
+              "s" := ((var "s" * int 1103515245) + int 12345) &&& int 0xFFFFFF;
+              store "img" (var "i") (var "s" &&& int 255);
+            ];
+          for_ "i" (int 1) (int n1)
+            [
+              store "out" (var "i")
+                ((load "img" (var "i" - int 1)
+                 + (load "img" (var "i") * int 2)
+                 + load "img" (var "i" + int 1))
+                >>> int 2);
+            ];
+          for_ "i" (int 0) (int n)
+            [ "acc" := (var "acc" <<< int 1) + load "out" (var "i") &&& int 0xFFFFF ];
+          print (var "acc");
+        ];
+    ]
+
+(* A call-heavy program: nothing can move. *)
+let all_software =
+  let open Lp_ir.Builder in
+  program ~arrays:[]
+    [
+      func "g" ~params:[ "x" ] ~locals:[] [ return (var "x" * int 3 + int 1) ];
+      func "main" ~params:[] ~locals:[ "s" ]
+        [
+          for_ "i" (int 0) (int 50) [ "s" := var "s" + call "g" [ var "i" ] ];
+          print (var "s");
+        ];
+    ]
+
+let run ?options name p = Flow.run ?options ~name p
+
+let test_mini_digs_partitions () =
+  let r = run "mini-digs" mini_digs in
+  Alcotest.(check bool) "selects clusters" true (r.Flow.selected <> []);
+  Alcotest.(check bool) "saves energy" true (r.Flow.energy_saving > 0.2);
+  Alcotest.(check bool) "cells accounted" true (r.Flow.total_cells > 0);
+  (* Verified outputs: Flow.run raises otherwise; double-check
+     anyway. *)
+  Alcotest.(check (list int)) "outputs equal"
+    r.Flow.initial.System.outputs r.Flow.partitioned.System.outputs
+
+let test_energy_conservation_of_report () =
+  let r = run "mini-digs" mini_digs in
+  let t = System.total_energy_j r.Flow.initial in
+  Alcotest.(check bool) "initial energy positive" true (t > 0.0);
+  let saving =
+    (t -. System.total_energy_j r.Flow.partitioned) /. t
+  in
+  Alcotest.(check (float 1e-9)) "saving consistent" saving r.Flow.energy_saving
+
+let test_all_software_selects_nothing () =
+  let r = run "allsw" all_software in
+  Alcotest.(check (list int)) "no clusters selected" []
+    (List.map
+       (fun s -> s.Flow.candidate.Candidate.cluster.Cluster.cid)
+       r.Flow.selected);
+  Alcotest.(check (float 1e-9)) "no saving" 0.0 r.Flow.energy_saving;
+  Alcotest.(check int) "no cells" 0 r.Flow.total_cells
+
+let test_f_zero_rejects_everything () =
+  (* With F = 0 the objective sees only hardware cost: nothing is ever
+     worth adding. *)
+  let options = { Flow.default_options with Flow.f = 0.0 } in
+  let r = run ~options "mini-digs-f0" mini_digs in
+  Alcotest.(check int) "nothing selected" 0 (List.length r.Flow.selected)
+
+let test_f_monotone_selection () =
+  (* Larger F admits at least as many clusters. *)
+  let sel f =
+    let options = { Flow.default_options with Flow.f } in
+    List.length (run ~options "mini-digs-f" mini_digs).Flow.selected
+  in
+  let s1 = sel 1.0 and s8 = sel 8.0 and s32 = sel 32.0 in
+  Alcotest.(check bool) "monotone in F" true (s1 <= s8 && s8 <= s32)
+
+let test_max_cells_cap () =
+  let options = { Flow.default_options with Flow.max_cells = 100 } in
+  let r = run ~options "mini-digs-tinycap" mini_digs in
+  Alcotest.(check int) "cap excludes all candidates" 0
+    (List.length r.Flow.candidates)
+
+let test_n_max_limits_candidates () =
+  let options = { Flow.default_options with Flow.n_max = 1 } in
+  let r = run ~options "mini-digs-nmax" mini_digs in
+  Alcotest.(check bool) "at most one preselected" true
+    (List.length r.Flow.preselected <= 1)
+
+let test_selected_beat_up () =
+  let r = run "mini-digs" mini_digs in
+  List.iter
+    (fun s ->
+      let c = s.Flow.candidate in
+      Alcotest.(check bool) "U_R > U_uP" true (Candidate.beats_up c);
+      Alcotest.(check bool) "utilisation sane" true
+        (c.Candidate.u_asic > 0.0 && c.Candidate.u_asic <= 1.0))
+    r.Flow.selected
+
+let test_adjacent_clusters_merge () =
+  let r = run "mini-digs" mini_digs in
+  match r.Flow.selected with
+  | _ :: _ :: _ ->
+      (* Several adjacent clusters selected: they must share cores, so
+         cores < selected or a core has several members. *)
+      let members =
+        List.fold_left (fun acc c -> acc + List.length c.Flow.core_cids) 0 r.Flow.cores
+      in
+      Alcotest.(check int) "every selected cluster in a core"
+        (List.length r.Flow.selected) members;
+      Alcotest.(check bool) "merging happened" true
+        (List.length r.Flow.cores < List.length r.Flow.selected);
+      (* Merged total is cheaper than the sum of per-cluster netlists. *)
+      let sum_individual =
+        List.fold_left
+          (fun acc s -> acc + s.Flow.candidate.Candidate.cells)
+          0 r.Flow.selected
+      in
+      Alcotest.(check bool) "sharing saves cells" true
+        (r.Flow.total_cells < sum_individual)
+  | _ -> Alcotest.fail "expected a multi-cluster selection"
+
+let test_objective_values () =
+  let p = Objective.make_params ~f:2.0 ~e0_j:1.0 () in
+  let terms =
+    {
+      Objective.e_asic_j = 0.1;
+      e_up_residual_j = 0.3;
+      e_rest_j = 0.1;
+      e_trans_j = 0.0;
+      cells = 8000;
+    }
+  in
+  Alcotest.(check (float 1e-9)) "OF value"
+    ((2.0 *. 0.5) +. (8000.0 /. 16000.0))
+    (Objective.value p terms);
+  Alcotest.(check (float 1e-9)) "initial OF = F" 2.0 (Objective.initial_value p);
+  Alcotest.(check (float 1e-9)) "energy total" 0.5 (Objective.energy_total_j terms);
+  match Objective.make_params ~e0_j:0.0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero E_0 accepted"
+
+let test_voltage_scaling_tradeoff () =
+  (* Lower ASIC supply: at least as much energy saved, never faster. *)
+  let run v =
+    let options = { Flow.default_options with Flow.asic_vdd_v = v } in
+    run ~options "mini-digs-vdd" mini_digs
+  in
+  let nominal = run Lp_tech.Cmos6.vdd_v in
+  let low = run 2.0 in
+  Alcotest.(check bool) "lower V saves at least as much" true
+    (low.Flow.energy_saving >= nominal.Flow.energy_saving -. 1e-9);
+  Alcotest.(check bool) "lower V is slower" true
+    (System.total_cycles low.Flow.partitioned
+    >= System.total_cycles nominal.Flow.partitioned);
+  Alcotest.(check (list int)) "outputs unaffected"
+    nominal.Flow.partitioned.System.outputs low.Flow.partitioned.System.outputs
+
+let test_peephole_config_equivalent () =
+  (* The peephole pass changes cycle counts, never results. *)
+  let config = { System.default_config with System.peephole = true } in
+  let options = { Flow.default_options with Flow.config = config } in
+  let with_peep = run ~options "mini-digs-peep" mini_digs in
+  let without = run "mini-digs" mini_digs in
+  Alcotest.(check (list int)) "same outputs"
+    without.Flow.partitioned.System.outputs
+    with_peep.Flow.partitioned.System.outputs;
+  Alcotest.(check bool) "no more instructions" true
+    (with_peep.Flow.initial.System.instr_count
+    <= without.Flow.initial.System.instr_count)
+
+let test_fds_scheduler_option () =
+  (* The flow runs end-to-end with the force-directed scheduler; it
+     saves energy but (paper E9) no more than the list schedule, and
+     still verifies. *)
+  let fds =
+    let options =
+      { Flow.default_options with Flow.scheduler = Candidate.Fds 1.0 }
+    in
+    run ~options "mini-digs-fds" mini_digs
+  in
+  let list_sched = run "mini-digs" mini_digs in
+  Alcotest.(check (list int)) "fds outputs equal"
+    list_sched.Flow.partitioned.System.outputs
+    fds.Flow.partitioned.System.outputs;
+  Alcotest.(check bool) "fds still saves" true (fds.Flow.energy_saving > 0.0);
+  Alcotest.(check bool) "list schedule at least as good" true
+    (list_sched.Flow.energy_saving >= fds.Flow.energy_saving -. 0.02)
+
+let test_verification_guard () =
+  (* verify_outputs = false must not change results for a healthy
+     program. *)
+  let options = { Flow.default_options with Flow.verify_outputs = false } in
+  let r = run ~options "mini-digs-noverify" mini_digs in
+  Alcotest.(check (list int)) "still equivalent"
+    r.Flow.initial.System.outputs r.Flow.partitioned.System.outputs
+
+let () =
+  Alcotest.run "lp_flow"
+    [
+      ( "end-to-end",
+        [
+          Alcotest.test_case "mini-digs partitions" `Quick test_mini_digs_partitions;
+          Alcotest.test_case "report consistency" `Quick test_energy_conservation_of_report;
+          Alcotest.test_case "call-heavy stays software" `Quick
+            test_all_software_selects_nothing;
+          Alcotest.test_case "selected beat the uP" `Quick test_selected_beat_up;
+          Alcotest.test_case "adjacent merging" `Quick test_adjacent_clusters_merge;
+          Alcotest.test_case "verification off" `Quick test_verification_guard;
+          Alcotest.test_case "voltage scaling" `Quick test_voltage_scaling_tradeoff;
+          Alcotest.test_case "peephole config" `Quick test_peephole_config_equivalent;
+          Alcotest.test_case "FDS scheduler option" `Quick test_fds_scheduler_option;
+        ] );
+      ( "knobs",
+        [
+          Alcotest.test_case "F=0 rejects" `Quick test_f_zero_rejects_everything;
+          Alcotest.test_case "F monotone" `Quick test_f_monotone_selection;
+          Alcotest.test_case "max cells cap" `Quick test_max_cells_cap;
+          Alcotest.test_case "n_max bound" `Quick test_n_max_limits_candidates;
+        ] );
+      ("objective", [ Alcotest.test_case "values" `Quick test_objective_values ]);
+    ]

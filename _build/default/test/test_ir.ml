@@ -1,0 +1,315 @@
+(* IR: builder, validation, numbering, interpreter semantics, profiler,
+   pretty-printer, plus random-program properties. *)
+
+open Lp_ir
+open Lp_ir.Builder
+
+let run_outputs p = (Interp.run p).Interp.outputs
+
+let simple_main ?(arrays = []) ?(locals = []) body =
+  program ~arrays [ func "main" ~params:[] ~locals body ]
+
+let check_out name expected p =
+  Alcotest.(check (list int)) name expected (run_outputs p)
+
+(* --- validation --- *)
+
+let expect_invalid name build =
+  match build () with
+  | exception Validate.Error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Validate.Error" name
+
+let test_validate_rejects () =
+  expect_invalid "unbound scalar" (fun () ->
+      simple_main [ print (var "nope") ]);
+  expect_invalid "unknown array" (fun () ->
+      simple_main ~locals:[ "x" ] [ "x" := load "ghost" (int 0) ]);
+  expect_invalid "bad arity" (fun () ->
+      program ~arrays:[]
+        [
+          func "f" ~params:[ "a" ] ~locals:[] [ return (var "a") ];
+          func "main" ~params:[] ~locals:[ "x" ]
+            [ "x" := call "f" [ int 1; int 2 ] ];
+        ]);
+  expect_invalid "unknown function" (fun () ->
+      simple_main ~locals:[ "x" ] [ "x" := call "ghost" [] ]);
+  expect_invalid "duplicate function" (fun () ->
+      program ~arrays:[]
+        [
+          func "main" ~params:[] ~locals:[] [];
+          func "main" ~params:[] ~locals:[] [];
+        ]);
+  expect_invalid "duplicate scalar" (fun () ->
+      program ~arrays:[] [ func "main" ~params:[] ~locals:[ "x"; "x" ] [] ]);
+  expect_invalid "entry with params" (fun () ->
+      program ~arrays:[] [ func "main" ~params:[ "a" ] ~locals:[] [] ]);
+  expect_invalid "missing entry" (fun () ->
+      program ~arrays:[] [ func "notmain" ~params:[] ~locals:[] [] ]);
+  expect_invalid "nonpositive array" (fun () ->
+      program ~arrays:[ Builder.array "a" 0 ]
+        [ func "main" ~params:[] ~locals:[] [] ]);
+  expect_invalid "init length mismatch" (fun () ->
+      program
+        ~arrays:[ { Ast.aname = "a"; size = 3; init = Some [| 1 |] } ]
+        [ func "main" ~params:[] ~locals:[] [] ])
+
+let test_validate_loop_var_scope () =
+  (* The For index is in scope inside the body only. *)
+  let ok =
+    simple_main ~locals:[ "s" ]
+      [ for_ "i" (int 0) (int 3) [ "s" := var "s" + var "i" ]; print (var "s") ]
+  in
+  check_out "loop var scoped" [ 3 ] ok;
+  expect_invalid "loop var not visible after" (fun () ->
+      simple_main [ for_ "i" (int 0) (int 3) []; print (var "i") ])
+
+let test_numbering_dense () =
+  let p =
+    simple_main ~locals:[ "x" ]
+      [
+        "x" := int 1;
+        if_ (var "x" > int 0)
+          [ "x" := int 2 ]
+          [ while_ (var "x" > int 0) [ "x" := var "x" - int 1 ] ];
+        print (var "x");
+      ]
+  in
+  let n = Ast.stmt_count p in
+  Alcotest.(check int) "max sid is count-1" (Stdlib.( - ) n 1) (Ast.max_sid p);
+  let seen = Hashtbl.create 16 in
+  Ast.iter_stmts
+    (fun s ->
+      Alcotest.(check bool) "sid unique" false (Hashtbl.mem seen s.Ast.sid);
+      Hashtbl.add seen s.Ast.sid ())
+    (Option.get (Ast.find_func p "main")).Ast.body
+
+(* --- interpreter semantics --- *)
+
+let test_interp_arith () =
+  check_out "precedence-free arith" [ 30; -3; -2 ]
+    (simple_main ~locals:[ "x" ]
+       [
+         "x" := (int 7 * int 9) - int 33;
+         print (var "x");
+         print (int (-13) % int 5);
+         print (int (-13) / int 5);
+       ])
+
+let test_interp_loops () =
+  check_out "for accumulates" [ 45 ]
+    (simple_main ~locals:[ "s" ]
+       [ for_ "i" (int 0) (int 10) [ "s" := var "s" + var "i" ]; print (var "s") ]);
+  check_out "empty for body count" [ 0 ]
+    (simple_main ~locals:[ "s" ]
+       [ for_ "i" (int 5) (int 5) [ "s" := var "s" + int 1 ]; print (var "s") ]);
+  check_out "descending bounds skip" [ 0 ]
+    (simple_main ~locals:[ "s" ]
+       [ for_ "i" (int 5) (int 0) [ "s" := var "s" + int 1 ]; print (var "s") ]);
+  check_out "while countdown" [ 0 ]
+    (simple_main ~locals:[ "x" ]
+       [ "x" := int 5; while_ (var "x" > int 0) [ "x" := var "x" - int 1 ];
+         print (var "x") ])
+
+let test_interp_for_leaves_bound () =
+  (* After a completed For, the index equals the (once-evaluated) bound. *)
+  check_out "index equals hi" [ 4 ]
+    (simple_main ~locals:[ "last" ]
+       [
+         for_ "i" (int 0) (int 4) [ "last" := var "i" + int 1 ];
+         print (var "last");
+       ])
+
+let test_interp_hi_evaluated_once () =
+  (* Modifying a scalar used in the bound must not change the trip
+     count. *)
+  check_out "bound frozen" [ 3 ]
+    (simple_main ~locals:[ "n"; "s" ]
+       [
+         "n" := int 3;
+         for_ "i" (int 0) (var "n") [ "n" := int 100; "s" := var "s" + int 1 ];
+         print (var "s");
+       ])
+
+let test_interp_arrays () =
+  check_out "store/load roundtrip" [ 99 ]
+    (simple_main ~arrays:[ Builder.array "a" 4 ] ~locals:[]
+       [ store "a" (int 2) (int 99); print (load "a" (int 2)) ]);
+  check_out "arrays zero-initialised" [ 0 ]
+    (simple_main ~arrays:[ Builder.array "a" 4 ] [ print (load "a" (int 3)) ]);
+  check_out "array_init contents" [ 7 ]
+    (simple_main
+       ~arrays:[ Builder.array_init "a" [| 5; 6; 7 |] ]
+       [ print (load "a" (int 2)) ])
+
+let expect_runtime ?fuel name p =
+  match Interp.run ?fuel p with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.failf "%s: expected Runtime_error" name
+
+let test_interp_errors () =
+  expect_runtime "oob load"
+    (simple_main ~arrays:[ Builder.array "a" 4 ] [ print (load "a" (int 4)) ]);
+  expect_runtime "negative index"
+    (simple_main ~arrays:[ Builder.array "a" 4 ] [ print (load "a" (int (-1))) ]);
+  expect_runtime "div by zero" (simple_main [ print (int 1 / int 0) ]);
+  expect_runtime "mod by zero" (simple_main [ print (int 1 % int 0) ]);
+  expect_runtime ~fuel:10_000 "fuel exhausted"
+    (simple_main ~locals:[ "x" ]
+       [ "x" := int 1; while_ (var "x" > int 0) [ "x" := int 1 ] ])
+
+let test_interp_calls_and_recursion () =
+  let fib =
+    program ~arrays:[]
+      [
+        func "fib" ~params:[ "n" ] ~locals:[]
+          [
+            if_ (var "n" < int 2)
+              [ return (var "n") ]
+              [ return (call "fib" [ var "n" - int 1 ] + call "fib" [ var "n" - int 2 ]) ];
+          ];
+        func "main" ~params:[] ~locals:[] [ print (call "fib" [ int 12 ]) ];
+      ]
+  in
+  check_out "fib 12" [ 144 ] fib;
+  (* Unbounded recursion hits the depth limit. *)
+  expect_runtime "depth limit"
+    (program ~arrays:[]
+       [
+         func "loop" ~params:[] ~locals:[] [ return (call "loop" []) ];
+         func "main" ~params:[] ~locals:[] [ print (call "loop" []) ];
+       ])
+
+let test_interp_return_paths () =
+  check_out "fallthrough returns 0" [ 0 ]
+    (program ~arrays:[]
+       [
+         func "f" ~params:[] ~locals:[] [];
+         func "main" ~params:[] ~locals:[] [ print (call "f" []) ];
+       ]);
+  check_out "early return wins" [ 1 ]
+    (program ~arrays:[]
+       [
+         func "f" ~params:[] ~locals:[] [ return (int 1); return (int 2) ];
+         func "main" ~params:[] ~locals:[] [ print (call "f" []) ];
+       ])
+
+let test_profile_counts () =
+  let p =
+    simple_main ~locals:[ "s" ]
+      [
+        for_ "i" (int 0) (int 7) [ "s" := var "s" + var "i" ];
+        print (var "s");
+      ]
+  in
+  let r = Interp.run p in
+  (* Find the sid of the body assignment: it must have run 7 times. *)
+  let body_sid =
+    Ast.fold_stmts
+      (fun acc s ->
+        match s.Ast.node with Ast.Assign ("s", _) -> s.Ast.sid | _ -> acc)
+      (-1)
+      (Option.get (Ast.find_func p "main")).Ast.body
+  in
+  Alcotest.(check int) "body ran 7 times" 7 (Interp.ex_times r body_sid);
+  Alcotest.(check int) "oob sid is 0" 0 (Interp.ex_times r 9999);
+  Alcotest.(check bool) "steps counted" true Stdlib.(r.Interp.steps > 7)
+
+let test_array_access_counts () =
+  let p =
+    simple_main ~arrays:[ Builder.array "a" 8 ] ~locals:[ "s" ]
+      [
+        for_ "i" (int 0) (int 8) [ store "a" (var "i") (var "i") ];
+        for_ "i" (int 0) (int 4) [ "s" := var "s" + load "a" (var "i") ];
+        print (var "s");
+      ]
+  in
+  let r = Interp.run p in
+  Alcotest.(check (list (pair string int))) "reads" [ ("a", 4) ] r.Interp.array_reads;
+  Alcotest.(check (list (pair string int))) "writes" [ ("a", 8) ] r.Interp.array_writes
+
+(* --- printer --- *)
+
+let test_printer_roundtrip_text () =
+  let p =
+    simple_main ~arrays:[ Builder.array "a" 2 ] ~locals:[ "x" ]
+      [
+        "x" := int 1 + (int 2 * int 3);
+        store "a" (int 0) (var "x");
+        if_ (var "x" > int 5) [ print (var "x") ] [ print (int 0) ];
+      ]
+  in
+  let text = Printer.program_to_string p in
+  let contains fragment =
+    let n = String.length text and m = String.length fragment in
+    let rec go i =
+      Stdlib.(i + m <= n && (String.sub text i m = fragment || go (i + 1)))
+    in
+    go 0
+  in
+  List.iter
+    (fun fragment ->
+      Alcotest.(check bool)
+        (Printf.sprintf "printer mentions %S" fragment)
+        true (contains fragment))
+    [ "array a[2]"; "x = "; "a[0] = x"; "if"; "print" ]
+
+(* --- expression helpers --- *)
+
+let test_expr_helpers () =
+  let e = load "a" (var "i" + var "j") + call "f" [ var "k" ] in
+  Alcotest.(check (list string)) "vars" [ "i"; "j"; "k" ] (Ast.expr_vars e);
+  Alcotest.(check (list string)) "arrays" [ "a" ] (Ast.expr_arrays e);
+  Alcotest.(check (list string)) "calls" [ "f" ] (Ast.expr_calls e);
+  let ops = Ast.expr_ops (var "x" * var "y" >>> int 2) in
+  Alcotest.(check bool) "ops contain mul and shr" true
+    (List.mem Lp_tech.Op.Mul ops && List.mem Lp_tech.Op.Shr ops)
+
+(* --- properties --- *)
+
+let prop_interp_deterministic =
+  QCheck.Test.make ~name:"interpretation is deterministic" ~count:100
+    Lp_testkit.program_arbitrary (fun p ->
+      run_outputs p = run_outputs p)
+
+let prop_numbering_idempotent =
+  QCheck.Test.make ~name:"renumbering is stable" ~count:100
+    Lp_testkit.program_arbitrary (fun p ->
+      let p1, n1 = Ast.number_program p in
+      let p2, n2 = Ast.number_program p1 in
+      n1 = n2 && p1 = p2)
+
+let prop_validate_generated =
+  QCheck.Test.make ~name:"generated programs validate" ~count:100
+    Lp_testkit.program_arbitrary (fun p -> Validate.errors p = [])
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lp_ir"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "rejections" `Quick test_validate_rejects;
+          Alcotest.test_case "loop var scope" `Quick test_validate_loop_var_scope;
+          Alcotest.test_case "dense numbering" `Quick test_numbering_dense;
+        ] );
+      ( "interp",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_interp_arith;
+          Alcotest.test_case "loops" `Quick test_interp_loops;
+          Alcotest.test_case "for leaves bound" `Quick test_interp_for_leaves_bound;
+          Alcotest.test_case "bound evaluated once" `Quick test_interp_hi_evaluated_once;
+          Alcotest.test_case "arrays" `Quick test_interp_arrays;
+          Alcotest.test_case "runtime errors" `Quick test_interp_errors;
+          Alcotest.test_case "calls and recursion" `Quick test_interp_calls_and_recursion;
+          Alcotest.test_case "return paths" `Quick test_interp_return_paths;
+          Alcotest.test_case "profile counts" `Quick test_profile_counts;
+          Alcotest.test_case "array access counts" `Quick test_array_access_counts;
+        ] );
+      ( "printer",
+        [ Alcotest.test_case "text fragments" `Quick test_printer_roundtrip_text ] );
+      ("helpers", [ Alcotest.test_case "expr helpers" `Quick test_expr_helpers ]);
+      ( "properties",
+        qcheck
+          [ prop_interp_deterministic; prop_numbering_idempotent; prop_validate_generated ] );
+    ]

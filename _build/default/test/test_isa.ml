@@ -1,0 +1,106 @@
+(* ISA definitions and the two-pass assembler. *)
+
+module Isa = Lp_isa.Isa
+module Asm = Lp_isa.Asm
+
+let test_register_conventions () =
+  Alcotest.(check int) "32 registers" 32 Isa.reg_count;
+  Alcotest.(check int) "r0 is zero" 0 Isa.zero_reg;
+  Alcotest.(check int) "six arg regs" 6 (List.length Isa.arg_regs);
+  Alcotest.(check int) "eight temps" 8 (List.length Isa.tmp_regs);
+  Alcotest.(check int) "twelve saved" 12 (List.length Isa.saved_regs);
+  (* No overlaps between register classes. *)
+  let all =
+    (Isa.zero_reg :: Isa.ret_val_reg :: Isa.arg_regs)
+    @ Isa.tmp_regs @ Isa.saved_regs
+    @ [ Isa.scratch_reg; Isa.sp_reg; Isa.fp_reg; Isa.ra_reg ]
+  in
+  Alcotest.(check int) "classes partition the file" 32
+    (List.length (List.sort_uniq compare all))
+
+let test_opclass () =
+  let open Isa in
+  Alcotest.(check bool) "alu" true (opclass (Add (1, 2, 3)) = C_alu);
+  Alcotest.(check bool) "imm alu" true (opclass (Addi (1, 2, 3)) = C_alu);
+  Alcotest.(check bool) "set is alu" true (opclass (Set (Clt, 1, 2, 3)) = C_alu);
+  Alcotest.(check bool) "shift" true (opclass (Slli (1, 2, 3)) = C_shift);
+  Alcotest.(check bool) "mul" true (opclass (Mul (1, 2, 3)) = C_mul);
+  Alcotest.(check bool) "div" true (opclass (Div (1, 2, 3)) = C_div);
+  Alcotest.(check bool) "rem is div" true (opclass (Rem (1, 2, 3)) = C_div);
+  Alcotest.(check bool) "li is move" true (opclass (Li (1, 5)) = C_move);
+  Alcotest.(check bool) "load" true (opclass (Ld (1, 2, 0)) = C_load);
+  Alcotest.(check bool) "store" true (opclass (St (1, 2, 0)) = C_store);
+  Alcotest.(check bool) "branch" true (opclass (Bnez (1, 0)) = C_branch);
+  Alcotest.(check bool) "jump" true (opclass (Jal 0) = C_jump);
+  Alcotest.(check bool) "acall is sys" true (opclass (Acall 0) = C_sys)
+
+let test_assemble_labels () =
+  let items =
+    [
+      Asm.Label "start";
+      Asm.Instr (Isa.Li (1, 5));
+      Asm.Jmp_l "end";
+      Asm.Label "mid";
+      Asm.Instr Isa.Nop;
+      Asm.Label "end";
+      Asm.Bnez_l (1, "mid");
+      Asm.Instr Isa.Halt;
+    ]
+  in
+  let p = Asm.assemble ~entry:"start" ~data_words:16 ~symbols:[] items in
+  Alcotest.(check int) "entry resolved" 0 p.Isa.entry_pc;
+  Alcotest.(check int) "five instructions" 5 (Array.length p.Isa.code);
+  (match p.Isa.code.(1) with
+  | Isa.Jmp 3 -> ()
+  | i -> Alcotest.failf "jmp resolved wrong: %s" (Format.asprintf "%a" Isa.pp_instr i));
+  match p.Isa.code.(3) with
+  | Isa.Bnez (1, 2) -> ()
+  | i -> Alcotest.failf "bnez resolved wrong: %s" (Format.asprintf "%a" Isa.pp_instr i)
+
+let test_assemble_errors () =
+  (match
+     Asm.assemble ~entry:"a" ~data_words:0 ~symbols:[]
+       [ Asm.Label "a"; Asm.Label "a" ]
+   with
+  | exception Asm.Error _ -> ()
+  | _ -> Alcotest.fail "duplicate label accepted");
+  (match
+     Asm.assemble ~entry:"a" ~data_words:0 ~symbols:[]
+       [ Asm.Label "a"; Asm.Jmp_l "ghost" ]
+   with
+  | exception Asm.Error _ -> ()
+  | _ -> Alcotest.fail "undefined label accepted");
+  match Asm.assemble ~entry:"ghost" ~data_words:0 ~symbols:[] [ Asm.Label "a" ] with
+  | exception Asm.Error _ -> ()
+  | _ -> Alcotest.fail "undefined entry accepted"
+
+let test_pp_smoke () =
+  let p =
+    Asm.assemble ~entry:"s" ~data_words:4
+      ~symbols:[ ("arr", 0) ]
+      [ Asm.Label "s"; Asm.Instr (Isa.Add (1, 2, 3)); Asm.Instr Isa.Halt ]
+  in
+  let text = Format.asprintf "%a" Isa.pp_program p in
+  let contains fragment =
+    let n = String.length text and m = String.length fragment in
+    let rec go i = i + m <= n && (String.sub text i m = fragment || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions add" true (contains "add r1, r2, r3");
+  Alcotest.(check bool) "mentions symbol" true (contains "arr at 0")
+
+let () =
+  Alcotest.run "lp_isa"
+    [
+      ( "isa",
+        [
+          Alcotest.test_case "register conventions" `Quick test_register_conventions;
+          Alcotest.test_case "opclass" `Quick test_opclass;
+        ] );
+      ( "asm",
+        [
+          Alcotest.test_case "label resolution" `Quick test_assemble_labels;
+          Alcotest.test_case "errors" `Quick test_assemble_errors;
+          Alcotest.test_case "pretty printer" `Quick test_pp_smoke;
+        ] );
+    ]

@@ -1,0 +1,201 @@
+(* ISS micro-architecture accounting: r0 semantics, branch costs,
+   memory hooks and stall charging, inter-instruction overhead, the
+   Acall callback plumbing, and machine-state access. *)
+
+module Isa = Lp_isa.Isa
+module Asm = Lp_isa.Asm
+module Iss = Lp_iss.Iss
+module E = Lp_iss.Energy_model
+
+let machine ?(hooks = Iss.null_hooks) ?(data_words = 64) items =
+  let prog =
+    Asm.assemble ~entry:"start" ~data_words ~symbols:[]
+      (Asm.Label "start" :: items)
+  in
+  let m = Iss.create prog hooks in
+  Iss.run m;
+  (m, Iss.result m)
+
+let test_r0_is_zero () =
+  let _, r =
+    machine
+      [
+        Asm.Instr (Isa.Li (0, 123));  (* write to r0 vanishes *)
+        Asm.Instr (Isa.Add (1, 0, 0));
+        Asm.Instr (Isa.Print 1);
+        Asm.Instr Isa.Halt;
+      ]
+  in
+  Alcotest.(check (list int)) "r0 reads 0" [ 0 ] r.Iss.outputs
+
+let test_arithmetic_and_print () =
+  let _, r =
+    machine
+      [
+        Asm.Instr (Isa.Li (1, 6));
+        Asm.Instr (Isa.Li (2, 7));
+        Asm.Instr (Isa.Mul (3, 1, 2));
+        Asm.Instr (Isa.Print 3);
+        Asm.Instr Isa.Halt;
+      ]
+  in
+  Alcotest.(check (list int)) "6*7" [ 42 ] r.Iss.outputs;
+  Alcotest.(check int) "five instructions" 5 r.Iss.instr_count
+
+let test_branch_costs () =
+  (* A taken branch pays the refill premium over a not-taken one. *)
+  let run_with_flag flag =
+    let _, r =
+      machine
+        [
+          Asm.Instr (Isa.Li (1, flag));
+          Asm.Bnez_l (1, "skip");
+          Asm.Instr Isa.Nop;
+          Asm.Label "skip";
+          Asm.Instr Isa.Halt;
+        ]
+    in
+    r
+  in
+  let taken = run_with_flag 1 in
+  let not_taken = run_with_flag 0 in
+  (* Not-taken executes one more instruction (the nop) yet fewer or
+     equal cycles than taken + refill. *)
+  Alcotest.(check int) "taken skips the nop" (not_taken.Iss.instr_count - 1)
+    taken.Iss.instr_count;
+  Alcotest.(check int) "refill premium"
+    (not_taken.Iss.up_cycles - E.base_cycles Isa.C_sys + E.taken_branch_cycles)
+    taken.Iss.up_cycles
+
+let test_stall_hooks () =
+  (* dread returns 3 stall cycles per access: they must show up in
+     stall_cycles, not uP cycles. *)
+  let hooks = { Iss.null_hooks with Iss.dread = (fun _ -> 3) } in
+  let _, r =
+    machine ~hooks
+      [
+        Asm.Instr (Isa.Ld (1, 0, 0));
+        Asm.Instr (Isa.Ld (2, 0, 1));
+        Asm.Instr Isa.Halt;
+      ]
+  in
+  Alcotest.(check int) "two loads stall 6" 6 r.Iss.stall_cycles;
+  Alcotest.(check bool) "stall energy charged" true
+    (r.Iss.up_energy_j
+    > (E.base_energy_j Isa.C_load *. 2.0) +. E.base_energy_j Isa.C_sys)
+
+let test_ifetch_hook_counts () =
+  let fetches = ref 0 in
+  let hooks =
+    { Iss.null_hooks with Iss.ifetch = (fun _ -> incr fetches; 0) }
+  in
+  let _, r = machine ~hooks [ Asm.Instr Isa.Nop; Asm.Instr Isa.Halt ] in
+  Alcotest.(check int) "one fetch per instruction" r.Iss.instr_count !fetches
+
+let test_inter_instruction_overhead () =
+  (* Alternating classes pay the circuit-state overhead; a monotone
+     stream does not. *)
+  let homogeneous =
+    List.init 10 (fun _ -> Asm.Instr (Isa.Add (1, 1, 1))) @ [ Asm.Instr Isa.Halt ]
+  in
+  let alternating =
+    List.concat
+      (List.init 5 (fun _ ->
+           [ Asm.Instr (Isa.Add (1, 1, 1)); Asm.Instr (Isa.Slli (2, 1, 1)) ]))
+    @ [ Asm.Instr Isa.Halt ]
+  in
+  let _, rh = machine homogeneous in
+  let _, ra = machine alternating in
+  let base r classes =
+    List.fold_left
+      (fun acc (cls, n) -> acc +. (float_of_int n *. E.base_energy_j cls))
+      0.0 classes
+    |> fun b -> r.Iss.up_energy_j -. b
+  in
+  let overhead_h = base rh rh.Iss.class_counts in
+  let overhead_a = base ra ra.Iss.class_counts in
+  Alcotest.(check bool) "alternation costs more" true (overhead_a > overhead_h)
+
+let test_acall_callback () =
+  let invoked = ref [] in
+  let hooks =
+    {
+      Iss.null_hooks with
+      Iss.acall =
+        (fun m k ->
+          invoked := k :: !invoked;
+          Iss.write_mem m 5 77;
+          Iss.push_output m 1000;
+          Iss.add_asic_cycles m 42);
+    }
+  in
+  let _, r =
+    machine ~hooks
+      [
+        Asm.Instr (Isa.Acall 9);
+        Asm.Instr (Isa.Ld (1, 0, 5));
+        Asm.Instr (Isa.Print 1);
+        Asm.Instr Isa.Halt;
+      ]
+  in
+  Alcotest.(check (list int)) "invoked once" [ 9 ] !invoked;
+  Alcotest.(check (list int)) "asic output then uP print" [ 1000; 77 ] r.Iss.outputs;
+  Alcotest.(check int) "asic cycles" 42 r.Iss.asic_cycles;
+  Alcotest.(check int) "total adds asic" r.Iss.asic_cycles
+    (Iss.total_cycles r - r.Iss.up_cycles - r.Iss.stall_cycles)
+
+let test_memory_bounds () =
+  let m =
+    Iss.create
+      (Asm.assemble ~entry:"s" ~data_words:8 ~symbols:[]
+         [ Asm.Label "s"; Asm.Instr Isa.Halt ])
+      Iss.null_hooks
+  in
+  Iss.run m;
+  Alcotest.(check int) "mem size" 8 (Iss.mem_size m);
+  (match Iss.read_mem m 8 with
+  | exception Iss.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "oob read accepted");
+  match Iss.load_data m 6 [| 1; 2; 3 |] with
+  | exception Iss.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "oob load_data accepted"
+
+let test_bad_pc () =
+  let prog =
+    Asm.assemble ~entry:"s" ~data_words:4 ~symbols:[]
+      [ Asm.Label "s"; Asm.Instr (Isa.Jr 5) ]
+    (* r5 = 0 -> jumps to instruction 0 forever... actually Jr 5 jumps
+       to pc 0 = itself: infinite loop caught by fuel. *)
+  in
+  let m = Iss.create ~fuel:100 prog Iss.null_hooks in
+  match Iss.run m with
+  | exception Iss.Runtime_error _ -> ()
+  | () -> Alcotest.fail "runaway accepted"
+
+let test_runtime_seconds () =
+  let _, r = machine [ Asm.Instr Isa.Halt ] in
+  Alcotest.(check (float 1e-12)) "runtime = cycles * period"
+    (float_of_int (Iss.total_cycles r) *. Lp_tech.Cmos6.clock_period_s)
+    (Iss.runtime_s r)
+
+let () =
+  Alcotest.run "lp_iss"
+    [
+      ( "semantics",
+        [
+          Alcotest.test_case "r0" `Quick test_r0_is_zero;
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic_and_print;
+          Alcotest.test_case "memory bounds" `Quick test_memory_bounds;
+          Alcotest.test_case "runaway pc" `Quick test_bad_pc;
+        ] );
+      ( "accounting",
+        [
+          Alcotest.test_case "branch costs" `Quick test_branch_costs;
+          Alcotest.test_case "stall hooks" `Quick test_stall_hooks;
+          Alcotest.test_case "ifetch per instruction" `Quick test_ifetch_hook_counts;
+          Alcotest.test_case "inter-instruction overhead" `Quick
+            test_inter_instruction_overhead;
+          Alcotest.test_case "acall plumbing" `Quick test_acall_callback;
+          Alcotest.test_case "runtime seconds" `Quick test_runtime_seconds;
+        ] );
+    ]

@@ -1,0 +1,59 @@
+(* Memory/bus accounting: counters, energy composition, penalties. *)
+
+module Memory = Lp_mem.Memory
+module Cmos6 = Lp_tech.Cmos6
+
+let test_counters () =
+  let m = Memory.create () in
+  Memory.mem_read_word m;
+  Memory.mem_read_words m 3;
+  Memory.mem_write_words m 2;
+  Memory.bus_read_words m 5;
+  Memory.bus_write_words m 1;
+  let t = Memory.totals m in
+  Alcotest.(check int) "mem reads" 4 t.Memory.mem_reads;
+  Alcotest.(check int) "mem writes" 2 t.Memory.mem_writes;
+  Alcotest.(check int) "bus reads" 5 t.Memory.bus_reads;
+  Alcotest.(check int) "bus writes" 1 t.Memory.bus_writes
+
+let test_energy_composition () =
+  let m = Memory.create () in
+  Memory.mem_read_words m 10;
+  Memory.bus_write_words m 4;
+  let t = Memory.totals m in
+  Alcotest.(check (float 1e-18)) "mem access energy"
+    (10.0 *. Cmos6.dram_access_energy_j)
+    t.Memory.mem_access_energy_j;
+  Alcotest.(check (float 1e-18)) "bus energy"
+    (4.0 *. Cmos6.bus_write_energy_j)
+    t.Memory.bus_energy_j;
+  (* Standby scales with runtime and adds on top of access energy. *)
+  let e1 = Memory.mem_energy_j m ~runtime_s:1e-3 in
+  let e2 = Memory.mem_energy_j m ~runtime_s:2e-3 in
+  Alcotest.(check bool) "standby grows with time" true (e2 > e1);
+  Alcotest.(check (float 1e-15)) "standby delta"
+    (Memory.standby_energy_j ~runtime_s:1e-3)
+    (e2 -. e1)
+
+let test_bus_write_pricier_than_read () =
+  Alcotest.(check bool) "write > read per word" true
+    (Cmos6.bus_write_energy_j > Cmos6.bus_read_energy_j)
+
+let test_miss_penalty () =
+  Alcotest.(check int) "zero words" 0 (Memory.miss_penalty_cycles ~words:0);
+  Alcotest.(check int) "one word" 5 (Memory.miss_penalty_cycles ~words:1);
+  Alcotest.(check int) "burst amortises" 8 (Memory.miss_penalty_cycles ~words:4);
+  Alcotest.(check bool) "monotone" true
+    (Memory.miss_penalty_cycles ~words:8 > Memory.miss_penalty_cycles ~words:4)
+
+let () =
+  Alcotest.run "lp_mem"
+    [
+      ( "accounting",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "energy composition" `Quick test_energy_composition;
+          Alcotest.test_case "bus asymmetry" `Quick test_bus_write_pricier_than_read;
+          Alcotest.test_case "miss penalty" `Quick test_miss_penalty;
+        ] );
+    ]

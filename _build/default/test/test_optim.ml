@@ -1,0 +1,381 @@
+(* IR optimiser: folding/propagation/DSE unit cases, trap preservation,
+   and the semantics-preservation property on random programs. *)
+
+module Optim = Lp_ir.Optim
+module Interp = Lp_ir.Interp
+module Ast = Lp_ir.Ast
+
+let e_int n = Ast.Int n
+
+let test_fold_constants () =
+  let open Lp_ir.Builder in
+  Alcotest.(check bool) "add folds" true
+    (Optim.fold_expr (int 2 + int 3) = e_int 5);
+  Alcotest.(check bool) "nested folds" true
+    (Optim.fold_expr ((int 2 + int 3) * int 4) = e_int 20);
+  Alcotest.(check bool) "comparison folds" true
+    (Optim.fold_expr (int 2 < int 3) = e_int 1);
+  Alcotest.(check bool) "unop folds" true (Optim.fold_expr (neg (int 5)) = e_int (-5));
+  Alcotest.(check bool) "wraps like Word" true
+    (Optim.fold_expr (int 0x7FFFFFFF + int 1) = e_int Lp_ir.Word.min_int32)
+
+let test_fold_identities () =
+  let open Lp_ir.Builder in
+  let x = var "x" in
+  Alcotest.(check bool) "x+0" true (Optim.fold_expr (x + int 0) = x);
+  Alcotest.(check bool) "0+x" true (Optim.fold_expr (int 0 + x) = x);
+  Alcotest.(check bool) "x-0" true (Optim.fold_expr (x - int 0) = x);
+  Alcotest.(check bool) "x*1" true (Optim.fold_expr (x * int 1) = x);
+  Alcotest.(check bool) "x|0" true (Optim.fold_expr (x ||| int 0) = x);
+  Alcotest.(check bool) "x^0" true (Optim.fold_expr (x ^^^ int 0) = x);
+  Alcotest.(check bool) "x&-1" true (Optim.fold_expr (x &&& int (-1)) = x);
+  Alcotest.(check bool) "x<<0" true (Optim.fold_expr (x <<< int 0) = x);
+  Alcotest.(check bool) "x*0 with pure x" true
+    (Optim.fold_expr (x * int 0) = e_int 0)
+
+let test_strength_reduction () =
+  let open Lp_ir.Builder in
+  Alcotest.(check bool) "x*8 -> x<<3" true
+    (Optim.fold_expr (var "x" * int 8) = Ast.Binop (Ast.Shl, var "x", e_int 3));
+  Alcotest.(check bool) "16*x -> x<<4" true
+    (Optim.fold_expr (int 16 * var "x") = Ast.Binop (Ast.Shl, var "x", e_int 4));
+  (* x*3 is not a power of two: untouched. *)
+  Alcotest.(check bool) "x*3 kept" true
+    (Optim.fold_expr (var "x" * int 3) = Ast.Binop (Ast.Mul, var "x", e_int 3))
+
+let test_trap_preservation () =
+  let open Lp_ir.Builder in
+  (* Division by a constant zero must NOT fold away. *)
+  Alcotest.(check bool) "1/0 kept" true
+    (Optim.fold_expr (int 1 / int 0) = Ast.Binop (Ast.Div, e_int 1, e_int 0));
+  (* A faulting load multiplied by zero must not disappear. *)
+  let e = load "a" (int 999) * int 0 in
+  Alcotest.(check bool) "load*0 kept" true
+    (match Optim.fold_expr e with Ast.Int 0 -> false | _ -> true);
+  Alcotest.(check bool) "pure says no to loads" false (Optim.pure (load "a" (int 0)));
+  Alcotest.(check bool) "pure says no to div" false (Optim.pure (var "x" / var "y"));
+  Alcotest.(check bool) "pure arithmetic" true (Optim.pure ((var "x" + int 1) <<< int 2))
+
+let outputs p = (Interp.run p).Interp.outputs
+
+let test_const_propagation_through_blocks () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "a"; "b"; "c" ]
+          [
+            "a" := int 6;
+            "b" := var "a" * int 7;
+            "c" := var "b" + var "a";
+            print (var "c");
+          ];
+      ]
+  in
+  let p', stats = Optim.optimize p in
+  Alcotest.(check (list int)) "outputs unchanged" (outputs p) (outputs p');
+  Alcotest.(check bool) "propagation happened" true (stats.Optim.copies_propagated > 0);
+  (* The print argument must have become the constant 48. *)
+  let main = Option.get (Ast.find_func p' "main") in
+  let has_const_print =
+    Ast.fold_stmts
+      (fun acc s ->
+        acc || match s.Ast.node with Ast.Print (Ast.Int 48) -> true | _ -> false)
+      false main.Ast.body
+  in
+  Alcotest.(check bool) "print folded to 48" true has_const_print
+
+let test_dead_store_elimination () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "x" ]
+          [ "x" := int 1; "x" := int 2; "x" := int 3; print (var "x") ];
+      ]
+  in
+  let p', stats = Optim.optimize p in
+  Alcotest.(check (list int)) "outputs" [ 3 ] (outputs p');
+  Alcotest.(check bool) "dead stores removed" true (stats.Optim.dead_stores >= 2);
+  Alcotest.(check bool) "program shrank" true (Ast.stmt_count p' < Ast.stmt_count p)
+
+let test_dead_store_keeps_faulting_rhs () =
+  (* x := a[99] (out of bounds) then x := 1: the first store is dead but
+     must stay because it traps. *)
+  let p =
+    let open Lp_ir.Builder in
+    program
+      ~arrays:[ array "a" 4 ]
+      [
+        func "main" ~params:[] ~locals:[ "x" ]
+          [ "x" := load "a" (int 99); "x" := int 1; print (var "x") ];
+      ]
+  in
+  let p', _ = Optim.optimize p in
+  (match Interp.run p' with
+  | exception Interp.Runtime_error _ -> ()
+  | _ -> Alcotest.fail "optimised away a trapping store")
+
+let test_branch_folding () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "x" ]
+          [
+            if_ (int 1) [ "x" := int 10 ] [ "x" := int 20 ];
+            if_ (int 0) [ "x" := var "x" + int 1 ] [];
+            while_ (int 0) [ "x" := int 99 ];
+            for_ "i" (int 5) (int 2) [ "x" := int 77 ];
+            print (var "x");
+          ];
+      ]
+  in
+  let p', stats = Optim.optimize p in
+  Alcotest.(check (list int)) "outputs" [ 10 ] (outputs p');
+  Alcotest.(check bool) "4 branches folded" true (stats.Optim.branches_folded >= 4);
+  (* No control flow must remain. *)
+  let main = Option.get (Ast.find_func p' "main") in
+  let has_control =
+    Ast.fold_stmts
+      (fun acc s ->
+        acc
+        ||
+        match s.Ast.node with
+        | Ast.If _ | Ast.While _ | Ast.For _ -> true
+        | _ -> false)
+      false main.Ast.body
+  in
+  Alcotest.(check bool) "control flow gone" false has_control
+
+let test_zero_trip_for_keeps_index_semantics () =
+  (* After [for i = 5 to 2], the interpreter leaves i = 5; folding must
+     preserve that. *)
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "keep" ]
+          [
+            for_ "i" (int 5) (int 2) [ "keep" := int 1 ];
+            print (var "keep");
+          ];
+      ]
+  in
+  let p', _ = Optim.optimize p in
+  Alcotest.(check (list int)) "outputs match" (outputs p) (outputs p')
+
+let test_while_condition_not_propagated () =
+  (* A fact about x at loop entry must not be substituted into the
+     condition: the body changes x. *)
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "x" ]
+          [
+            "x" := int 3;
+            while_ (var "x" > int 0) [ "x" := var "x" - int 1 ];
+            print (var "x");
+          ];
+      ]
+  in
+  let p', _ = Optim.optimize p in
+  Alcotest.(check (list int)) "terminates with 0" [ 0 ] (outputs p')
+
+let test_optimizer_on_apps () =
+  (* The six applications must survive optimisation bit-exactly. *)
+  List.iter
+    (fun (e : Lp_apps.Apps.entry) ->
+      let p = e.Lp_apps.Apps.build () in
+      let p', _ = Optim.optimize p in
+      Alcotest.(check (list int)) e.Lp_apps.Apps.name (outputs p) (outputs p'))
+    Lp_apps.Apps.all
+
+(* --- unrolling --- *)
+
+let count_fors p =
+  List.fold_left
+    (fun acc f ->
+      Ast.fold_stmts
+        (fun n s -> match s.Ast.node with Ast.For _ -> n + 1 | _ -> n)
+        acc f.Ast.body)
+    0 p.Ast.funcs
+
+let test_unroll_preserves_outputs () =
+  let p =
+    let open Lp_ir.Builder in
+    program
+      ~arrays:[ array "a" 16 ]
+      [
+        func "main" ~params:[] ~locals:[ "s" ]
+          [
+            for_ "i" (int 0) (int 10)
+              [ store "a" (var "i" &&& int 15) (var "i" * var "i") ];
+            for_ "i" (int 0) (int 16) [ "s" := var "s" + load "a" (var "i") ];
+            (* index survives the loop *)
+            print (var "s");
+          ];
+      ]
+  in
+  List.iter
+    (fun factor ->
+      let p' = Optim.unroll ~factor p in
+      Alcotest.(check (list int))
+        (Printf.sprintf "factor %d" factor)
+        (outputs p) (outputs p'))
+    [ 2; 3; 4; 7; 16 ]
+
+let test_unroll_structure () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "s" ]
+          [ for_ "i" (int 0) (int 8) [ "s" := var "s" + var "i" ]; print (var "s") ];
+      ]
+  in
+  let p2 = Optim.unroll ~factor:4 p in
+  (* main loop + remainder loop *)
+  Alcotest.(check int) "two loops after unroll" 2 (count_fors p2);
+  Alcotest.(check (list int)) "same outputs" (outputs p) (outputs p2);
+  (* 8/4: remainder empty, but index restoration still holds: after the
+     loops a read of i... is out of scope; semantics checked above. *)
+  let p1 = Optim.unroll ~factor:1 p in
+  Alcotest.(check bool) "factor 1 is identity" true (Ast.stmt_count p1 = Ast.stmt_count p)
+
+let test_unroll_skips_index_writers () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "main" ~params:[] ~locals:[ "s" ]
+          [
+            for_ "i" (int 0) (int 10)
+              [ "s" := var "s" + var "i"; "i" := var "i" + int 1 ];
+            print (var "s");
+          ];
+      ]
+  in
+  let p' = Optim.unroll ~factor:2 p in
+  Alcotest.(check int) "loop untouched" 1 (count_fors p');
+  Alcotest.(check (list int)) "outputs equal" (outputs p) (outputs p')
+
+let test_unroll_exposes_parallelism () =
+  (* Unrolling the digs convolution by 4 exposes ILP but quadruples the
+     controller/register cost: under the paper-sized hardware budget
+     the kernel gets priced out; with a generous budget the unrolled
+     core is selected and the ASIC finishes in fewer cycles. *)
+  let p = Lp_apps.Digs.program ~width:16 () in
+  let p4 = Optim.unroll ~factor:4 p in
+  Alcotest.(check (list int)) "digs outputs preserved" (outputs p) (outputs p4);
+  let run ?(max_cells = 20_000) prog =
+    let options = { Lp_core.Flow.default_options with Lp_core.Flow.max_cells } in
+    Lp_core.Flow.run ~options ~name:"digs-u" prog
+  in
+  let rolled = run p in
+  let tight = run p4 in
+  let generous = run ~max_cells:60_000 p4 in
+  (* Under the default budget the 31k-cell unrolled kernel is rejected
+     (only the cheap clusters move). *)
+  Alcotest.(check bool) "tight budget saves less" true
+    (tight.Lp_core.Flow.energy_saving < rolled.Lp_core.Flow.energy_saving);
+  (* With the budget lifted, the unrolled datapath is selected and runs
+     the kernel in fewer ASIC cycles than the rolled one. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "generous budget: %d <= %d ASIC cycles"
+       generous.Lp_core.Flow.partitioned.Lp_system.System.asic_cycles
+       rolled.Lp_core.Flow.partitioned.Lp_system.System.asic_cycles)
+    true
+    (generous.Lp_core.Flow.partitioned.Lp_system.System.asic_cycles
+    <= rolled.Lp_core.Flow.partitioned.Lp_system.System.asic_cycles);
+  Alcotest.(check bool) "generous budget still saves" true
+    (generous.Lp_core.Flow.energy_saving > 0.5);
+  Alcotest.(check bool) "and costs more cells" true
+    (generous.Lp_core.Flow.total_cells > rolled.Lp_core.Flow.total_cells)
+
+let prop_unroll_semantics =
+  QCheck.Test.make ~name:"random programs: unroll preserves outputs" ~count:150
+    (QCheck.pair Lp_testkit.program_arbitrary (QCheck.make (QCheck.Gen.int_range 2 5)))
+    (fun (p, factor) ->
+      let before =
+        match Interp.run p with
+        | r -> Ok r.Interp.outputs
+        | exception Interp.Runtime_error _ -> Error ()
+      in
+      let after =
+        match Interp.run (Optim.unroll ~factor p) with
+        | r -> Ok r.Interp.outputs
+        | exception Interp.Runtime_error _ -> Error ()
+      in
+      before = after)
+
+let prop_semantics_preserved =
+  QCheck.Test.make ~name:"random programs: optimise preserves outputs" ~count:200
+    Lp_testkit.program_arbitrary (fun p ->
+      let before =
+        match Interp.run p with
+        | r -> Ok r.Interp.outputs
+        | exception Interp.Runtime_error m -> Error m
+      in
+      let after =
+        match Interp.run (Optim.optimize_program p) with
+        | r -> Ok r.Interp.outputs
+        | exception Interp.Runtime_error _ -> Error "trap"
+      in
+      match (before, after) with
+      | Ok a, Ok b -> a = b
+      | Error _, Error _ -> true
+      | Ok _, Error _ | Error _, Ok _ -> false)
+
+let prop_never_grows =
+  QCheck.Test.make ~name:"random programs: optimise never grows the program"
+    ~count:200 Lp_testkit.program_arbitrary (fun p ->
+      Ast.stmt_count (Optim.optimize_program p) <= Ast.stmt_count p)
+
+let prop_idempotent =
+  QCheck.Test.make ~name:"random programs: optimise is idempotent" ~count:100
+    Lp_testkit.program_arbitrary (fun p ->
+      let once = Optim.optimize_program p in
+      let twice = Optim.optimize_program once in
+      Ast.stmt_count once = Ast.stmt_count twice)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "lp_optim"
+    [
+      ( "fold",
+        [
+          Alcotest.test_case "constants" `Quick test_fold_constants;
+          Alcotest.test_case "identities" `Quick test_fold_identities;
+          Alcotest.test_case "strength reduction" `Quick test_strength_reduction;
+          Alcotest.test_case "trap preservation" `Quick test_trap_preservation;
+        ] );
+      ( "passes",
+        [
+          Alcotest.test_case "constant propagation" `Quick
+            test_const_propagation_through_blocks;
+          Alcotest.test_case "dead stores" `Quick test_dead_store_elimination;
+          Alcotest.test_case "faulting dead store kept" `Quick
+            test_dead_store_keeps_faulting_rhs;
+          Alcotest.test_case "branch folding" `Quick test_branch_folding;
+          Alcotest.test_case "zero-trip for semantics" `Quick
+            test_zero_trip_for_keeps_index_semantics;
+          Alcotest.test_case "while safety" `Quick test_while_condition_not_propagated;
+          Alcotest.test_case "apps unchanged" `Quick test_optimizer_on_apps;
+        ] );
+      ( "unroll",
+        [
+          Alcotest.test_case "preserves outputs" `Quick test_unroll_preserves_outputs;
+          Alcotest.test_case "structure" `Quick test_unroll_structure;
+          Alcotest.test_case "skips index writers" `Quick test_unroll_skips_index_writers;
+          Alcotest.test_case "exposes parallelism" `Quick test_unroll_exposes_parallelism;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_semantics_preserved; prop_never_grows; prop_idempotent;
+            prop_unroll_semantics;
+          ] );
+    ]

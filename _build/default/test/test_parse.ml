@@ -1,0 +1,193 @@
+(* Concrete-syntax parser: grammar cases, precedence, errors, and the
+   printer/parser round-trip on every application and on random
+   programs. *)
+
+module Ast = Lp_ir.Ast
+module Parse = Lp_ir.Parse
+module Printer = Lp_ir.Printer
+module Interp = Lp_ir.Interp
+
+let expr = Parse.expr_of_string
+
+let test_expr_atoms () =
+  Alcotest.(check bool) "int" true (expr "42" = Ast.Int 42);
+  Alcotest.(check bool) "negative int" true (expr "-7" = Ast.Int (-7));
+  Alcotest.(check bool) "var" true (expr "x" = Ast.Var "x");
+  Alcotest.(check bool) "load" true
+    (expr "a[3]" = Ast.Load ("a", Ast.Int 3));
+  Alcotest.(check bool) "call" true
+    (expr "f(1, x)" = Ast.Call ("f", [ Ast.Int 1; Ast.Var "x" ]));
+  Alcotest.(check bool) "nullary call" true (expr "f()" = Ast.Call ("f", []));
+  Alcotest.(check bool) "parens" true (expr "(x)" = Ast.Var "x")
+
+let test_expr_precedence () =
+  (* * binds tighter than +, + tighter than <<, << tighter than &,
+     & tighter than ^, ^ tighter than |, | tighter than comparisons. *)
+  Alcotest.(check bool) "mul over add" true
+    (expr "1 + 2 * 3"
+    = Ast.Binop (Ast.Add, Ast.Int 1, Ast.Binop (Ast.Mul, Ast.Int 2, Ast.Int 3)));
+  Alcotest.(check bool) "add over shift" true
+    (expr "x >> 1 + 2"
+    = Ast.Binop (Ast.Shr, Ast.Var "x", Ast.Binop (Ast.Add, Ast.Int 1, Ast.Int 2)));
+  Alcotest.(check bool) "shift over and" true
+    (expr "x & y << 2"
+    = Ast.Binop (Ast.And, Ast.Var "x", Ast.Binop (Ast.Shl, Ast.Var "y", Ast.Int 2)));
+  Alcotest.(check bool) "and over xor over or" true
+    (expr "a | b ^ c & d"
+    = Ast.Binop
+        ( Ast.Or,
+          Ast.Var "a",
+          Ast.Binop (Ast.Xor, Ast.Var "b", Ast.Binop (Ast.And, Ast.Var "c", Ast.Var "d")) ));
+  Alcotest.(check bool) "comparison weakest" true
+    (expr "a + 1 < b * 2"
+    = Ast.Binop
+        ( Ast.Lt,
+          Ast.Binop (Ast.Add, Ast.Var "a", Ast.Int 1),
+          Ast.Binop (Ast.Mul, Ast.Var "b", Ast.Int 2) ));
+  Alcotest.(check bool) "left associative" true
+    (expr "a - b - c"
+    = Ast.Binop (Ast.Sub, Ast.Binop (Ast.Sub, Ast.Var "a", Ast.Var "b"), Ast.Var "c"));
+  Alcotest.(check bool) "unary binds tightest" true
+    (expr "-x + 1"
+    = Ast.Binop (Ast.Add, Ast.Unop (Ast.Neg, Ast.Var "x"), Ast.Int 1));
+  Alcotest.(check bool) "bnot and lnot" true
+    (expr "~x ^ !y"
+    = Ast.Binop (Ast.Xor, Ast.Unop (Ast.Bnot, Ast.Var "x"), Ast.Unop (Ast.Lnot, Ast.Var "y")))
+
+let parse = Parse.program_of_string
+
+let test_program_forms () =
+  let p =
+    parse
+      {|
+      // a comment
+      array buf[8];
+      array tab[3] = {10, -20, 30};
+
+      func helper(x, y) locals(t) {
+        t = x + y;
+        return t * 2;
+      }
+
+      func main() locals(s) {
+        s = 0;
+        for i = 0 to 8 {
+          buf[i] = helper(i, tab[i % 3]);
+        }
+        while s < 5 { s = s + 1; }
+        if s == 5 { print s; } else { print 0; }
+        helper(1, 2);
+        return;
+      }
+      entry main;
+      |}
+  in
+  Alcotest.(check int) "two arrays" 2 (List.length p.Ast.arrays);
+  Alcotest.(check int) "two funcs" 2 (List.length p.Ast.funcs);
+  Alcotest.(check string) "entry" "main" p.Ast.entry;
+  let tab = Option.get (Ast.find_array p "tab") in
+  Alcotest.(check bool) "init data" true (tab.Ast.init = Some [| 10; -20; 30 |]);
+  (* And it runs. *)
+  Alcotest.(check (list int)) "outputs" [ 5 ] (Interp.run p).Interp.outputs
+
+let expect_parse_error src =
+  match parse src with
+  | exception Parse.Parse_error _ -> ()
+  | _ -> Alcotest.failf "accepted %S" src
+
+let test_errors () =
+  expect_parse_error "func main() { x = ; } entry main;";
+  expect_parse_error "array a[]; entry main;";
+  expect_parse_error "func main() { if { } } entry main;";
+  expect_parse_error "garbage";
+  expect_parse_error "func main() { print 1 } entry main;" (* missing ; *);
+  expect_parse_error "func main() { for i = 0 { } } entry main;" (* missing to *);
+  (* Validation errors surface as Validate.Error, not Parse_error. *)
+  match parse "func main() { x = 1; } entry main;" with
+  | exception Lp_ir.Validate.Error _ -> ()
+  | _ -> Alcotest.fail "undeclared scalar accepted"
+
+let test_error_position () =
+  match parse "func main() {\n  print 1;\n  @\n} entry main;" with
+  | exception Parse.Parse_error msg ->
+      Alcotest.(check bool) "mentions line 3" true
+        (let rec contains i =
+           i + 6 <= String.length msg
+           && (String.sub msg i 6 = "line 3" || contains (i + 1))
+         in
+         contains 0)
+  | _ -> Alcotest.fail "bad character accepted"
+
+(* Round-trip: Neg of a literal prints as a negative literal, so
+   normalise that one constructor before comparing. *)
+let rec norm_expr = function
+  | (Ast.Int _ | Ast.Var _) as e -> e
+  | Ast.Load (a, i) -> Ast.Load (a, norm_expr i)
+  | Ast.Binop (op, a, b) -> Ast.Binop (op, norm_expr a, norm_expr b)
+  | Ast.Unop (op, e) -> (
+      (* bottom-up, so nested negations of literals collapse the same
+         way the token stream does *)
+      match (op, norm_expr e) with
+      | Ast.Neg, Ast.Int n -> Ast.Int (Lp_ir.Word.norm (-n))
+      | op, e' -> Ast.Unop (op, e'))
+  | Ast.Call (f, args) -> Ast.Call (f, List.map norm_expr args)
+
+let rec norm_stmt (s : Ast.stmt) =
+  let node =
+    match s.Ast.node with
+    | Ast.Assign (v, e) -> Ast.Assign (v, norm_expr e)
+    | Ast.Store (a, i, e) -> Ast.Store (a, norm_expr i, norm_expr e)
+    | Ast.If (c, t, e) -> Ast.If (norm_expr c, List.map norm_stmt t, List.map norm_stmt e)
+    | Ast.While (c, b) -> Ast.While (norm_expr c, List.map norm_stmt b)
+    | Ast.For (v, lo, hi, b) ->
+        Ast.For (v, norm_expr lo, norm_expr hi, List.map norm_stmt b)
+    | Ast.Print e -> Ast.Print (norm_expr e)
+    | Ast.Return e -> Ast.Return (Option.map norm_expr e)
+    | Ast.Expr e -> Ast.Expr (norm_expr e)
+  in
+  { s with Ast.node }
+
+let norm_program (p : Ast.program) =
+  let p =
+    { p with Ast.funcs = List.map (fun f -> { f with Ast.body = List.map norm_stmt f.Ast.body }) p.Ast.funcs }
+  in
+  fst (Ast.number_program p)
+
+let roundtrip name p =
+  let text = Printer.program_to_string p in
+  let back = parse text in
+  Alcotest.(check bool) (name ^ " round-trips") true
+    (norm_program back = norm_program p)
+
+let test_apps_roundtrip () =
+  List.iter
+    (fun (e : Lp_apps.Apps.entry) -> roundtrip e.Lp_apps.Apps.name (e.build ()))
+    Lp_apps.Apps.extended
+
+let prop_random_roundtrip =
+  QCheck.Test.make ~name:"random programs round-trip through the printer"
+    ~count:200 Lp_testkit.program_arbitrary (fun p ->
+      let text = Printer.program_to_string p in
+      let back = parse text in
+      norm_program back = norm_program p)
+
+let () =
+  Alcotest.run "lp_parse"
+    [
+      ( "expressions",
+        [
+          Alcotest.test_case "atoms" `Quick test_expr_atoms;
+          Alcotest.test_case "precedence" `Quick test_expr_precedence;
+        ] );
+      ( "programs",
+        [
+          Alcotest.test_case "forms" `Quick test_program_forms;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "error positions" `Quick test_error_position;
+        ] );
+      ( "roundtrip",
+        [
+          Alcotest.test_case "applications" `Quick test_apps_roundtrip;
+          QCheck_alcotest.to_alcotest prop_random_roundtrip;
+        ] );
+    ]

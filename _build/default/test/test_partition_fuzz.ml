@@ -1,0 +1,98 @@
+(* Partition fuzzing: for random programs and RANDOM subsets of their
+   ASIC-able clusters, the co-simulated partitioned system must compute
+   exactly the interpreter's outputs. This exercises the mailbox
+   handshake, coherence flushes, buffering/streaming decisions and the
+   compiler stubs far beyond the single partition the objective function
+   would choose. *)
+
+module Cluster = Lp_cluster.Cluster
+module Dataflow = Lp_dataflow.Dataflow
+module System = Lp_system.System
+module Interp = Lp_ir.Interp
+
+(* Build a task for a cluster: conservative handover sets straight from
+   the dataflow analysis; fixed nominal schedule lengths (timing does
+   not affect functional results). *)
+let task_of program chain (c : Cluster.t) =
+  let sets = Dataflow.of_cluster program c in
+  ignore chain;
+  {
+    System.acall_id = c.Cluster.cid;
+    stmts = c.Cluster.stmts;
+    use_scalars = Dataflow.Sset.elements sets.Dataflow.use_scalars;
+    gen_scalars = Dataflow.Sset.elements sets.Dataflow.gen_scalars;
+    private_arrays = [];
+    buffer_in_arrays = [];
+    buffer_out_arrays = [];
+    stream_arrays =
+      Dataflow.Sset.elements
+        (Dataflow.Sset.union sets.Dataflow.use_arrays sets.Dataflow.gen_arrays);
+    power_w = 0.02;
+    clock_scale = 1.1;
+    seg_lengths =
+      List.map
+        (fun (seg : Cluster.segment) -> (seg.Cluster.anchor_sid, 3))
+        (Cluster.segments c);
+  }
+
+let gen_case =
+  QCheck.Gen.(
+    let* p = Lp_testkit.program_gen in
+    let* mask = int_range 0 255 in
+    return (p, mask))
+
+let arb_case =
+  QCheck.make
+    ~print:(fun (p, mask) ->
+      Printf.sprintf "mask=%d\n%s" mask (Lp_ir.Printer.program_to_string p))
+    gen_case
+
+let prop_any_partition_is_equivalent =
+  QCheck.Test.make ~name:"any candidate subset partitions equivalently"
+    ~count:150 arb_case (fun (p, mask) ->
+      let chain = Cluster.decompose p in
+      let candidates = List.filter Cluster.asic_candidate chain in
+      let subset =
+        List.filteri (fun i _ -> (mask lsr (i mod 8)) land 1 = 1) candidates
+      in
+      let tasks = List.map (task_of p chain) subset in
+      let expected = (Interp.run p).Interp.outputs in
+      let actual = (System.run ~tasks p).System.outputs in
+      expected = actual)
+
+let test_all_candidates_at_once () =
+  (* Move EVERY candidate cluster of every benchmark app (scaled down):
+     the most aggressive partition must still be exact. *)
+  List.iter
+    (fun (name, build) ->
+      let p : Lp_ir.Ast.program = build () in
+      let chain = Cluster.decompose p in
+      let tasks =
+        List.filter_map
+          (fun c ->
+            if Cluster.asic_candidate c then Some (task_of p chain c) else None)
+          chain
+      in
+      let expected = (Interp.run p).Interp.outputs in
+      let actual = (System.run ~tasks p).System.outputs in
+      Alcotest.(check (list int)) name expected actual)
+    [
+      ("3d", fun () -> Lp_apps.Three_d.program ~vertices:12 ());
+      ("mpg", fun () -> Lp_apps.Mpg.program ~width:16 ());
+      ("ckey", fun () -> Lp_apps.Ckey.program ~pixels:200 ());
+      ("digs", fun () -> Lp_apps.Digs.program ~width:8 ());
+      ("engine", fun () -> Lp_apps.Engine.program ~steps:30 ());
+      ("trick", fun () -> Lp_apps.Trick.program ~frames:2 ~width:16 ());
+      ("protocol", fun () -> Lp_apps.Protocol.program ~packets:40 ());
+    ]
+
+let () =
+  Alcotest.run "partition_fuzz"
+    [
+      ( "fuzz",
+        [
+          QCheck_alcotest.to_alcotest prop_any_partition_is_equivalent;
+          Alcotest.test_case "all candidates at once" `Quick
+            test_all_candidates_at_once;
+        ] );
+    ]

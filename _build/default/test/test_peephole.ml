@@ -1,0 +1,133 @@
+(* Peephole pass: pattern-level unit tests plus differential
+   equivalence and code-size reduction on real and random programs. *)
+
+module Isa = Lp_isa.Isa
+module Asm = Lp_isa.Asm
+module Peephole = Lp_compiler.Peephole
+module Compiler = Lp_compiler.Compiler
+module Iss = Lp_iss.Iss
+module Interp = Lp_ir.Interp
+
+let instr_count items =
+  List.length
+    (List.filter (function Asm.Label _ -> false | _ -> true) items)
+
+let test_self_move () =
+  let items = [ Asm.Instr (Isa.Mov (3, 3)); Asm.Instr (Isa.Mov (3, 4)) ] in
+  let out, n = Peephole.optimize items in
+  Alcotest.(check int) "one rewrite" 1 n;
+  Alcotest.(check int) "one instruction left" 1 (instr_count out)
+
+let test_addi_zero () =
+  let out, _ = Peephole.optimize [ Asm.Instr (Isa.Addi (3, 3, 0)) ] in
+  Alcotest.(check int) "dropped" 0 (instr_count out);
+  let out2, _ = Peephole.optimize [ Asm.Instr (Isa.Addi (3, 4, 0)) ] in
+  (match out2 with
+  | [ Asm.Instr (Isa.Mov (3, 4)) ] -> ()
+  | _ -> Alcotest.fail "addi d,s,0 should become mov")
+
+let test_store_reload () =
+  let items =
+    [ Asm.Instr (Isa.St (5, 29, 2)); Asm.Instr (Isa.Ld (5, 29, 2)) ]
+  in
+  let out, _ = Peephole.optimize items in
+  (match out with
+  | [ Asm.Instr (Isa.St (5, 29, 2)) ] -> ()
+  | _ -> Alcotest.fail "reload after store should vanish");
+  (* Different slot: kept. *)
+  let items2 =
+    [ Asm.Instr (Isa.St (5, 29, 2)); Asm.Instr (Isa.Ld (5, 29, 3)) ]
+  in
+  let out2, _ = Peephole.optimize items2 in
+  Alcotest.(check int) "different slot kept" 2 (instr_count out2)
+
+let test_jump_fallthrough () =
+  let items = [ Asm.Jmp_l "a"; Asm.Label "a"; Asm.Instr Isa.Halt ] in
+  let out, _ = Peephole.optimize items in
+  Alcotest.(check int) "jump removed" 1 (instr_count out)
+
+let test_branch_inversion () =
+  let items =
+    [ Asm.Beqz_l (3, "skip"); Asm.Jmp_l "far"; Asm.Label "skip"; Asm.Instr Isa.Halt ]
+  in
+  let out, _ = Peephole.optimize items in
+  match out with
+  | [ Asm.Bnez_l (3, "far"); Asm.Label "skip"; Asm.Instr Isa.Halt ] -> ()
+  | _ -> Alcotest.fail "branch-over-jump should invert"
+
+let test_dead_code_after_barrier () =
+  let items =
+    [
+      Asm.Instr Isa.Halt;
+      Asm.Instr (Isa.Li (1, 5));
+      Asm.Instr (Isa.Li (2, 6));
+      Asm.Label "next";
+      Asm.Instr Isa.Nop;
+    ]
+  in
+  let out, _ = Peephole.optimize items in
+  Alcotest.(check int) "unreachable gone" 2 (instr_count out)
+
+let test_label_stops_dead_code () =
+  let items = [ Asm.Jmp_l "x"; Asm.Label "x"; Asm.Instr (Isa.Li (1, 5)) ] in
+  let out, _ = Peephole.optimize items in
+  (* The jump falls through; the reachable li stays. *)
+  Alcotest.(check int) "li kept" 1 (instr_count out)
+
+(* --- differential: peephole preserves semantics, shrinks code --- *)
+
+let run_with ~peephole p =
+  let prog, layout = Compiler.compile ~peephole p in
+  let m = Iss.create ~fuel:50_000_000 prog Iss.null_hooks in
+  List.iter
+    (fun (base, img) -> Iss.load_data m base img)
+    (Compiler.initial_data p layout);
+  Iss.run m;
+  (Iss.result m, Array.length prog.Isa.code)
+
+let test_apps_equivalent_and_smaller () =
+  List.iter
+    (fun (name, build) ->
+      let p = build () in
+      let r0, n0 = run_with ~peephole:false p in
+      let r1, n1 = run_with ~peephole:true p in
+      Alcotest.(check (list int)) (name ^ " outputs") r0.Iss.outputs r1.Iss.outputs;
+      Alcotest.(check bool) (name ^ " code no bigger") true (n1 <= n0);
+      Alcotest.(check bool)
+        (name ^ " executes fewer or equal instructions")
+        true
+        (r1.Iss.instr_count <= r0.Iss.instr_count))
+    [
+      ("3d", fun () -> Lp_apps.Three_d.program ~vertices:16 ());
+      ("digs", fun () -> Lp_apps.Digs.program ~width:10 ());
+      ("engine", fun () -> Lp_apps.Engine.program ~steps:40 ());
+    ]
+
+let prop_random_equivalence =
+  QCheck.Test.make ~name:"random programs: peephole preserves outputs" ~count:100
+    Lp_testkit.program_arbitrary (fun p ->
+      let r0, _ = run_with ~peephole:false p in
+      let r1, _ = run_with ~peephole:true p in
+      r0.Iss.outputs = r1.Iss.outputs)
+
+let () =
+  Alcotest.run "peephole"
+    [
+      ( "patterns",
+        [
+          Alcotest.test_case "self move" `Quick test_self_move;
+          Alcotest.test_case "addi zero" `Quick test_addi_zero;
+          Alcotest.test_case "store/reload" `Quick test_store_reload;
+          Alcotest.test_case "jump fallthrough" `Quick test_jump_fallthrough;
+          Alcotest.test_case "branch inversion" `Quick test_branch_inversion;
+          Alcotest.test_case "dead code after barrier" `Quick
+            test_dead_code_after_barrier;
+          Alcotest.test_case "label stops dead code" `Quick test_label_stops_dead_code;
+        ] );
+      ( "differential",
+        [
+          Alcotest.test_case "apps equivalent and smaller" `Quick
+            test_apps_equivalent_and_smaller;
+        ] );
+      ("properties", [ QCheck_alcotest.to_alcotest prop_random_equivalence ]);
+    ]

@@ -1,0 +1,161 @@
+(* Pre-selection (Fig. 3): transfer counting via gen/use intersections,
+   synergy subtraction for adjacent ASIC clusters, ranking and the
+   N_max bound. *)
+
+module Cluster = Lp_cluster.Cluster
+module Preselect = Lp_preselect.Preselect
+
+(* Three clusters:
+   c0 (loop) computes s and fills a;
+   c1 (loop) consumes s and a, produces t and b;
+   c2 (straight) prints t and b. *)
+let pipeline () =
+  let open Lp_ir.Builder in
+  program
+    ~arrays:[ array "a" 8; array "b" 8 ]
+    [
+      func "main" ~params:[] ~locals:[ "s"; "t" ]
+        [
+          for_ "i" (int 0) (int 8)
+            [
+              "s" := var "s" + var "i";
+              store "a" (var "i") (var "s");
+            ];
+          for_ "i" (int 0) (int 8)
+            [
+              "t" := var "t" + load "a" (var "i") + var "s";
+              store "b" (var "i") (var "t");
+            ];
+          print (var "t");
+          print (load "b" (int 3));
+        ];
+    ]
+
+let ctx () =
+  let p = pipeline () in
+  (p, Preselect.create p (Cluster.decompose p))
+
+let no_asic _ = false
+
+let test_transfer_counts () =
+  let _, t = ctx () in
+  let e = Preselect.estimate t ~in_asic:no_asic 1 in
+  (* c1 uses s (scalar, 1 word) and a (array ref, 2 words) generated
+     before it: 3 words in. It generates t (1) and b (2) used later:
+     3 words out. *)
+  Alcotest.(check int) "uP->mem words" 3 e.Preselect.n_up_to_mem;
+  Alcotest.(check int) "ASIC->mem words" 3 e.Preselect.n_asic_to_mem;
+  Alcotest.(check bool) "energy positive" true (e.Preselect.energy_j > 0.0)
+
+let test_first_cluster_no_inbound () =
+  let _, t = ctx () in
+  let e = Preselect.estimate t ~in_asic:no_asic 0 in
+  Alcotest.(check int) "nothing generated before c0" 0 e.Preselect.n_up_to_mem;
+  (* c0 generates s and a, both used later. *)
+  Alcotest.(check int) "outbound words" 3 e.Preselect.n_asic_to_mem
+
+let test_synergy_reduces_traffic () =
+  let _, t = ctx () in
+  let baseline = Preselect.estimate t ~in_asic:no_asic 1 in
+  (* With c0 already on the ASIC, c1's inbound handover shrinks. *)
+  let with_pred = Preselect.estimate t ~in_asic:(fun cid -> cid = 0) 1 in
+  Alcotest.(check bool) "synergy reduces inbound" true
+    (with_pred.Preselect.n_up_to_mem < baseline.Preselect.n_up_to_mem);
+  (* With c2 on the ASIC, c1's outbound shrinks. *)
+  let with_succ = Preselect.estimate t ~in_asic:(fun cid -> cid = 2) 1 in
+  Alcotest.(check bool) "synergy reduces outbound" true
+    (with_succ.Preselect.n_asic_to_mem < baseline.Preselect.n_asic_to_mem);
+  Alcotest.(check bool) "never negative" true
+    (with_pred.Preselect.n_up_to_mem >= 0
+    && with_succ.Preselect.n_asic_to_mem >= 0)
+
+let test_synergy_both_sides () =
+  let _, t = ctx () in
+  let both = Preselect.estimate t ~in_asic:(fun cid -> cid = 0 || cid = 2) 1 in
+  let pred_only = Preselect.estimate t ~in_asic:(fun cid -> cid = 0) 1 in
+  let succ_only = Preselect.estimate t ~in_asic:(fun cid -> cid = 2) 1 in
+  Alcotest.(check int) "inbound matches pred-only case"
+    pred_only.Preselect.n_up_to_mem both.Preselect.n_up_to_mem;
+  Alcotest.(check int) "outbound matches succ-only case"
+    succ_only.Preselect.n_asic_to_mem both.Preselect.n_asic_to_mem;
+  Alcotest.(check bool) "both-sides energy is the lowest" true
+    (both.Preselect.energy_j <= pred_only.Preselect.energy_j
+    && both.Preselect.energy_j <= succ_only.Preselect.energy_j)
+
+let test_energy_uses_bus_costs () =
+  let _, t = ctx () in
+  let e = Preselect.estimate t ~in_asic:no_asic 1 in
+  let per_word =
+    Lp_tech.Cmos6.bus_write_energy_j +. Lp_tech.Cmos6.bus_read_energy_j
+  in
+  Alcotest.(check (float 1e-15)) "E = words * (write+read)"
+    (float_of_int (e.Preselect.n_up_to_mem + e.Preselect.n_asic_to_mem)
+    *. per_word)
+    e.Preselect.energy_j
+
+let profile_of p = (Lp_ir.Interp.run p).Lp_ir.Interp.profile
+
+let test_pre_select_bounds_and_filter () =
+  let p, t = ctx () in
+  let profile = profile_of p in
+  let all = Preselect.pre_select t ~profile ~n_max:10 in
+  (* All three clusters are call-free candidates with work. *)
+  Alcotest.(check int) "all candidates kept" 3 (List.length all);
+  let one = Preselect.pre_select t ~profile ~n_max:1 in
+  Alcotest.(check int) "n_max enforced" 1 (List.length one)
+
+let test_pre_select_drops_dead_and_calls () =
+  let p =
+    let open Lp_ir.Builder in
+    program ~arrays:[]
+      [
+        func "h" ~params:[] ~locals:[] [ return (int 1) ];
+        func "main" ~params:[] ~locals:[ "x"; "c" ]
+          [
+            "c" := int 0;
+            (* dead loop: zero iterations *)
+            for_ "i" (int 0) (int 0) [ "x" := var "x" + int 1 ];
+            (* call-bound loop *)
+            for_ "i" (int 0) (int 3) [ "x" := var "x" + call "h" [] ];
+            print (var "x");
+          ];
+      ]
+  in
+  let t = Preselect.create p (Cluster.decompose p) in
+  let kept = Preselect.pre_select t ~profile:(profile_of p) ~n_max:10 in
+  (* Only the first straight cluster ("c := 0") and the print cluster
+     remain: dead loop has no work, call loop is not a candidate. *)
+  List.iter
+    (fun ((c : Cluster.t), _) ->
+      Alcotest.(check bool) "kept clusters are candidates" true
+        (Cluster.asic_candidate c);
+      Alcotest.(check bool) "kept clusters have work" true
+        (Preselect.dynamic_work t ~profile:(profile_of p) c.Cluster.cid > 0))
+    kept
+
+let test_dynamic_work_scales_with_profile () =
+  let p, t = ctx () in
+  let profile = profile_of p in
+  let w1 = Preselect.dynamic_work t ~profile 1 in
+  Alcotest.(check bool) "loop work > tail work" true
+    (w1 > Preselect.dynamic_work t ~profile 2)
+
+let () =
+  Alcotest.run "lp_preselect"
+    [
+      ( "fig3",
+        [
+          Alcotest.test_case "transfer counts" `Quick test_transfer_counts;
+          Alcotest.test_case "first cluster" `Quick test_first_cluster_no_inbound;
+          Alcotest.test_case "synergy" `Quick test_synergy_reduces_traffic;
+          Alcotest.test_case "synergy both sides" `Quick test_synergy_both_sides;
+          Alcotest.test_case "bus energy" `Quick test_energy_uses_bus_costs;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "n_max bound" `Quick test_pre_select_bounds_and_filter;
+          Alcotest.test_case "drops dead and call clusters" `Quick
+            test_pre_select_drops_dead_and_calls;
+          Alcotest.test_case "dynamic work" `Quick test_dynamic_work_scales_with_profile;
+        ] );
+    ]

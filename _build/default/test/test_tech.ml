@@ -1,0 +1,141 @@
+(* Technology library: units formatting, process constants, resource
+   tables, resource sets, voltage scaling, battery model. *)
+
+module Units = Lp_tech.Units
+module Cmos6 = Lp_tech.Cmos6
+module Op = Lp_tech.Op
+module Resource = Lp_tech.Resource
+module Resource_set = Lp_tech.Resource_set
+module Battery = Lp_tech.Battery
+
+let check_s = Alcotest.(check string)
+
+let test_units_formatting () =
+  check_s "nJ" "13nJ" (Units.energy_to_string (Units.nj 13.0));
+  check_s "uJ" "116.9uJ" (Units.energy_to_string (Units.uj 116.93));
+  check_s "mJ" "44.79mJ" (Units.energy_to_string (Units.mj 44.79));
+  check_s "J" "2.5J" (Units.energy_to_string 2.5);
+  check_s "zero" "0J" (Units.energy_to_string 0.0);
+  check_s "time us" "50us" (Units.time_to_string (Units.us 50.0));
+  check_s "percent" "35.21%" (Format.asprintf "%a" Units.pp_percent 0.3521)
+
+let test_units_conversions () =
+  Alcotest.(check (float 1e-15)) "ns" 2.5e-8 (Units.ns 25.0);
+  Alcotest.(check (float 1e-12)) "mw" 6e-3 (Units.mw 6.0);
+  Alcotest.(check (float 1e-12)) "20MHz period" 5e-8 (Units.mhz_period_s 20.0)
+
+let test_cmos6_sanity () =
+  Alcotest.(check (float 1e-9)) "clock period" 5e-8 Cmos6.clock_period_s;
+  Alcotest.(check bool) "gate energy ~pJ" true
+    (Cmos6.gate_switch_energy_j > 1e-13 && Cmos6.gate_switch_energy_j < 1e-11);
+  Alcotest.(check bool) "bus write > read" true
+    (Cmos6.bus_write_energy_j > Cmos6.bus_read_energy_j);
+  Alcotest.(check bool) "dram access ~10nJ" true
+    (Cmos6.dram_access_energy_j > 1e-9 && Cmos6.dram_access_energy_j < 1e-7)
+
+let test_voltage_scaling () =
+  Alcotest.(check (float 1e-9)) "nominal energy ratio" 1.0
+    (Cmos6.voltage_energy_ratio Cmos6.vdd_v);
+  Alcotest.(check (float 1e-9)) "nominal delay ratio" 1.0
+    (Cmos6.voltage_delay_ratio Cmos6.vdd_v);
+  Alcotest.(check bool) "half voltage quarters energy" true
+    (abs_float (Cmos6.voltage_energy_ratio (Cmos6.vdd_v /. 2.0) -. 0.25) < 1e-9);
+  Alcotest.(check bool) "lower voltage is slower" true
+    (Cmos6.voltage_delay_ratio 2.0 > 1.0);
+  Alcotest.(check bool) "delay monotone" true
+    (Cmos6.voltage_delay_ratio 1.5 > Cmos6.voltage_delay_ratio 2.0);
+  match Cmos6.voltage_delay_ratio 0.5 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "below threshold accepted"
+
+let test_op_classification () =
+  Alcotest.(check int) "all ops listed" 17 (List.length Op.all);
+  Alcotest.(check bool) "load is memory" true (Op.is_memory Op.Load);
+  Alcotest.(check bool) "add not memory" false (Op.is_memory Op.Add);
+  Alcotest.(check bool) "add commutative" true (Op.is_commutative Op.Add);
+  Alcotest.(check bool) "sub not commutative" false (Op.is_commutative Op.Sub)
+
+let test_resource_candidates_sorted () =
+  List.iter
+    (fun op ->
+      let cands = Resource.candidates op in
+      Alcotest.(check bool) (Op.to_string op ^ " has candidates") true
+        (cands <> []);
+      let geqs = List.map (fun (k, _) -> Resource.geq k) cands in
+      Alcotest.(check (list int)) (Op.to_string op ^ " sorted by size")
+        (List.sort compare geqs) geqs;
+      List.iter
+        (fun (k, lat) ->
+          Alcotest.(check bool) "positive latency" true (lat > 0);
+          Alcotest.(check bool) "can_execute agrees" true (Resource.can_execute k op))
+        cands)
+    Op.all
+
+let test_resource_tables_positive () =
+  List.iter
+    (fun k ->
+      Alcotest.(check bool) "geq > 0" true (Resource.geq k > 0);
+      Alcotest.(check bool) "power > 0" true (Resource.avg_power_w k > 0.0);
+      Alcotest.(check bool) "cycle time in ns band" true
+        (Resource.cycle_time_s k > 1e-9 && Resource.cycle_time_s k < 1e-6);
+      Alcotest.(check (option string)) "name roundtrip"
+        (Some (Resource.kind_to_string k))
+        (Option.map Resource.kind_to_string
+           (Resource.kind_of_string (Resource.kind_to_string k))))
+    Resource.all_kinds
+
+let test_resource_set_ops () =
+  let s = Resource_set.make [ (Resource.Adder, 2); (Resource.Adder, 1); (Resource.Alu, 1) ] in
+  Alcotest.(check int) "duplicates merge" 3 (Resource_set.count s Resource.Adder);
+  Alcotest.(check int) "total instances" 4 (Resource_set.total_instances s);
+  Alcotest.(check int) "total geq"
+    ((3 * Resource.geq Resource.Adder) + Resource.geq Resource.Alu)
+    (Resource_set.total_geq s);
+  Alcotest.(check bool) "covers adds" true (Resource_set.can_execute s Op.Add);
+  Alcotest.(check bool) "no multiplier" false (Resource_set.can_execute s Op.Mul);
+  Alcotest.(check bool) "covers_ops" false
+    (Resource_set.covers_ops s [ Op.Add; Op.Mul ]);
+  (match Resource_set.make [ (Resource.Adder, 0) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero count accepted");
+  Alcotest.(check int) "default sets: 4" 4 (List.length Resource_set.default_sets)
+
+let test_battery () =
+  let b = Battery.nimh_aa_pair in
+  (* 1.1 Ah * 3600 * 2.4 V * 0.8 = 7603 J *)
+  Alcotest.(check bool) "usable energy ~7.6kJ" true
+    (abs_float (Battery.usable_energy_j b -. 7603.2) < 1.0);
+  let h = Battery.lifetime_hours b ~avg_power_w:0.3 in
+  Alcotest.(check bool) "300mW runs ~7h" true (h > 6.0 && h < 8.0);
+  Alcotest.(check bool) "lower power, longer life" true
+    (Battery.lifetime_s b ~avg_power_w:0.05 > Battery.lifetime_s b ~avg_power_w:0.3);
+  (match Battery.lifetime_s b ~avg_power_w:0.0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero power accepted");
+  check_s "hours format" "7.0 h"
+    (Format.asprintf "%a" Battery.pp_lifetime (7.0 *. 3600.0));
+  check_s "days format" "3.0 d"
+    (Format.asprintf "%a" Battery.pp_lifetime (72.0 *. 3600.0))
+
+let () =
+  Alcotest.run "lp_tech"
+    [
+      ( "units",
+        [
+          Alcotest.test_case "formatting" `Quick test_units_formatting;
+          Alcotest.test_case "conversions" `Quick test_units_conversions;
+        ] );
+      ( "process",
+        [
+          Alcotest.test_case "cmos6 sanity" `Quick test_cmos6_sanity;
+          Alcotest.test_case "voltage scaling" `Quick test_voltage_scaling;
+        ] );
+      ( "resources",
+        [
+          Alcotest.test_case "op classification" `Quick test_op_classification;
+          Alcotest.test_case "candidates sorted" `Quick test_resource_candidates_sorted;
+          Alcotest.test_case "tables positive" `Quick test_resource_tables_positive;
+          Alcotest.test_case "resource sets" `Quick test_resource_set_ops;
+        ] );
+      ("battery", [ Alcotest.test_case "model" `Quick test_battery ]);
+    ]

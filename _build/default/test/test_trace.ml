@@ -1,0 +1,118 @@
+(* Trace tools: capture structure, exact consistency between live and
+   trace-driven cache simulation, sweep behaviour. *)
+
+module Trace = Lp_system.Trace
+module System = Lp_system.System
+module Cache = Lp_cache.Cache
+
+let sample =
+  let open Lp_ir.Builder in
+  program
+    ~arrays:[ array "a" 64 ]
+    [
+      func "main" ~params:[] ~locals:[ "s" ]
+        [
+          for_ "i" (int 0) (int 64) [ store "a" (var "i") (var "i" * int 7) ];
+          for_ "i" (int 0) (int 64) [ "s" := var "s" + load "a" (var "i") ];
+          print (var "s");
+        ];
+    ]
+
+let test_capture_structure () =
+  let t = Trace.capture sample in
+  Alcotest.(check bool) "nonempty" true (Trace.length t > 0);
+  let evs = Trace.events t in
+  let fetches =
+    Array.to_list evs
+    |> List.filter (function Trace.Ifetch _ -> true | _ -> false)
+  in
+  let dreads =
+    Array.to_list evs
+    |> List.filter (function Trace.Dread _ -> true | _ -> false)
+  in
+  let dwrites =
+    Array.to_list evs
+    |> List.filter (function Trace.Dwrite _ -> true | _ -> false)
+  in
+  (* One fetch per executed instruction, at least 64 loads and 64
+     stores for the arrays. *)
+  Alcotest.(check bool) "many fetches" true (List.length fetches > 500);
+  Alcotest.(check bool) ">= 64 reads" true (List.length dreads >= 64);
+  Alcotest.(check bool) ">= 64 writes" true (List.length dwrites >= 64);
+  (* Addresses are word-aligned. *)
+  Array.iter
+    (fun e ->
+      let a = match e with Trace.Ifetch a | Trace.Dread a | Trace.Dwrite a -> a in
+      Alcotest.(check int) "aligned" 0 (a mod 4))
+    evs
+
+let test_replay_matches_live_run () =
+  (* The trace-driven simulation must agree exactly with the live
+     co-simulation for the same geometries (software-only program). *)
+  let t = Trace.capture sample in
+  let live = System.run sample in
+  let ic_stats, dc_stats =
+    Trace.replay t ~icache:Cache.default_icache ~dcache:Cache.default_dcache
+  in
+  let strip (s : Cache.stats) = (s.Cache.reads, s.Cache.writes, s.Cache.read_misses, s.Cache.write_misses, s.Cache.writebacks) in
+  Alcotest.(check (pair (pair int int) (triple int int int)))
+    "icache stats equal"
+    (let a, b, c, d, e = strip live.System.icache_stats in
+     ((a, b), (c, d, e)))
+    (let a, b, c, d, e = strip ic_stats in
+     ((a, b), (c, d, e)));
+  Alcotest.(check (pair (pair int int) (triple int int int)))
+    "dcache stats equal"
+    (let a, b, c, d, e = strip live.System.dcache_stats in
+     ((a, b), (c, d, e)))
+    (let a, b, c, d, e = strip dc_stats in
+     ((a, b), (c, d, e)))
+
+let test_sweep_monotone () =
+  (* Bigger caches cannot miss more on the same trace (same line size,
+     same associativity, LRU: the stack property). *)
+  let t = Trace.capture sample in
+  let geometries =
+    List.map
+      (fun size -> { Cache.default_dcache with Cache.size_bytes = size; assoc = 1 })
+      [ 256; 512; 1024; 2048; 4096 ]
+  in
+  let swept = Trace.sweep_dcache t geometries in
+  let rates = List.map (fun (_, s) -> Trace.miss_rate s) swept in
+  (* Direct-mapped caches are not strictly stack-monotone, but on this
+     sequential trace the rate must be non-increasing. *)
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "miss rate non-increasing" true (non_increasing rates)
+
+let test_miss_rate_edges () =
+  Alcotest.(check (float 0.0)) "empty stats" 0.0
+    (Trace.miss_rate
+       {
+         Cache.reads = 0;
+         writes = 0;
+         read_misses = 0;
+         write_misses = 0;
+         writebacks = 0;
+         energy_j = 0.0;
+       })
+
+let test_capture_rejects_acall () =
+  (* Trace capture is software-only by design. *)
+  let t = Trace.capture sample in
+  ignore t
+
+let () =
+  Alcotest.run "lp_trace"
+    [
+      ( "trace",
+        [
+          Alcotest.test_case "capture structure" `Quick test_capture_structure;
+          Alcotest.test_case "replay == live run" `Quick test_replay_matches_live_run;
+          Alcotest.test_case "sweep monotone" `Quick test_sweep_monotone;
+          Alcotest.test_case "miss rate edges" `Quick test_miss_rate_edges;
+          Alcotest.test_case "software only" `Quick test_capture_rejects_acall;
+        ] );
+    ]

@@ -1,0 +1,120 @@
+(* 32-bit word semantics: unit cases on the edges plus differential
+   properties against OCaml's Int32, which is the ground truth for
+   two's-complement 32-bit arithmetic. *)
+
+module Word = Lp_ir.Word
+
+let check = Alcotest.(check int)
+
+let test_norm () =
+  check "identity in range" 42 (Word.norm 42);
+  check "negative in range" (-42) (Word.norm (-42));
+  check "max" Word.max_int32 (Word.norm 0x7FFFFFFF);
+  check "wrap max+1" Word.min_int32 (Word.norm 0x80000000);
+  check "wrap -1 encoding" (-1) (Word.norm 0xFFFFFFFF);
+  check "idempotent" (Word.norm 123456789) (Word.norm (Word.norm 123456789))
+
+let test_overflow_edges () =
+  check "max+1 wraps" Word.min_int32 (Word.add Word.max_int32 1);
+  check "min-1 wraps" Word.max_int32 (Word.sub Word.min_int32 1);
+  check "neg min_int32" Word.min_int32 (Word.neg Word.min_int32);
+  check "min/-1 wraps" Word.min_int32 (Word.div Word.min_int32 (-1));
+  check "mul wrap" 0 (Word.mul 0x10000 0x10000)
+
+let test_division () =
+  check "trunc toward zero pos" 2 (Word.div 7 3);
+  check "trunc toward zero neg" (-2) (Word.div (-7) 3);
+  check "rem sign follows dividend" (-1) (Word.rem (-7) 3);
+  check "rem pos" 1 (Word.rem 7 3);
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Word.div 1 0));
+  Alcotest.check_raises "rem by zero" Division_by_zero (fun () ->
+      ignore (Word.rem 1 0))
+
+let test_shifts () =
+  check "shl" 8 (Word.shl 1 3);
+  check "shl wraps amount" 2 (Word.shl 1 33);
+  check "shl overflow drops" Word.min_int32 (Word.shl 1 31);
+  check "shr arithmetic" (-1) (Word.shr (-2) 1);
+  check "shr keeps sign" (-1) (Word.shr Word.min_int32 31);
+  check "lshr logical" 0x3FFFFFFF (Word.lshr (-1) 2);
+  check "lshr top bit" 1 (Word.lshr Word.min_int32 31)
+
+let test_logic () =
+  check "and" 0b1000 (Word.logand 0b1100 0b1010);
+  check "or" 0b1110 (Word.logor 0b1100 0b1010);
+  check "xor" 0b0110 (Word.logxor 0b1100 0b1010);
+  check "not" (-1) (Word.lognot 0);
+  check "bool true" 1 (Word.of_bool true);
+  check "bool false" 0 (Word.of_bool false)
+
+(* Differential properties vs Int32. *)
+
+let int32_pair =
+  QCheck.make
+    ~print:(fun (a, b) -> Printf.sprintf "(%d, %d)" a b)
+    QCheck.Gen.(pair (int_range Word.min_int32 Word.max_int32)
+                  (int_range Word.min_int32 Word.max_int32))
+
+let via_int32 f a b =
+  Int32.to_int (f (Int32.of_int a) (Int32.of_int b))
+
+let binop_prop name ours int32_op =
+  QCheck.Test.make ~name ~count:1000 int32_pair (fun (a, b) ->
+      ours a b = via_int32 int32_op a b)
+
+let prop_add = binop_prop "add matches Int32" Word.add Int32.add
+let prop_sub = binop_prop "sub matches Int32" Word.sub Int32.sub
+let prop_mul = binop_prop "mul matches Int32" Word.mul Int32.mul
+
+let prop_div =
+  QCheck.Test.make ~name:"div/rem match Int32" ~count:1000 int32_pair
+    (fun (a, b) ->
+      b = 0
+      || Word.div a b = via_int32 Int32.div a b
+         && Word.rem a b = via_int32 Int32.rem a b)
+
+let prop_logic =
+  QCheck.Test.make ~name:"logic ops match Int32" ~count:1000 int32_pair
+    (fun (a, b) ->
+      Word.logand a b = via_int32 Int32.logand a b
+      && Word.logor a b = via_int32 Int32.logor a b
+      && Word.logxor a b = via_int32 Int32.logxor a b)
+
+let prop_shifts =
+  QCheck.Test.make ~name:"shifts match Int32 (amount mod 32)" ~count:1000
+    int32_pair (fun (a, b) ->
+      let n = b land 31 in
+      Word.shl a b = Int32.to_int (Int32.shift_left (Int32.of_int a) n)
+      && Word.shr a b
+         = Int32.to_int (Int32.shift_right (Int32.of_int a) n)
+      && Word.lshr a b
+         = Int32.to_int (Int32.shift_right_logical (Int32.of_int a) n))
+
+let prop_norm_range =
+  QCheck.Test.make ~name:"norm lands in the 32-bit range" ~count:1000
+    QCheck.(make Gen.(int_range min_int max_int))
+    (fun x ->
+      let n = Word.norm x in
+      n >= Word.min_int32 && n <= Word.max_int32)
+
+let qcheck tests = List.map QCheck_alcotest.to_alcotest tests
+
+let () =
+  Alcotest.run "word"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "norm" `Quick test_norm;
+          Alcotest.test_case "overflow edges" `Quick test_overflow_edges;
+          Alcotest.test_case "division" `Quick test_division;
+          Alcotest.test_case "shifts" `Quick test_shifts;
+          Alcotest.test_case "logic" `Quick test_logic;
+        ] );
+      ( "vs-int32",
+        qcheck
+          [
+            prop_add; prop_sub; prop_mul; prop_div; prop_logic; prop_shifts;
+            prop_norm_range;
+          ] );
+    ]
