@@ -24,18 +24,33 @@
      B* speed         Bechamel micro-benchmarks of the flow stages *)
 
 module Flow = Lp_core.Flow
+module Memo = Lp_core.Memo
 module System = Lp_system.System
 module Apps = Lp_apps.Apps
 module Tables = Lp_report.Paper_tables
+module Parmap = Lp_parallel.Parmap
 
 let section title = Printf.printf "\n== %s ==\n%!" title
+
+(* Applications are independent, so every sweep fans out one flow run
+   per application on a transient domain pool. The inner candidate
+   fan-out is forced sequential ([jobs = 1]) to avoid nesting domain
+   pools; cross-run sharing still happens through the Memo cache, which
+   is domain-safe. Orderings are deterministic (Parmap preserves
+   indices), so the emitted tables are byte-identical to a sequential
+   harness. *)
+let bench_domains = Flow.default_jobs - 1
+
+let seq_options = { Flow.default_options with Flow.jobs = 1 }
+
+let par_apps f = Parmap.list ~domains:bench_domains f Apps.all
 
 (* Flow results are reused across subcommands within one invocation. *)
 let results =
   lazy
-    (List.map
-       (fun (e : Apps.entry) -> Flow.run ~name:e.name (e.build ()))
-       Apps.all)
+    (par_apps
+       (fun (e : Apps.entry) ->
+         Flow.run ~options:seq_options ~name:e.name (e.build ())))
 
 let table1 () =
   section
@@ -74,12 +89,10 @@ let ablation_f () =
     List.map
       (fun f ->
         let cells =
-          List.map
-            (fun (e : Apps.entry) ->
-              let options = { Flow.default_options with Flow.f } in
+          par_apps (fun (e : Apps.entry) ->
+              let options = { seq_options with Flow.f } in
               let r = Flow.run ~options ~name:e.name (e.build ()) in
               [ pct r.Flow.energy_saving; string_of_int r.Flow.total_cells ])
-            Apps.all
         in
         Printf.sprintf "%.1f" f :: List.concat cells)
       fs
@@ -110,14 +123,10 @@ let ablation_rs () =
     List.map
       (fun (label, sets) ->
         label
-        :: List.map
-             (fun (e : Apps.entry) ->
-               let options =
-                 { Flow.default_options with Flow.resource_sets = sets }
-               in
+        :: par_apps (fun (e : Apps.entry) ->
+               let options = { seq_options with Flow.resource_sets = sets } in
                let r = Flow.run ~options ~name:e.name (e.build ()) in
-               pct r.Flow.energy_saving)
-             Apps.all)
+               pct r.Flow.energy_saving))
       variants
   in
   print_endline (Lp_report.Table.render ~header rows)
@@ -131,15 +140,13 @@ let ablation_nmax () =
   let rows =
     List.map
       (fun n_max ->
-        let t0 = Sys.time () in
+        let t0 = Unix.gettimeofday () in
         let rs =
-          List.map
-            (fun (e : Apps.entry) ->
-              let options = { Flow.default_options with Flow.n_max } in
+          par_apps (fun (e : Apps.entry) ->
+              let options = { seq_options with Flow.n_max } in
               Flow.run ~options ~name:e.name (e.build ()))
-            Apps.all
         in
-        let dt = Sys.time () -. t0 in
+        let dt = Unix.gettimeofday () -. t0 in
         let evaluated =
           List.fold_left (fun acc r -> acc + List.length r.Flow.candidates) 0 rs
         in
@@ -171,10 +178,11 @@ let cache_sweep () =
           }
         in
         let cols =
-          List.concat_map
-            (fun name ->
+          List.concat
+            (Parmap.list ~domains:bench_domains
+               (fun name ->
               let e = Option.get (Apps.find name) in
-              let options = { Flow.default_options with Flow.config = config } in
+              let options = { seq_options with Flow.config = config } in
               let r = Flow.run ~options ~name (e.Apps.build ()) in
               [
                 Lp_tech.Units.energy_to_string
@@ -183,7 +191,7 @@ let cache_sweep () =
                   (System.total_energy_j r.Flow.partitioned);
                 pct r.Flow.energy_saving;
               ])
-            apps
+               apps)
         in
         Printf.sprintf "%dB" size :: cols)
       sizes
@@ -213,20 +221,21 @@ let ablation_opt () =
     List.map
       (fun (label, use_ir_opt, peephole) ->
         let cols =
-          List.concat_map
-            (fun (e : Apps.entry) ->
-              let p = e.build () in
-              let p = if use_ir_opt then Lp_ir.Optim.optimize_program p else p in
-              let config = { System.default_config with System.peephole } in
-              let options = { Flow.default_options with Flow.config = config } in
-              let r = Flow.run ~options ~name:e.name p in
-              [
-                Lp_tech.Units.energy_to_string
-                  (System.total_energy_j r.Flow.initial);
-                pct r.Flow.energy_saving;
-                Printf.sprintf "%+.1f" (100.0 *. r.Flow.time_change);
-              ])
-            Apps.all
+          List.concat
+            (par_apps (fun (e : Apps.entry) ->
+                 let p = e.build () in
+                 let p =
+                   if use_ir_opt then Lp_ir.Optim.optimize_program p else p
+                 in
+                 let config = { System.default_config with System.peephole } in
+                 let options = { seq_options with Flow.config = config } in
+                 let r = Flow.run ~options ~name:e.name p in
+                 [
+                   Lp_tech.Units.energy_to_string
+                     (System.total_energy_j r.Flow.initial);
+                   pct r.Flow.energy_saving;
+                   Printf.sprintf "%+.1f" (100.0 *. r.Flow.time_change);
+                 ]))
         in
         label :: cols)
       modes
@@ -293,11 +302,9 @@ let ablation_sched () =
   in
   let full label scheduler =
     label
-    :: List.map
-         (fun (e : Apps.entry) ->
-           let options = { Flow.default_options with Flow.scheduler } in
+    :: par_apps (fun (e : Apps.entry) ->
+           let options = { seq_options with Flow.scheduler } in
            pct (Flow.run ~options ~name:e.name (e.build ())).Flow.energy_saving)
-         Apps.all
   in
   print_newline ();
   print_endline
@@ -321,16 +328,17 @@ let ablation_vdd () =
     List.map
       (fun v ->
         let cols =
-          List.concat_map
-            (fun name ->
-              let e = Option.get (Apps.find name) in
-              let options = { Flow.default_options with Flow.asic_vdd_v = v } in
-              let r = Flow.run ~options ~name (e.Apps.build ()) in
-              [
-                pct r.Flow.energy_saving;
-                Printf.sprintf "%+.1f" (100.0 *. r.Flow.time_change);
-              ])
-            [ "digs"; "ckey"; "trick" ]
+          List.concat
+            (Parmap.list ~domains:bench_domains
+               (fun name ->
+                 let e = Option.get (Apps.find name) in
+                 let options = { seq_options with Flow.asic_vdd_v = v } in
+                 let r = Flow.run ~options ~name (e.Apps.build ()) in
+                 [
+                   pct r.Flow.energy_saving;
+                   Printf.sprintf "%+.1f" (100.0 *. r.Flow.time_change);
+                 ])
+               [ "digs"; "ckey"; "trick" ])
         in
         Printf.sprintf "%.1fV" v :: cols)
       [ 3.3; 2.7; 2.0; 1.5; 1.2 ]
@@ -346,29 +354,34 @@ let ablation_unroll () =
   let header =
     [ "app"; "unroll"; "budget"; "sav%"; "ASIC cyc"; "cells" ]
   in
-  let rows =
+  let items =
     List.concat_map
       (fun name ->
-        let e = Option.get (Apps.find name) in
         List.concat_map
           (fun factor ->
-            let p = e.Apps.build () in
-            let p = if factor > 1 then Lp_ir.Optim.unroll ~factor p else p in
             List.map
-              (fun (blabel, max_cells) ->
-                let options = { Flow.default_options with Flow.max_cells } in
-                let r = Flow.run ~options ~name p in
-                [
-                  name;
-                  string_of_int factor;
-                  blabel;
-                  pct r.Flow.energy_saving;
-                  string_of_int r.Flow.partitioned.System.asic_cycles;
-                  string_of_int r.Flow.total_cells;
-                ])
+              (fun budget -> (name, factor, budget))
               [ ("20k", 20_000); ("60k", 60_000) ])
           [ 1; 2; 4 ])
       [ "digs"; "ckey" ]
+  in
+  let rows =
+    Parmap.list ~domains:bench_domains
+      (fun (name, factor, (blabel, max_cells)) ->
+        let e = Option.get (Apps.find name) in
+        let p = e.Apps.build () in
+        let p = if factor > 1 then Lp_ir.Optim.unroll ~factor p else p in
+        let options = { seq_options with Flow.max_cells } in
+        let r = Flow.run ~options ~name p in
+        [
+          name;
+          string_of_int factor;
+          blabel;
+          pct r.Flow.energy_saving;
+          string_of_int r.Flow.partitioned.System.asic_cycles;
+          string_of_int r.Flow.total_cells;
+        ])
+      items
   in
   print_endline (Lp_report.Table.render ~header rows);
   print_endline
@@ -392,9 +405,222 @@ let future_work () =
      suite — exactly why the paper defers control-dominated systems to\n\
      future work.)"
 
+(* --- B*: flow performance — stage timings, parallel speedup, cache
+   behaviour — with a machine-readable BENCH_flow.json dump so later
+   changes have a perf trajectory to compare against. --- *)
+
+let j_str s = "\"" ^ String.concat "\\\"" (String.split_on_char '"' s) ^ "\""
+let j_float x = Printf.sprintf "%.6g" x
+
+let j_obj fields =
+  "{" ^ String.concat "," (List.map (fun (k, v) -> j_str k ^ ":" ^ v) fields) ^ "}"
+
+let j_arr items = "[" ^ String.concat "," items ^ "]"
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, Unix.gettimeofday () -. t0)
+
+(* Median-of-reps wall time of one stage, in milliseconds per run. *)
+let time_stage ~reps f =
+  ignore (f ());
+  let samples =
+    List.init reps (fun _ ->
+        let _, dt = wall f in
+        dt)
+    |> List.sort compare
+  in
+  1e3 *. List.nth samples (reps / 2)
+
+let cache_stats_json (s : Memo.stats) =
+  j_obj
+    [
+      ("hits", string_of_int s.Memo.hits);
+      ("misses", string_of_int s.Memo.misses);
+      ("entries", string_of_int s.Memo.entries);
+    ]
+
+(* Sequential vs parallel full-flow timing over every application, both
+   from a cold candidate cache, plus a warm parallel pass. *)
+let flow_timing () =
+  let run_all options =
+    List.iter
+      (fun (e : Apps.entry) ->
+        ignore (Flow.run ~options ~name:e.name (e.build ())))
+      Apps.all
+  in
+  Memo.reset ();
+  let (), seq_s = wall (fun () -> run_all { Flow.default_options with Flow.jobs = 1 }) in
+  let seq_stats = Memo.stats () in
+  Memo.reset ();
+  let (), par_s = wall (fun () -> run_all Flow.default_options) in
+  let par_stats = Memo.stats () in
+  let (), warm_s = wall (fun () -> run_all Flow.default_options) in
+  let all_stats = Memo.stats () in
+  (* hit rate of the warm pass alone, not cumulative since the reset *)
+  let wh = all_stats.Memo.hits - par_stats.Memo.hits
+  and wm = all_stats.Memo.misses - par_stats.Memo.misses in
+  let warm_rate =
+    if wh + wm = 0 then 0.0 else float_of_int wh /. float_of_int (wh + wm)
+  in
+  (seq_s, par_s, warm_s, seq_stats, warm_rate)
+
+(* The E3 objective-factor sweep, instrumented: F is not part of the
+   candidate-cache key, so every sweep point after the first should be
+   (nearly) all hits. *)
+let f_sweep_cache () =
+  Memo.reset ();
+  let fs = [ 0.5; 1.0; 2.0; 4.0; 8.0 ] in
+  let points =
+    List.map
+      (fun f ->
+        let before = Memo.stats () in
+        List.iter
+          (fun (e : Apps.entry) ->
+            let options = { seq_options with Flow.f } in
+            ignore (Flow.run ~options ~name:e.name (e.build ())))
+          Apps.all;
+        let after = Memo.stats () in
+        let hits = after.Memo.hits - before.Memo.hits in
+        let misses = after.Memo.misses - before.Memo.misses in
+        let rate =
+          if hits + misses = 0 then 0.0
+          else float_of_int hits /. float_of_int (hits + misses)
+        in
+        (f, hits, misses, rate))
+      fs
+  in
+  let rest = List.tl points in
+  let rest_hits = List.fold_left (fun a (_, h, _, _) -> a + h) 0 rest in
+  let rest_misses = List.fold_left (fun a (_, _, m, _) -> a + m) 0 rest in
+  let rest_rate =
+    if rest_hits + rest_misses = 0 then 0.0
+    else float_of_int rest_hits /. float_of_int (rest_hits + rest_misses)
+  in
+  (points, rest_rate)
+
+let stage_timings () =
+  let digs_small = Lp_apps.Digs.program ~width:16 () in
+  let interp = Lp_ir.Interp.run digs_small in
+  let chain = Lp_cluster.Cluster.decompose digs_small in
+  let kernel = List.nth chain 1 in
+  let segs = Lp_cluster.Cluster.segments kernel in
+  let dfgs =
+    List.filter_map
+      (fun (s : Lp_cluster.Cluster.segment) ->
+        Lp_ir.Dfg.of_segment s.Lp_cluster.Cluster.seg_exprs
+          s.Lp_cluster.Cluster.seg_stmts)
+      segs
+  in
+  let sched_one dfg =
+    Option.get (Lp_sched.Sched.schedule dfg Lp_tech.Resource_set.medium_dsp)
+  in
+  let scheds = List.map sched_one dfgs in
+  let seg_schedules =
+    List.map (fun sched -> { Lp_bind.Bind.sched; times = 100 }) scheds
+  in
+  let pre = Lp_preselect.Preselect.create digs_small chain in
+  let reps = 9 in
+  [
+    ( "list-schedule",
+      time_stage ~reps (fun () -> List.map sched_one dfgs) );
+    ( "bind",
+      time_stage ~reps (fun () -> Lp_bind.Bind.bind seg_schedules) );
+    ( "preselect",
+      time_stage ~reps (fun () ->
+          Lp_preselect.Preselect.pre_select pre
+            ~profile:interp.Lp_ir.Interp.profile ~n_max:8) );
+    ( "system-sim",
+      time_stage ~reps (fun () -> System.run digs_small) );
+    ( "full-flow-seq",
+      time_stage ~reps (fun () ->
+          Memo.reset ();
+          Flow.run ~options:seq_options ~name:"digs16" digs_small) );
+    ( "full-flow-par",
+      time_stage ~reps (fun () ->
+          Memo.reset ();
+          Flow.run ~name:"digs16" digs_small) );
+    ( "full-flow-warm",
+      time_stage ~reps (fun () -> Flow.run ~name:"digs16" digs_small) );
+  ]
+
+let rec speed ?(smoke = false) () =
+  section "B7: evaluation-engine performance (BENCH_flow.json)";
+  let stages = stage_timings () in
+  List.iter (fun (name, ms) -> Printf.printf "  %-16s %8.3f ms/run\n" name ms) stages;
+  let seq_s, par_s, warm_s, seq_stats, warm_rate = flow_timing () in
+  Printf.printf
+    "  full suite: sequential %.3fs, parallel (jobs=%d) %.3fs (%.2fx), \
+     memo-warm %.3fs (%.2fx)\n"
+    seq_s Flow.default_jobs par_s (seq_s /. par_s) warm_s (seq_s /. warm_s);
+  let points, rest_rate = f_sweep_cache () in
+  Printf.printf "  E3 F-sweep candidate-cache hit rate per point:\n";
+  List.iter
+    (fun (f, h, m, rate) ->
+      Printf.printf "    F=%-5.1f %4d hits %4d misses  %5.1f%%\n" f h m
+        (100.0 *. rate))
+    points;
+  Printf.printf "  E3 F-sweep hit rate, 2nd..Nth points: %.1f%% (%s)\n"
+    (100.0 *. rest_rate)
+    (if rest_rate > 0.5 then "ok, > 50%" else "BELOW the 50% target");
+  let json =
+    j_obj
+      [
+        ("schema", j_str "lowpart-bench-flow/1");
+        ("jobs", string_of_int Flow.default_jobs);
+        ( "apps",
+          j_arr (List.map (fun (e : Apps.entry) -> j_str e.name) Apps.all) );
+        ( "stages",
+          j_arr
+            (List.map
+               (fun (name, ms) ->
+                 j_obj [ ("name", j_str name); ("ms_per_run", j_float ms) ])
+               stages) );
+        ( "flow",
+          j_obj
+            [
+              ("sequential_s", j_float seq_s);
+              ("parallel_s", j_float par_s);
+              ("memo_warm_s", j_float warm_s);
+              ("parallel_speedup", j_float (seq_s /. par_s));
+              ("memo_warm_speedup", j_float (seq_s /. warm_s));
+            ] );
+        ( "cache",
+          j_obj
+            [
+              ("cold", cache_stats_json seq_stats);
+              ("warm_hit_rate", j_float warm_rate);
+              ( "f_sweep",
+                j_obj
+                  [
+                    ( "points",
+                      j_arr
+                        (List.map
+                           (fun (f, h, m, rate) ->
+                             j_obj
+                               [
+                                 ("f", j_float f);
+                                 ("hits", string_of_int h);
+                                 ("misses", string_of_int m);
+                                 ("hit_rate", j_float rate);
+                               ])
+                           points) );
+                    ("rest_hit_rate", j_float rest_rate);
+                  ] );
+            ] );
+      ]
+  in
+  let oc = open_out "BENCH_flow.json" in
+  output_string oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote BENCH_flow.json\n%!";
+  if not smoke then speed_bechamel ()
+
 (* --- Bechamel micro-benchmarks of the flow's stages --- *)
 
-let speed () =
+and speed_bechamel () =
   section "B1-B6: Bechamel micro-benchmarks (OLS estimate per run)";
   let open Bechamel in
   let open Bechamel.Toolkit in
@@ -467,7 +693,8 @@ let speed () =
 let usage () =
   print_endline
     "usage: main.exe \
-     [table1|fig6|hwcost|ablation-f|ablation-rs|ablation-nmax|cache-sweep|ablation-opt|speed|all]";
+     [table1|fig6|hwcost|ablation-f|ablation-rs|ablation-nmax|cache-sweep|ablation-opt|speed \
+     [--smoke]|all]";
   exit 2
 
 let () =
@@ -492,6 +719,7 @@ let () =
   | [ "ablation-unroll" ] -> ablation_unroll ()
   | [ "future-work" ] -> future_work ()
   | [ "speed" ] -> speed ()
+  | [ "speed"; "--smoke" ] -> speed ~smoke:true ()
   | [ "all" ] ->
       run_default ();
       ablation_f ();

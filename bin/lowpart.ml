@@ -77,6 +77,15 @@ let peephole_arg =
     value & flag
     & info [ "peephole" ] ~doc:"Enable the assembly peephole optimiser.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt int Lp_core.Flow.default_jobs
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Evaluate partitioning candidates on $(docv) domains in \
+           parallel (1 = sequential; results are identical either way).")
+
 let prepare ~optimize ~unroll p =
   let p = if optimize then Lp_ir.Optim.optimize_program p else p in
   if unroll > 1 then Lp_ir.Optim.unroll ~factor:unroll p else p
@@ -84,14 +93,14 @@ let prepare ~optimize ~unroll p =
 let json_arg =
   Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON instead of tables.")
 
-let run_flow ~f ~n_max ~optimize ~unroll ~peephole (e : Lp_apps.Apps.entry) =
+let run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole (e : Lp_apps.Apps.entry) =
   let config = { Lp_system.System.default_config with Lp_system.System.peephole } in
-  let options = { Lp_core.Flow.default_options with f; n_max; config } in
+  let options = { Lp_core.Flow.default_options with f; n_max; jobs; config } in
   Lp_core.Flow.run ~options ~name:e.name (prepare ~optimize ~unroll (e.build ()))
 
 let run_cmd =
   let doc = "Run the partitioning flow and print the paper's tables." in
-  let run verbose names f n_max detail json optimize unroll peephole =
+  let run verbose names f n_max jobs detail json optimize unroll peephole =
     setup_logs verbose;
     match resolve_apps names with
     | Error msg ->
@@ -99,7 +108,7 @@ let run_cmd =
         exit 2
     | Ok entries ->
         let results =
-          List.map (run_flow ~f ~n_max ~optimize ~unroll ~peephole) entries
+          List.map (run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole) entries
         in
         if json then print_endline (Lp_report.Export.results_json results)
         else begin
@@ -121,8 +130,8 @@ let run_cmd =
   in
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
-      const run $ verbose_arg $ apps_arg $ f_arg $ nmax_arg $ detail_arg
-      $ json_arg $ optimize_arg $ unroll_arg $ peephole_arg)
+      const run $ verbose_arg $ apps_arg $ f_arg $ nmax_arg $ jobs_arg
+      $ detail_arg $ json_arg $ optimize_arg $ unroll_arg $ peephole_arg)
 
 let app_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP")
@@ -188,7 +197,7 @@ let file_cmd =
   let path_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE")
   in
-  let run verbose path f n_max optimize unroll =
+  let run verbose path f n_max jobs optimize unroll =
     setup_logs verbose;
     let ic = open_in path in
     let len = in_channel_length ic in
@@ -204,7 +213,7 @@ let file_cmd =
 " path msg;
         exit 2
     | program ->
-        let options = { Lp_core.Flow.default_options with f; n_max } in
+        let options = { Lp_core.Flow.default_options with f; n_max; jobs } in
         let name = Filename.remove_extension (Filename.basename path) in
         let program = prepare ~optimize ~unroll program in
         let r = Lp_core.Flow.run ~options ~name program in
@@ -214,8 +223,8 @@ let file_cmd =
   in
   Cmd.v (Cmd.info "file" ~doc)
     Term.(
-      const run $ verbose_arg $ path_arg $ f_arg $ nmax_arg $ optimize_arg
-      $ unroll_arg)
+      const run $ verbose_arg $ path_arg $ f_arg $ nmax_arg $ jobs_arg
+      $ optimize_arg $ unroll_arg)
 
 let graph_cmd =
   let doc = "Emit graphviz (dot) for an application's cluster chain and              its kernels' dataflow graphs." in

@@ -39,11 +39,15 @@ type fctx = {
 let emit ctx item = ctx.items <- item :: ctx.items
 let ins ctx i = emit ctx (Asm.Instr i)
 
-let label_counter = ref 0
+(* Domain-local so concurrent compiles (one flow run per worker domain)
+   neither race nor perturb each other's label numbering; [compile]
+   resets its domain's counter, keeping output deterministic. *)
+let label_counter = Domain.DLS.new_key (fun () -> ref 0)
 
 let fresh_label prefix =
-  incr label_counter;
-  Printf.sprintf "%s%d" prefix !label_counter
+  let counter = Domain.DLS.get label_counter in
+  incr counter;
+  Printf.sprintf "%s%d" prefix !counter
 
 let alloc_temp ctx =
   match ctx.free_temps with
@@ -502,7 +506,7 @@ let build_layout (p : program) stubs =
   }
 
 let compile ?(stubs = []) ?(peephole = false) (p : program) =
-  label_counter := 0;
+  Domain.DLS.get label_counter := 0;
   let layout = build_layout p stubs in
   let genv =
     { arrays = layout.array_bases; stubs; slots = layout.mailbox_slots }

@@ -14,7 +14,10 @@ type options = {
   verify_outputs : bool;
   asic_vdd_v : float;
   scheduler : Candidate.scheduler;
+  jobs : int;
 }
+
+let default_jobs = max 1 (min 8 (Domain.recommended_domain_count ()))
 
 let default_options =
   {
@@ -27,6 +30,7 @@ let default_options =
     verify_outputs = true;
     asic_vdd_v = Lp_tech.Cmos6.vdd_v;
     scheduler = Candidate.List_sched;
+    jobs = default_jobs;
   }
 
 type selected = {
@@ -99,9 +103,13 @@ let select_candidates options ~e0_j ~energy_per_up_cycle ~pre candidates =
     Hashtbl.fold (fun _ cm acc -> cm :: acc) by_cluster []
     |> List.sort (fun (_, m1) (_, m2) -> compare m1 m2)
   in
-  (* Greedy accept while the (synergy-refreshed) marginal is negative. *)
+  (* Greedy accept while the (synergy-refreshed) marginal is negative.
+     Chosen cluster ids live in a hash set so the [in_asic] probe the
+     synergy test runs per ranked candidate is O(1), not a scan of the
+     accepted list. *)
   let chosen = ref [] in
-  let in_asic cid = List.exists (fun c -> c.Candidate.cluster.Cluster.cid = cid) !chosen in
+  let chosen_cids = Hashtbl.create 16 in
+  let in_asic cid = Hashtbl.mem chosen_cids cid in
   List.iter
     (fun (cand, _) ->
       let est =
@@ -109,14 +117,17 @@ let select_candidates options ~e0_j ~energy_per_up_cycle ~pre candidates =
       in
       let cand = { cand with Candidate.e_trans_j = est.Preselect.energy_j } in
       let m = marginal_of options ~e0_j ~energy_per_up_cycle cand in
-      if m < 0.0 then chosen := cand :: !chosen)
+      if m < 0.0 then begin
+        chosen := cand :: !chosen;
+        Hashtbl.replace chosen_cids cand.Candidate.cluster.Cluster.cid ()
+      end)
     ranked;
   List.sort
     (fun a b ->
       compare a.Candidate.cluster.Cluster.cid b.Candidate.cluster.Cluster.cid)
     !chosen
 
-let private_arrays_of program chain ~profile selected_cids =
+let private_arrays_of program chain ~profile ~sets_of selected_cids =
   (* A cluster that never executes any simple statement (e.g. a
      zero-trip remainder loop, whose [For] head still "runs" once)
      cannot touch an array at run time, so it must not veto privacy. *)
@@ -137,7 +148,7 @@ let private_arrays_of program chain ~profile selected_cids =
   let sets =
     List.filter_map
       (fun (c : Cluster.t) ->
-        if executes c then Some (c.cid, Dataflow.of_cluster program c) else None)
+        if executes c then Some (c.cid, sets_of c.cid) else None)
       chain
   in
   let touched s =
@@ -184,23 +195,39 @@ let run ?(options = default_options) ~name program =
     if initial.System.up_cycles = 0 then 0.0
     else initial.System.up_j /. float_of_int initial.System.up_cycles
   in
-  (* Steps 6-12: evaluate every surviving cluster on every set. *)
+  (* Steps 6-12: evaluate every surviving cluster on every set. Each
+     (cluster × resource set) pair is independent, so the fan-out runs
+     on a worker pool when [options.jobs > 1]; results come back in
+     submission order, making the parallel candidate list identical to
+     the sequential one. Evaluations themselves are memoized (Memo):
+     repeated flow runs — ablation sweeps over F, N_max, voltage, the
+     system config — re-use every schedule/bind/netlist whose inputs
+     did not change. *)
+  let pairs =
+    Array.of_list
+      (List.concat_map
+         (fun ((cluster : Cluster.t), (est : Preselect.estimate)) ->
+           List.map (fun rset -> (cluster, est, rset)) options.resource_sets)
+         preselected)
+  in
+  let eval ((cluster : Cluster.t), (est : Preselect.estimate), rset) =
+    Memo.evaluate ~scheduler:options.scheduler ~profile
+      ~e_trans_j:est.Preselect.energy_j cluster rset
+  in
+  let evaluated =
+    if options.jobs <= 1 || Array.length pairs <= 1 then Array.map eval pairs
+    else
+      Lp_parallel.Pool.with_pool ~domains:(options.jobs - 1) (fun pool ->
+          Lp_parallel.Pool.map pool eval pairs)
+  in
   let candidates =
-    List.concat_map
-      (fun ((cluster : Cluster.t), (est : Preselect.estimate)) ->
-        List.filter_map
-          (fun rset ->
-            match
-              Candidate.evaluate ~scheduler:options.scheduler ~profile
-                ~e_trans_j:est.Preselect.energy_j cluster rset
-            with
-            | Some c
-              when Candidate.beats_up c && c.Candidate.cells <= options.max_cells
-              ->
-                Some c
-            | Some _ | None -> None)
-          options.resource_sets)
-      preselected
+    Array.to_list evaluated
+    |> List.filter_map (function
+         | Some c
+           when Candidate.beats_up c && c.Candidate.cells <= options.max_cells
+           ->
+             Some c
+         | Some _ | None -> None)
   in
   (* Step 13: objective function, greedy partition selection. *)
   let chosen =
@@ -209,7 +236,32 @@ let run ?(options = default_options) ~name program =
   let selected_cids =
     List.map (fun c -> c.Candidate.cluster.Cluster.cid) chosen
   in
-  let privates = private_arrays_of program chain ~profile selected_cids in
+  (* One gen/use computation per cluster, shared by the privacy
+     analysis, the live-out filtering and the task packaging below
+     (previously recomputed at every use site, O(clusters²) overall). *)
+  let dataflow_by_cid = Hashtbl.create (max 8 (List.length chain)) in
+  List.iter
+    (fun (c : Cluster.t) ->
+      Hashtbl.replace dataflow_by_cid c.Cluster.cid
+        (Dataflow.of_cluster program c))
+    chain;
+  let sets_of cid = Hashtbl.find dataflow_by_cid cid in
+  (* [suffix_use_scalars.(i)] = union of upward-exposed scalar uses over
+     clusters with cid >= i; cids are dense chain positions, so the
+     whole family of suffix unions is one reverse pass. *)
+  let n_clusters = List.length chain in
+  let suffix_use_scalars =
+    let a = Array.make (n_clusters + 1) Dataflow.Sset.empty in
+    List.iter
+      (fun (c : Cluster.t) ->
+        a.(c.Cluster.cid) <- (sets_of c.Cluster.cid).Dataflow.use_scalars)
+      chain;
+    for i = n_clusters - 1 downto 0 do
+      a.(i) <- Dataflow.Sset.union a.(i) a.(i + 1)
+    done;
+    a
+  in
+  let privates = private_arrays_of program chain ~profile ~sets_of selected_cids in
   (* Group adjacent selected clusters into shared cores: one datapath
      serves the whole run, so functional units are bound once across
      all member segments. *)
@@ -256,18 +308,13 @@ let run ?(options = default_options) ~name program =
      dead results stay in the core (checked end-to-end by the output
      verification below). *)
   let suffix_uses cid =
-    List.fold_left
-      (fun acc (c : Cluster.t) ->
-        if c.cid > cid then
-          Dataflow.Sset.union acc
-            (Dataflow.of_cluster program c).Dataflow.use_scalars
-        else acc)
-      Dataflow.Sset.empty chain
+    if cid + 1 >= 0 && cid + 1 <= n_clusters then suffix_use_scalars.(cid + 1)
+    else Dataflow.Sset.empty
   in
   let selected =
     List.map
       (fun (cand : Candidate.t) ->
-        let sets = Dataflow.of_cluster program cand.Candidate.cluster in
+        let sets = sets_of cand.Candidate.cluster.Cluster.cid in
         let gate_energy_j =
           Lp_rtl.Gate_energy.estimate cand.Candidate.bind
             cand.Candidate.segments cand.Candidate.netlist
@@ -321,7 +368,7 @@ let run ?(options = default_options) ~name program =
       (fun s ->
         let cand = s.candidate in
         let cid = cand.Candidate.cluster.Cluster.cid in
-        let sets = Dataflow.of_cluster program cand.Candidate.cluster in
+        let sets = sets_of cid in
         let shared which =
           Dataflow.Sset.elements which
           |> List.filter (fun a -> not (List.mem a s.private_arrays))

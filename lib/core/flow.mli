@@ -33,7 +33,17 @@ type options = {
   scheduler : Candidate.scheduler;
       (** which scheduling algorithm candidate evaluation uses
           (default: the paper's list schedule). *)
+  jobs : int;
+      (** width of the candidate-evaluation fan-out (steps 6–12): the
+          (cluster × resource set) evaluations run on a
+          {!Lp_parallel.Pool} of [jobs - 1] worker domains plus the
+          caller. [1] = fully sequential. Results are deterministic —
+          identical to the sequential order — for any value. Default:
+          {!default_jobs}. *)
 }
+
+val default_jobs : int
+(** [Domain.recommended_domain_count ()] capped to \[1, 8\]. *)
 
 val default_options : options
 

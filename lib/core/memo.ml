@@ -1,0 +1,165 @@
+module Cluster = Lp_cluster.Cluster
+module Ast = Lp_ir.Ast
+
+(* --- structural fingerprint ------------------------------------- *)
+
+(* The serialization writes one tagged token per AST node plus, for
+   every statement, its profiled execution count. Absolute sids are
+   deliberately omitted: they only matter through the profile values,
+   which are emitted in traversal (= positional) order. *)
+
+let add_int buf n =
+  Buffer.add_char buf 'i';
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ';'
+
+let add_str buf s =
+  Buffer.add_char buf 's';
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let rec add_expr buf (e : Ast.expr) =
+  match e with
+  | Ast.Int n ->
+      Buffer.add_char buf 'I';
+      add_int buf n
+  | Ast.Var v ->
+      Buffer.add_char buf 'V';
+      add_str buf v
+  | Ast.Load (a, i) ->
+      Buffer.add_char buf 'L';
+      add_str buf a;
+      add_expr buf i
+  | Ast.Binop (op, l, r) ->
+      Buffer.add_char buf 'B';
+      add_str buf (Ast.binop_to_string op);
+      add_expr buf l;
+      add_expr buf r
+  | Ast.Unop (op, e) ->
+      Buffer.add_char buf 'U';
+      add_str buf (Ast.unop_to_string op);
+      add_expr buf e
+  | Ast.Call (f, args) ->
+      Buffer.add_char buf 'C';
+      add_str buf f;
+      add_int buf (List.length args);
+      List.iter (add_expr buf) args
+
+let ex_times profile sid =
+  if sid >= 0 && sid < Array.length profile then profile.(sid) else 0
+
+let rec add_stmt buf ~profile (s : Ast.stmt) =
+  add_int buf (ex_times profile s.Ast.sid);
+  match s.Ast.node with
+  | Ast.Assign (v, e) ->
+      Buffer.add_char buf 'a';
+      add_str buf v;
+      add_expr buf e
+  | Ast.Store (a, i, v) ->
+      Buffer.add_char buf 't';
+      add_str buf a;
+      add_expr buf i;
+      add_expr buf v
+  | Ast.If (c, th, el) ->
+      Buffer.add_char buf 'f';
+      add_expr buf c;
+      add_stmts buf ~profile th;
+      add_stmts buf ~profile el
+  | Ast.While (c, body) ->
+      Buffer.add_char buf 'w';
+      add_expr buf c;
+      add_stmts buf ~profile body
+  | Ast.For (v, lo, hi, body) ->
+      Buffer.add_char buf 'o';
+      add_str buf v;
+      add_expr buf lo;
+      add_expr buf hi;
+      add_stmts buf ~profile body
+  | Ast.Print e ->
+      Buffer.add_char buf 'p';
+      add_expr buf e
+  | Ast.Return None -> Buffer.add_char buf 'r'
+  | Ast.Return (Some e) ->
+      Buffer.add_char buf 'R';
+      add_expr buf e
+  | Ast.Expr e ->
+      Buffer.add_char buf 'e';
+      add_expr buf e
+
+and add_stmts buf ~profile stmts =
+  add_int buf (List.length stmts);
+  List.iter (add_stmt buf ~profile) stmts
+
+let add_scheduler buf (s : Candidate.scheduler) =
+  match s with
+  | Candidate.List_sched -> Buffer.add_string buf "list"
+  | Candidate.Fds stretch ->
+      Buffer.add_string buf "fds:";
+      Buffer.add_string buf (Printf.sprintf "%h" stretch)
+
+let fingerprint ~scheduler ~profile (cluster : Cluster.t) rset =
+  let buf = Buffer.create 512 in
+  add_scheduler buf scheduler;
+  List.iter
+    (fun (kind, count) ->
+      add_str buf (Lp_tech.Resource.kind_to_string kind);
+      add_int buf count)
+    (Lp_tech.Resource_set.bindings rset);
+  add_stmts buf ~profile cluster.Cluster.stmts;
+  Digest.string (Buffer.contents buf)
+
+(* --- the cache --------------------------------------------------- *)
+
+let lock = Mutex.create ()
+let table : (string, Candidate.t option) Hashtbl.t = Hashtbl.create 256
+let hits = ref 0
+let misses = ref 0
+
+type stats = { hits : int; misses : int; entries : int }
+
+let locked f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let stats () =
+  locked (fun () ->
+      { hits = !hits; misses = !misses; entries = Hashtbl.length table })
+
+let hit_rate () =
+  let s = stats () in
+  let total = s.hits + s.misses in
+  if total = 0 then 0.0 else float_of_int s.hits /. float_of_int total
+
+let reset () =
+  locked (fun () ->
+      Hashtbl.reset table;
+      hits := 0;
+      misses := 0)
+
+(* Candidates are cached with [e_trans_j] normalised to zero — the
+   transfer energy is not part of the key (it does not influence the
+   schedule, binding or netlist) and is re-stamped per caller. The
+   evaluation itself runs outside the lock so parallel workers only
+   serialise on the table probe. *)
+let evaluate ?(scheduler = Candidate.List_sched) ~profile ~e_trans_j cluster
+    rset =
+  let key = fingerprint ~scheduler ~profile cluster rset in
+  let cached =
+    locked (fun () ->
+        match Hashtbl.find_opt table key with
+        | Some v ->
+            incr hits;
+            Some v
+        | None ->
+            incr misses;
+            None)
+  in
+  match cached with
+  | Some v -> Option.map (fun c -> { c with Candidate.e_trans_j }) v
+  | None ->
+      let v = Candidate.evaluate ~scheduler ~profile ~e_trans_j cluster rset in
+      let normalised =
+        Option.map (fun c -> { c with Candidate.e_trans_j = 0.0 }) v
+      in
+      locked (fun () -> Hashtbl.replace table key normalised);
+      v

@@ -1,0 +1,5 @@
+let array ?domains f a =
+  if Array.length a <= 1 then Array.map f a
+  else Pool.with_pool ?domains (fun t -> Pool.map t f a)
+
+let list ?domains f l = Array.to_list (array ?domains f (Array.of_list l))

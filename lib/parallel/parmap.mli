@@ -1,0 +1,12 @@
+(** One-shot parallel maps: spawn a transient {!Pool}, map, tear it
+    down. Convenient for coarse fan-outs (one flow run per benchmark
+    application); for repeated fine-grained maps, create a {!Pool} once
+    and reuse it — domain spawn costs dominate tiny workloads.
+
+    [domains] counts worker domains in addition to the caller, so
+    [~domains:3] runs up to 4 tasks at once and [~domains:0] is exactly
+    the sequential map. Default: [Domain.recommended_domain_count () - 1].
+    Ordering is deterministic (see {!Pool.map}). *)
+
+val array : ?domains:int -> ('a -> 'b) -> 'a array -> 'b array
+val list : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list

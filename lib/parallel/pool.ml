@@ -1,0 +1,141 @@
+type task = unit -> unit
+
+type t = {
+  lock : Mutex.t;
+  work_available : Condition.t;
+  queue : task Queue.t;
+  mutable closed : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* Worker loop: sleep until the queue is non-empty (or the pool closes),
+   run tasks to completion. Tasks never raise — [map] wraps user code —
+   so a worker only exits through [shutdown]. *)
+let worker pool =
+  let rec next_locked () =
+    if not (Queue.is_empty pool.queue) then Some (Queue.pop pool.queue)
+    else if pool.closed then None
+    else begin
+      Condition.wait pool.work_available pool.lock;
+      next_locked ()
+    end
+  in
+  let rec loop () =
+    Mutex.lock pool.lock;
+    let task = next_locked () in
+    Mutex.unlock pool.lock;
+    match task with
+    | None -> ()
+    | Some task ->
+        task ();
+        loop ()
+  in
+  loop ()
+
+let create ?domains () =
+  let n =
+    match domains with
+    | Some n ->
+        if n < 0 then invalid_arg "Pool.create: negative domain count";
+        n
+    | None -> max 0 (Domain.recommended_domain_count () - 1)
+  in
+  let pool =
+    {
+      lock = Mutex.create ();
+      work_available = Condition.create ();
+      queue = Queue.create ();
+      closed = false;
+      workers = [||];
+    }
+  in
+  pool.workers <- Array.init n (fun _ -> Domain.spawn (fun () -> worker pool));
+  pool
+
+let size t = Array.length t.workers
+
+let shutdown t =
+  Mutex.lock t.lock;
+  let was_closed = t.closed in
+  t.closed <- true;
+  Condition.broadcast t.work_available;
+  Mutex.unlock t.lock;
+  if not was_closed then Array.iter Domain.join t.workers
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* One in-flight [map]. Results land in per-index slots, so ordering is
+   deterministic by construction; completion and failure are tracked
+   under a private lock so concurrent maps on one pool don't interfere. *)
+let map t f input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else if size t = 0 || n = 1 then Array.map f input
+  else begin
+    let out = Array.make n None in
+    (* Aim for several chunks per runner so a slow chunk can't leave the
+       rest of the pool idle; heavy inputs get one element per chunk. *)
+    let chunk = max 1 (n / ((size t + 1) * 8)) in
+    let nchunks = (n + chunk - 1) / chunk in
+    let job_lock = Mutex.create () in
+    let job_done = Condition.create () in
+    let completed = ref 0 in
+    let failure = ref None in
+    let run_chunk ci =
+      (try
+         let lo = ci * chunk and hi = min n ((ci + 1) * chunk) in
+         for i = lo to hi - 1 do
+           out.(i) <- Some (f input.(i))
+         done
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock job_lock;
+         (match !failure with
+         | Some (cj, _, _) when cj <= ci -> ()
+         | Some _ | None -> failure := Some (ci, e, bt));
+         Mutex.unlock job_lock);
+      Mutex.lock job_lock;
+      incr completed;
+      if !completed = nchunks then Condition.broadcast job_done;
+      Mutex.unlock job_lock
+    in
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.map: pool is shut down"
+    end;
+    for ci = 0 to nchunks - 1 do
+      Queue.push (fun () -> run_chunk ci) t.queue
+    done;
+    Condition.broadcast t.work_available;
+    Mutex.unlock t.lock;
+    (* The caller drains the queue too. It may pick up chunks of other
+       concurrent maps; those tasks are self-contained, so that only
+       helps them along. *)
+    let rec help () =
+      Mutex.lock t.lock;
+      let task =
+        if Queue.is_empty t.queue then None else Some (Queue.pop t.queue)
+      in
+      Mutex.unlock t.lock;
+      match task with
+      | Some task ->
+          task ();
+          help ()
+      | None -> ()
+    in
+    help ();
+    Mutex.lock job_lock;
+    while !completed < nchunks do
+      Condition.wait job_done job_lock
+    done;
+    Mutex.unlock job_lock;
+    (match !failure with
+    | Some (_, e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map (function Some v -> v | None -> assert false) out
+  end
+
+let map_list t f l = Array.to_list (map t f (Array.of_list l))

@@ -1,0 +1,47 @@
+(** Fixed pool of worker domains with a shared chunked work queue.
+
+    The evaluation engine's parallel substrate (OCaml 5 [Domain]s): a
+    pool is created once, fed whole arrays of independent tasks via
+    {!map}, and torn down with {!shutdown}. Design points:
+
+    - {e deterministic ordering}: [map t f a] writes result [i] into
+      slot [i]; the output is byte-for-byte the same as [Array.map f a]
+      regardless of worker count or scheduling.
+    - {e chunked queue}: inputs are split into contiguous chunks so
+      per-task queue traffic stays negligible even for fine-grained
+      work; coarse tasks degenerate to one element per chunk.
+    - {e caller participation}: the submitting domain drains the queue
+      alongside the workers, so a pool of [n] workers runs [n + 1]
+      tasks at a time and [~domains:0] degrades to a plain sequential
+      map.
+    - {e exception propagation}: a task exception does not kill a
+      worker; after the whole map has drained, the exception of the
+      lowest-indexed failing chunk is re-raised in the caller (with its
+      backtrace), again deterministically. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains] worker domains (default:
+    [Domain.recommended_domain_count () - 1], at least 0). [~domains:0]
+    is a valid, fully sequential pool.
+    @raise Invalid_argument on a negative count. *)
+
+val size : t -> int
+(** Number of worker domains (excluding the participating caller). *)
+
+val map : t -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map] with deterministic result ordering. Safe to
+    call from several domains at once and reentrantly from inside a
+    task. @raise Invalid_argument if the pool has been shut down. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists, preserving order. *)
+
+val shutdown : t -> unit
+(** Signal all workers to exit once the queue drains and join them.
+    Idempotent. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
+    afterwards, exception-safely. *)
