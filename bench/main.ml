@@ -5,7 +5,7 @@
    Subcommands (default = table1 + fig6 + hwcost):
 
      main.exe [table1|fig6|hwcost|ablation-f|ablation-rs|ablation-nmax|
-               cache-sweep|speed|all]
+               cache-sweep|speed|serve|all]
 
    Experiment index (see DESIGN.md):
      E1 table1        the paper's Table 1
@@ -21,7 +21,8 @@
      E10 ablation-vdd ASIC supply-voltage scaling (multi-voltage ext.)
      E11 ablation-unroll loop unrolling: ILP vs datapath area
      F1 future-work   control-dominated probe app
-     B* speed         Bechamel micro-benchmarks of the flow stages *)
+     B* speed         Bechamel micro-benchmarks of the flow stages
+     B8 serve         partitioning-service latency/throughput *)
 
 module Flow = Lp_core.Flow
 module Memo = Lp_core.Memo
@@ -690,11 +691,216 @@ and speed_bechamel () =
   in
   print_endline (Lp_report.Table.render ~header:[ "stage"; "time" ] rows)
 
+(* --- B8: the partitioning service — per-request latency (cold cache,
+   memo-warm, and disk-warm after a daemon restart onto the persistent
+   cache), protocol overhead, and concurrent-client throughput. Results
+   merge into BENCH_flow.json under a "service" key via Lp_json, so the
+   speed suite's fields survive. --- *)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let serve_bench ?(smoke = false) () =
+  let module Server = Lp_service.Server in
+  let module Client = Lp_service.Client in
+  let module Proto = Lp_service.Protocol in
+  let module Json = Lp_json in
+  section "B8: partitioning service -- request latency and throughput";
+  let tmp = Filename.get_temp_dir_name () in
+  let socket =
+    Filename.concat tmp (Printf.sprintf "lp-bench-%d.sock" (Unix.getpid ()))
+  in
+  let cache =
+    Filename.concat tmp (Printf.sprintf "lp-bench-%d.cache" (Unix.getpid ()))
+  in
+  rm_rf cache;
+  let config =
+    {
+      Server.socket_path = Some socket;
+      tcp_port = None;
+      workers = Flow.default_jobs;
+      queue_bound = 64;
+      timeout_s = 300.0;
+      cache_dir = Some cache;
+      handle_signals = false;
+    }
+  in
+  let with_server f =
+    let t = Server.start config in
+    let th = Thread.create Server.run t in
+    Fun.protect
+      ~finally:(fun () ->
+        Server.stop t;
+        Thread.join th;
+        Lp_core.Memo.set_persist_dir None)
+      f
+  in
+  let with_client f =
+    let c = Client.connect (Client.Unix_socket socket) in
+    Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+  in
+  let request c name =
+    let resp =
+      Client.rpc c (Proto.Run { app = name; options = Proto.no_options })
+    in
+    match resp.Proto.payload with
+    | Ok _ -> ()
+    | Error (code, msg) ->
+        failwith (Printf.sprintf "serve bench: %s: %s: %s" name code msg)
+  in
+  let apps =
+    if smoke then [ List.nth Apps.names 0; List.nth Apps.names 1 ]
+    else Apps.names
+  in
+  let latency_pass c =
+    List.map
+      (fun name ->
+        let (), dt = wall (fun () -> request c name) in
+        (name, 1e3 *. dt))
+      apps
+  in
+  let stats_disk_hits c =
+    let resp = Client.rpc c Proto.Stats in
+    match resp.Proto.payload with
+    | Ok v ->
+        Option.value ~default:0
+          (Json.int_field
+             (Option.value ~default:Json.Null (Json.member "memo" v))
+             "disk_hits")
+    | Error _ -> 0
+  in
+  let clients = if smoke then 2 else 4 in
+  Memo.reset ();
+  let cold = ref [] and warm = ref [] in
+  let rtt_ms = ref 0.0 and thr = ref (0, 1.0) in
+  with_server (fun () ->
+      with_client (fun c ->
+          cold := latency_pass c;
+          warm := latency_pass c;
+          let reps = if smoke then 10 else 50 in
+          let (), dt =
+            wall (fun () ->
+                for _ = 1 to reps do
+                  ignore (Client.rpc c Proto.Stats)
+                done)
+          in
+          rtt_ms := 1e3 *. dt /. float_of_int reps);
+      let (), dt =
+        wall (fun () ->
+            let threads =
+              List.init clients (fun _ ->
+                  Thread.create
+                    (fun () -> with_client (fun c -> List.iter (request c) apps))
+                    ())
+            in
+            List.iter Thread.join threads)
+      in
+      thr := (clients * List.length apps, dt));
+  (* Daemon restart: the in-memory tier is gone, the disk tier answers. *)
+  Memo.reset ();
+  let disk = ref [] and disk_hits = ref 0 in
+  with_server (fun () ->
+      with_client (fun c ->
+          disk := latency_pass c;
+          disk_hits := stats_disk_hits c));
+  rm_rf cache;
+  let sum l = List.fold_left (fun a (_, ms) -> a +. ms) 0.0 l in
+  let cold_s = sum !cold /. 1e3
+  and warm_s = sum !warm /. 1e3
+  and disk_s = sum !disk /. 1e3 in
+  List.iter
+    (fun name ->
+      Printf.printf
+        "  %-10s cold %8.1f ms   memo-warm %7.2f ms   disk-warm %8.1f ms\n"
+        name
+        (List.assoc name !cold)
+        (List.assoc name !warm)
+        (List.assoc name !disk))
+    apps;
+  Printf.printf
+    "  totals: cold %.2fs, memo-warm %.3fs (%.1fx), disk-warm %.3fs (%.1fx); \
+     restart disk hits %d\n"
+    cold_s warm_s (cold_s /. warm_s) disk_s (cold_s /. disk_s) !disk_hits;
+  let n_req, thr_dt = !thr in
+  Printf.printf
+    "  stats round-trip %.3f ms; %d clients: %d warm requests in %.2fs \
+     (%.1f req/s)\n"
+    !rtt_ms clients n_req thr_dt
+    (float_of_int n_req /. thr_dt);
+  let per_app =
+    Json.List
+      (List.map
+         (fun name ->
+           Json.Assoc
+             [
+               ("app", Json.String name);
+               ("cold_ms", Json.Float (List.assoc name !cold));
+               ("warm_ms", Json.Float (List.assoc name !warm));
+               ("disk_warm_ms", Json.Float (List.assoc name !disk));
+             ])
+         apps)
+  in
+  let service =
+    Json.Assoc
+      [
+        ("schema", Json.String "lowpart-bench-service/1");
+        ("workers", Json.Int Flow.default_jobs);
+        ("smoke", Json.Bool smoke);
+        ("requests", per_app);
+        ( "totals",
+          Json.Assoc
+            [
+              ("cold_s", Json.Float cold_s);
+              ("warm_s", Json.Float warm_s);
+              ("disk_warm_s", Json.Float disk_s);
+              ("warm_speedup", Json.Float (cold_s /. warm_s));
+              ("disk_warm_speedup", Json.Float (cold_s /. disk_s));
+            ] );
+        ("stats_rtt_ms", Json.Float !rtt_ms);
+        ( "throughput",
+          Json.Assoc
+            [
+              ("clients", Json.Int clients);
+              ("requests", Json.Int n_req);
+              ("elapsed_s", Json.Float thr_dt);
+              ("req_per_s", Json.Float (float_of_int n_req /. thr_dt));
+            ] );
+        ("restart_disk_hits", Json.Int !disk_hits);
+      ]
+  in
+  let base =
+    if Sys.file_exists "BENCH_flow.json" then begin
+      let ic = open_in_bin "BENCH_flow.json" in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.parse s with Ok v -> v | Error _ -> Json.Assoc []
+    end
+    else Json.Assoc []
+  in
+  let merged =
+    match base with
+    | Json.Assoc fields ->
+        Json.Assoc
+          (List.filter (fun (k, _) -> k <> "service") fields
+          @ [ ("service", service) ])
+    | _ -> Json.Assoc [ ("service", service) ]
+  in
+  let oc = open_out "BENCH_flow.json" in
+  output_string oc (Json.to_string merged);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  merged service results into BENCH_flow.json\n%!"
+
 let usage () =
   print_endline
     "usage: main.exe \
      [table1|fig6|hwcost|ablation-f|ablation-rs|ablation-nmax|cache-sweep|ablation-opt|speed \
-     [--smoke]|all]";
+     [--smoke]|serve [--smoke]|all]";
   exit 2
 
 let () =
@@ -720,6 +926,8 @@ let () =
   | [ "future-work" ] -> future_work ()
   | [ "speed" ] -> speed ()
   | [ "speed"; "--smoke" ] -> speed ~smoke:true ()
+  | [ "serve" ] -> serve_bench ()
+  | [ "serve"; "--smoke" ] -> serve_bench ~smoke:true ()
   | [ "all" ] ->
       run_default ();
       ablation_f ();
@@ -731,5 +939,6 @@ let () =
       ablation_vdd ();
       ablation_unroll ();
       future_work ();
-      speed ()
+      speed ();
+      serve_bench ()
   | _ -> usage ()

@@ -5,12 +5,26 @@
      lowpart run [APPS] [-f F]     run the full flow, print Table 1 etc.
      lowpart simulate APP          simulate the unpartitioned design
      lowpart dump APP [--asm]      print the IR (or compiled assembly)
+     lowpart serve                 long-lived partitioning daemon
+     lowpart client CMD ...        talk to a running daemon
 *)
 
 open Cmdliner
 
 let setup_logs verbose =
-  Logs.set_reporter (Logs_fmt.reporter ());
+  (* The Logs_fmt reporter formats straight into a shared Format
+     buffer; with [-j] > 1 (and under the multi-domain server) two
+     domains logging at once would interleave half-rendered lines.
+     One mutex around each report keeps every line whole. *)
+  let base = Logs_fmt.reporter () in
+  let m = Mutex.create () in
+  let report src level ~over k msgf =
+    Mutex.lock m;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock m)
+      (fun () -> base.Logs.report src level ~over k msgf)
+  in
+  Logs.set_reporter { Logs.report };
   Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
 
 let verbose_arg =
@@ -91,7 +105,13 @@ let prepare ~optimize ~unroll p =
   if unroll > 1 then Lp_ir.Optim.unroll ~factor:unroll p else p
 
 let json_arg =
-  Arg.(value & flag & info [ "json" ] ~doc:"Emit results as JSON instead of tables.")
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "json" ] ~docv:"FILE"
+        ~doc:
+          "Write results as JSON (the same payload the service answers) \
+           to $(docv); $(b,-) writes it to stdout instead of the tables.")
 
 let run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole (e : Lp_apps.Apps.entry) =
   let config = { Lp_system.System.default_config with Lp_system.System.peephole } in
@@ -110,8 +130,15 @@ let run_cmd =
         let results =
           List.map (run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole) entries
         in
-        if json then print_endline (Lp_report.Export.results_json results)
-        else begin
+        (match json with
+        | Some "-" -> print_endline (Lp_report.Export.results_json results)
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (Lp_report.Export.results_json results);
+            output_char oc '\n';
+            close_out oc
+        | None -> ());
+        if json <> Some "-" then begin
         print_endline "== Table 1: energy and execution time, initial (I) vs partitioned (P) ==";
         print_endline (Lp_report.Paper_tables.table1 results);
         print_newline ();
@@ -254,10 +281,200 @@ let graph_cmd =
   in
   Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ app_pos)
 
+(* --- the service: `lowpart serve` and `lowpart client` ------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "lowpart.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket the daemon listens on.")
+
+let tcp_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "tcp" ] ~docv:"PORT"
+        ~doc:"Also listen on loopback TCP port $(docv).")
+
+let serve_cmd =
+  let doc =
+    "Run the partitioning flow as a long-lived daemon answering \
+     line-delimited JSON requests."
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Lp_core.Flow.default_jobs
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains answering compute requests.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bound on queued + running compute requests; past it the \
+             daemon answers a structured $(i,overloaded) error.")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request compute deadline (0 disables it).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string ".lowpart-cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Root of the persistent candidate cache (survives daemon \
+             restarts).")
+  in
+  let no_persist_arg =
+    Arg.(
+      value & flag
+      & info [ "no-persist" ] ~doc:"Keep the candidate cache in memory only.")
+  in
+  let run verbose socket tcp workers queue timeout cache_dir no_persist =
+    setup_logs verbose;
+    let config =
+      {
+        Lp_service.Server.socket_path = Some socket;
+        tcp_port = tcp;
+        workers;
+        queue_bound = queue;
+        timeout_s = timeout;
+        cache_dir = (if no_persist then None else Some cache_dir);
+        handle_signals = true;
+      }
+    in
+    match Lp_service.Server.serve config with
+    | () -> ()
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "serve: %s (%s %s)\n" (Unix.error_message err) fn arg;
+        exit 1
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ verbose_arg $ socket_arg $ tcp_arg $ workers_arg $ queue_arg
+      $ timeout_arg $ cache_dir_arg $ no_persist_arg)
+
+let endpoint socket tcp =
+  match tcp with
+  | Some port -> Lp_service.Client.Tcp ("127.0.0.1", port)
+  | None -> Lp_service.Client.Unix_socket socket
+
+let with_client socket tcp k =
+  match Lp_service.Client.connect (endpoint socket tcp) with
+  | exception Unix.Unix_error (err, _, _) ->
+      Printf.eprintf "client: cannot reach the daemon: %s\n"
+        (Unix.error_message err);
+      exit 1
+  | c ->
+      Fun.protect ~finally:(fun () -> Lp_service.Client.close c) (fun () -> k c)
+
+let print_payload (resp : Lp_service.Protocol.response) =
+  match resp.Lp_service.Protocol.payload with
+  | Ok payload ->
+      print_endline (Lp_json.to_string payload);
+      0
+  | Error (code, message) ->
+      Printf.eprintf "error [%s]: %s\n" code message;
+      1
+
+let client_run_cmd =
+  let doc = "Ask the daemon to run the flow (same payload as run --json)." in
+  let run socket tcp names f n_max jobs optimize unroll peephole =
+    let names =
+      match names with [] -> Lp_apps.Apps.names | names -> names
+    in
+    let options =
+      {
+        Lp_service.Protocol.no_options with
+        Lp_service.Protocol.f = Some f;
+        n_max = Some n_max;
+        jobs = Some jobs;
+        peephole = Some peephole;
+        optimize = Some optimize;
+        unroll = Some unroll;
+      }
+    in
+    with_client socket tcp (fun c ->
+        (* One request per app over one connection; the concatenation
+           reproduces Export.results_json byte for byte. *)
+        let payloads =
+          List.map
+            (fun app ->
+              let resp =
+                Lp_service.Client.rpc c
+                  (Lp_service.Protocol.Run { app; options })
+              in
+              match resp.Lp_service.Protocol.payload with
+              | Ok payload -> Lp_json.to_string payload
+              | Error (code, message) ->
+                  Printf.eprintf "error [%s]: %s\n" code message;
+                  exit 1)
+            names
+        in
+        print_endline ("[" ^ String.concat "," payloads ^ "]");
+        exit 0)
+  in
+  Cmd.v (Cmd.info "run" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ apps_arg $ f_arg $ nmax_arg
+      $ jobs_arg $ optimize_arg $ unroll_arg $ peephole_arg)
+
+let client_simulate_cmd =
+  let doc = "Ask the daemon to simulate the unpartitioned design." in
+  let run socket tcp app =
+    with_client socket tcp (fun c ->
+        exit
+          (print_payload
+             (Lp_service.Client.rpc c
+                (Lp_service.Protocol.Simulate
+                   { app; options = Lp_service.Protocol.no_options }))))
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ socket_arg $ tcp_arg $ app_pos)
+
+let client_plain_cmd name doc request =
+  let run socket tcp =
+    with_client socket tcp (fun c ->
+        exit (print_payload (Lp_service.Client.rpc c request)))
+  in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg $ tcp_arg)
+
+let client_cmd =
+  let doc = "Talk to a running lowpart daemon." in
+  Cmd.group (Cmd.info "client" ~doc)
+    [
+      client_run_cmd;
+      client_simulate_cmd;
+      client_plain_cmd "list" "List the daemon's applications."
+        Lp_service.Protocol.List_apps;
+      client_plain_cmd "stats"
+        "Server counters and candidate-cache statistics."
+        Lp_service.Protocol.Stats;
+      client_plain_cmd "shutdown" "Stop the daemon gracefully."
+        Lp_service.Protocol.Shutdown;
+    ]
+
 let main_cmd =
   let doc = "low-power hardware/software partitioning for core-based systems" in
   Cmd.group
     (Cmd.info "lowpart" ~version:"1.0.0" ~doc)
-    [ list_cmd; run_cmd; simulate_cmd; dump_cmd; synth_cmd; graph_cmd; file_cmd ]
+    [
+      list_cmd;
+      run_cmd;
+      simulate_cmd;
+      dump_cmd;
+      synth_cmd;
+      graph_cmd;
+      file_cmd;
+      serve_cmd;
+      client_cmd;
+    ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -114,8 +114,9 @@ let lock = Mutex.create ()
 let table : (string, Candidate.t option) Hashtbl.t = Hashtbl.create 256
 let hits = ref 0
 let misses = ref 0
+let disk_hits = ref 0
 
-type stats = { hits : int; misses : int; entries : int }
+type stats = { hits : int; misses : int; entries : int; disk_hits : int }
 
 let locked f =
   Mutex.lock lock;
@@ -123,7 +124,12 @@ let locked f =
 
 let stats () =
   locked (fun () ->
-      { hits = !hits; misses = !misses; entries = Hashtbl.length table })
+      {
+        hits = !hits;
+        misses = !misses;
+        entries = Hashtbl.length table;
+        disk_hits = !disk_hits;
+      })
 
 let hit_rate () =
   let s = stats () in
@@ -134,7 +140,96 @@ let reset () =
   locked (fun () ->
       Hashtbl.reset table;
       hits := 0;
-      misses := 0)
+      misses := 0;
+      disk_hits := 0)
+
+(* --- persistence -------------------------------------------------- *)
+
+(* One file per entry under [root/v<N>], named by the hex fingerprint.
+   The payload is a Marshal'd [(key, value)] pair behind a magic line
+   that also pins the producing compiler — Marshal is not stable across
+   OCaml versions, and a layout change of any cached type is exactly
+   what the directory version exists to invalidate. A reader that finds
+   anything unexpected (bad magic, short file, Marshal failure, key
+   mismatch) treats the entry as absent and deletes it: a torn or
+   corrupt file must cost one recomputation, never an error. Writers
+   create a unique temp file in the same directory and [Sys.rename] it
+   into place, so concurrent domains (or daemons sharing the
+   directory) only ever publish whole entries. *)
+
+let format_version = 1
+
+let magic = Printf.sprintf "lowpart-memo/%d ocaml-%s\n" format_version Sys.ocaml_version
+
+(* Behind [lock], like the counters. *)
+let persist_root = ref None
+
+let mkdir_p dir =
+  let rec go d =
+    if not (Sys.file_exists d) then begin
+      go (Filename.dirname d);
+      try Sys.mkdir d 0o755 with Sys_error _ -> ()
+    end
+  in
+  go dir
+
+let entry_dir root = Filename.concat root (Printf.sprintf "v%d" format_version)
+
+let set_persist_dir dir =
+  (match dir with Some root -> mkdir_p (entry_dir root) | None -> ());
+  locked (fun () -> persist_root := dir)
+
+let persist_dir () = locked (fun () -> !persist_root)
+
+let entry_path root key =
+  Filename.concat (entry_dir root) (Digest.to_hex key ^ ".memo")
+
+let disk_load root key : Candidate.t option option =
+  let path = entry_path root key in
+  let read () =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let m = really_input_string ic (String.length magic) in
+        if m <> magic then failwith "bad magic";
+        let stored_key, (v : Candidate.t option) = Marshal.from_channel ic in
+        if stored_key <> key then failwith "key mismatch";
+        v)
+  in
+  if not (Sys.file_exists path) then None
+  else
+    match read () with
+    | v -> Some v
+    | exception _ ->
+        (try Sys.remove path with Sys_error _ -> ());
+        None
+
+let disk_store root key (v : Candidate.t option) =
+  try
+    let dir = entry_dir root in
+    mkdir_p dir;
+    let tmp = Filename.temp_file ~temp_dir:dir ".memo-" ".tmp" in
+    let oc = open_out_bin tmp in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc magic;
+        Marshal.to_channel oc (key, v) []);
+    Sys.rename tmp (entry_path root key)
+  with Sys_error _ -> ()
+
+let disk_entries () =
+  match persist_dir () with
+  | None -> 0
+  | Some root -> (
+      match Sys.readdir (entry_dir root) with
+      | files ->
+          Array.fold_left
+            (fun acc f ->
+              if Filename.check_suffix f ".memo" then acc + 1 else acc)
+            0 files
+      | exception Sys_error _ -> 0)
 
 (* Candidates are cached with [e_trans_j] normalised to zero — the
    transfer energy is not part of the key (it does not influence the
@@ -144,22 +239,37 @@ let reset () =
 let evaluate ?(scheduler = Candidate.List_sched) ~profile ~e_trans_j cluster
     rset =
   let key = fingerprint ~scheduler ~profile cluster rset in
+  let restamp v = Option.map (fun c -> { c with Candidate.e_trans_j }) v in
   let cached =
     locked (fun () ->
         match Hashtbl.find_opt table key with
         | Some v ->
             incr hits;
             Some v
-        | None ->
-            incr misses;
-            None)
+        | None -> None)
   in
   match cached with
-  | Some v -> Option.map (fun c -> { c with Candidate.e_trans_j }) v
-  | None ->
-      let v = Candidate.evaluate ~scheduler ~profile ~e_trans_j cluster rset in
-      let normalised =
-        Option.map (fun c -> { c with Candidate.e_trans_j = 0.0 }) v
-      in
-      locked (fun () -> Hashtbl.replace table key normalised);
-      v
+  | Some v -> restamp v
+  | None -> (
+      (* Memory miss: consult the persistent tier (outside the lock —
+         disk reads must not serialise the other workers). *)
+      let root = locked (fun () -> !persist_root) in
+      let from_disk = Option.bind root (fun r -> disk_load r key) in
+      match from_disk with
+      | Some v ->
+          locked (fun () ->
+              Hashtbl.replace table key v;
+              incr hits;
+              incr disk_hits);
+          restamp v
+      | None ->
+          locked (fun () -> incr misses);
+          let v =
+            Candidate.evaluate ~scheduler ~profile ~e_trans_j cluster rset
+          in
+          let normalised =
+            Option.map (fun c -> { c with Candidate.e_trans_j = 0.0 }) v
+          in
+          locked (fun () -> Hashtbl.replace table key normalised);
+          Option.iter (fun r -> disk_store r key normalised) root;
+          v)

@@ -20,9 +20,26 @@
     The cache is process-global on purpose: ablation sweeps re-run the
     whole flow per sweep point, and every (cluster × resource set) pair
     whose schedule is unaffected by the swept knob becomes a hit. The F
-    sweep (bench E3) is all hits from its second point on. *)
+    sweep (bench E3) is all hits from its second point on.
 
-type stats = { hits : int; misses : int; entries : int }
+    {2 Persistence}
+
+    With {!set_persist_dir} the cache additionally spills to disk: one
+    file per entry under [dir/v{!format_version}], written atomically
+    (unique temp file + rename), read back on a memory miss. A
+    restarted process — the [lowpart serve] daemon in particular —
+    keeps its warm cache across runs. Corrupt, truncated or
+    foreign-version entries are silently treated as misses (and
+    deleted), never as errors; concurrent writers racing on one key
+    publish whole files and overwrite each other harmlessly, exactly
+    like the in-memory table. *)
+
+type stats = {
+  hits : int;  (** memory + disk hits *)
+  misses : int;
+  entries : int;  (** in-memory entries *)
+  disk_hits : int;  (** subset of [hits] served from the disk tier *)
+}
 
 val fingerprint :
   scheduler:Candidate.scheduler ->
@@ -48,5 +65,20 @@ val hit_rate : unit -> float
 (** [hits / (hits + misses)], 0 before any lookup. *)
 
 val reset : unit -> unit
-(** Drop all entries and zero the counters (bench runs use this to
-    separate cold from warm timings). *)
+(** Drop all in-memory entries and zero the counters (bench runs use
+    this to separate cold from warm timings). Disk entries are kept —
+    a reset followed by a re-run models a daemon restart. *)
+
+val format_version : int
+(** Version of the on-disk entry format; bumping it orphans (but does
+    not delete) every older [v<N>] directory. *)
+
+val set_persist_dir : string option -> unit
+(** Enable ([Some root]) or disable ([None]) the disk tier. The
+    [root/v<N>] directory is created eagerly; nothing is pre-loaded —
+    entries stream in on first use. Process-global, like the cache. *)
+
+val persist_dir : unit -> string option
+
+val disk_entries : unit -> int
+(** Entries currently on disk (0 when persistence is off). *)

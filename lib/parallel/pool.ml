@@ -139,3 +139,62 @@ let map t f input =
   end
 
 let map_list t f l = Array.to_list (map t f (Array.of_list l))
+
+(* --- single-task submission --------------------------------------- *)
+
+type 'a state =
+  | Pending
+  | Resolved of 'a
+  | Failed of exn * Printexc.raw_backtrace
+
+type 'a future = {
+  fm : Mutex.t;
+  fc : Condition.t;
+  mutable state : 'a state;
+}
+
+let submit t f =
+  let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
+  let run () =
+    let outcome =
+      match f () with
+      | v -> Resolved v
+      | exception e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
+    Mutex.lock fut.fm;
+    fut.state <- outcome;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+  in
+  if size t = 0 then run ()
+  else begin
+    Mutex.lock t.lock;
+    if t.closed then begin
+      Mutex.unlock t.lock;
+      invalid_arg "Pool.submit: pool is shut down"
+    end;
+    Queue.push run t.queue;
+    Condition.signal t.work_available;
+    Mutex.unlock t.lock
+  end;
+  fut
+
+let pending = function Pending -> true | Resolved _ | Failed _ -> false
+
+let is_resolved fut =
+  Mutex.lock fut.fm;
+  let r = not (pending fut.state) in
+  Mutex.unlock fut.fm;
+  r
+
+let await fut =
+  Mutex.lock fut.fm;
+  while pending fut.state do
+    Condition.wait fut.fc fut.fm
+  done;
+  let state = fut.state in
+  Mutex.unlock fut.fm;
+  match state with
+  | Resolved v -> v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> assert false

@@ -45,3 +45,27 @@ val shutdown : t -> unit
 val with_pool : ?domains:int -> (t -> 'a) -> 'a
 (** [with_pool ~domains f] runs [f] with a fresh pool and shuts it down
     afterwards, exception-safely. *)
+
+(** {2 Single-task submission}
+
+    The service daemon's scheduling primitive: requests arrive one at a
+    time and are submitted individually instead of as a whole array.
+    Submitted tasks share the queue (and therefore the workers) with
+    any concurrent {!map}. *)
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue one task. On a worker-less pool the task runs inline in
+    the caller before [submit] returns (there is nobody else to run
+    it). A task exception is captured into the future, never kills a
+    worker, and re-raises in {!await}.
+    @raise Invalid_argument if the pool has been shut down. *)
+
+val is_resolved : 'a future -> bool
+(** Non-blocking completion probe (true on failure too) — the building
+    block for caller-side timeouts. *)
+
+val await : 'a future -> 'a
+(** Block until the task finishes; re-raises its exception (with the
+    worker's backtrace). Safe to call from several threads. *)

@@ -1,6 +1,10 @@
 (** Machine-readable exports of flow results: JSON summaries for
     plotting/regression tracking, dot files for the graph artifacts. *)
 
+val report_json : Lp_system.System.report -> string
+(** One system-simulation report (per-core energies, cycle counts) as a
+    JSON object — the payload of the service's [simulate] response. *)
+
 val result_json : Lp_core.Flow.result -> string
 (** One application's result as a JSON object: per-core energy
     breakdown of both designs, cycle counts, savings, selected

@@ -1,0 +1,46 @@
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let connect endpoint =
+  let fd =
+    match endpoint with
+    | Unix_socket path ->
+        let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_UNIX path);
+        fd
+    | Tcp (host, port) ->
+        let addr =
+          try Unix.inet_addr_of_string host
+          with Failure _ ->
+            (Unix.gethostbyname host).Unix.h_addr_list.(0)
+        in
+        let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+        Unix.connect fd (Unix.ADDR_INET (addr, port));
+        fd
+  in
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+
+let send_line t line =
+  let s = line ^ "\n" in
+  let rec go off =
+    if off < String.length s then
+      go (off + Unix.write_substring t.fd s off (String.length s - off))
+  in
+  go 0
+
+let recv_line t = try Some (input_line t.ic) with End_of_file -> None
+
+let rpc_json t json =
+  send_line t (Lp_json.to_string json);
+  match recv_line t with
+  | Some line -> Lp_json.of_string line
+  | None -> failwith "service closed the connection"
+
+let rpc t ?id request =
+  let resp = rpc_json t (Protocol.request_to_json ?id request) in
+  match Protocol.parse_response resp with
+  | Ok r -> r
+  | Error msg -> failwith ("unintelligible response: " ^ msg)

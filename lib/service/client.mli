@@ -1,0 +1,28 @@
+(** Client connector for the partitioning service: one blocking
+    connection speaking the line-delimited protocol of {!Protocol}.
+    Used by [lowpart client], the service bench suite, and the tests. *)
+
+type endpoint = Unix_socket of string | Tcp of string * int
+
+type t
+
+val connect : endpoint -> t
+(** @raise Unix.Unix_error when the daemon is not there. *)
+
+val close : t -> unit
+
+val send_line : t -> string -> unit
+(** Ship one raw line (tests use this to exercise the daemon's
+    malformed-input handling). *)
+
+val recv_line : t -> string option
+(** Next response line; [None] on EOF. *)
+
+val rpc : t -> ?id:Lp_json.t -> Protocol.request -> Protocol.response
+(** Encode, send, and wait for the matching response line.
+    @raise Failure on EOF or an unparseable response (a broken daemon,
+    not a failing request — those come back as [Error] payloads). *)
+
+val rpc_json : t -> Lp_json.t -> Lp_json.t
+(** Raw variant: send any value as the request line, return the parsed
+    response line. @raise Failure on EOF. *)

@@ -1,0 +1,229 @@
+module J = Lp_json
+module Flow = Lp_core.Flow
+module Candidate = Lp_core.Candidate
+module System = Lp_system.System
+
+type run_options = {
+  f : float option;
+  n_max : int option;
+  jobs : int option;
+  asic_vdd_v : float option;
+  scheduler : Candidate.scheduler option;
+  max_cells : int option;
+  peephole : bool option;
+  icache_bytes : int option;
+  dcache_bytes : int option;
+  optimize : bool option;
+  unroll : int option;
+}
+
+let no_options =
+  {
+    f = None;
+    n_max = None;
+    jobs = None;
+    asic_vdd_v = None;
+    scheduler = None;
+    max_cells = None;
+    peephole = None;
+    icache_bytes = None;
+    dcache_bytes = None;
+    optimize = None;
+    unroll = None;
+  }
+
+type request =
+  | Run of { app : string; options : run_options }
+  | Simulate of { app : string; options : run_options }
+  | List_apps
+  | Stats
+  | Shutdown
+
+let cmd_name = function
+  | Run _ -> "run"
+  | Simulate _ -> "simulate"
+  | List_apps -> "list"
+  | Stats -> "stats"
+  | Shutdown -> "shutdown"
+
+(* Daemon-side default: requests are sequential inside ([jobs = 1]) —
+   the pool's parallelism is spent across concurrent requests, and a
+   request that wants an inner fan-out says so explicitly. *)
+let flow_options (o : run_options) =
+  let d = { Flow.default_options with Flow.jobs = 1 } in
+  let cache_cfg (base : Lp_cache.Cache.config) bytes =
+    match bytes with
+    | None -> base
+    | Some size_bytes -> { base with Lp_cache.Cache.size_bytes }
+  in
+  let config =
+    {
+      d.Flow.config with
+      System.peephole =
+        Option.value o.peephole ~default:d.Flow.config.System.peephole;
+      icache = cache_cfg d.Flow.config.System.icache o.icache_bytes;
+      dcache = cache_cfg d.Flow.config.System.dcache o.dcache_bytes;
+    }
+  in
+  {
+    d with
+    Flow.f = Option.value o.f ~default:d.Flow.f;
+    n_max = Option.value o.n_max ~default:d.Flow.n_max;
+    jobs = Option.value o.jobs ~default:d.Flow.jobs;
+    asic_vdd_v = Option.value o.asic_vdd_v ~default:d.Flow.asic_vdd_v;
+    scheduler = Option.value o.scheduler ~default:d.Flow.scheduler;
+    max_cells = Option.value o.max_cells ~default:d.Flow.max_cells;
+    config;
+  }
+
+let prepare_program (o : run_options) p =
+  let p =
+    if Option.value o.optimize ~default:false then Lp_ir.Optim.optimize_program p
+    else p
+  in
+  match o.unroll with
+  | Some factor when factor > 1 -> Lp_ir.Optim.unroll ~factor p
+  | Some _ | None -> p
+
+(* --- decoding ----------------------------------------------------- *)
+
+let request_id json = Option.value (J.member "id" json) ~default:J.Null
+
+let scheduler_of_json v =
+  match v with
+  | J.String "list" -> Ok Candidate.List_sched
+  | J.Assoc _ -> (
+      match J.float_field v "fds" with
+      | Some stretch when stretch > 0.0 -> Ok (Candidate.Fds stretch)
+      | Some _ -> Error "scheduler.fds must be positive"
+      | None -> Error "scheduler object must carry a numeric \"fds\"")
+  | _ -> Error "scheduler must be \"list\" or {\"fds\": <stretch>}"
+
+let options_of_json v =
+  match v with
+  | None | Some J.Null -> Ok no_options
+  | Some (J.Assoc _ as o) -> (
+      let scheduler =
+        match J.member "scheduler" o with
+        | None -> Ok None
+        | Some s -> Result.map Option.some (scheduler_of_json s)
+      in
+      match scheduler with
+      | Error e -> Error e
+      | Ok scheduler ->
+          Ok
+            {
+              f = J.float_field o "f";
+              n_max = J.int_field o "n_max";
+              jobs = J.int_field o "jobs";
+              asic_vdd_v = J.float_field o "asic_vdd_v";
+              scheduler;
+              max_cells = J.int_field o "max_cells";
+              peephole = J.bool_field o "peephole";
+              icache_bytes = J.int_field o "icache_bytes";
+              dcache_bytes = J.int_field o "dcache_bytes";
+              optimize = J.bool_field o "optimize";
+              unroll = J.int_field o "unroll";
+            })
+  | Some _ -> Error "options must be an object"
+
+let parse_request json =
+  match json with
+  | J.Assoc _ -> (
+      match J.string_field json "cmd" with
+      | None -> Error ("bad_request", "missing string field \"cmd\"")
+      | Some cmd -> (
+          let with_app k =
+            match J.string_field json "app" with
+            | None ->
+                Error
+                  ( "bad_request",
+                    Printf.sprintf "\"%s\" needs a string field \"app\"" cmd )
+            | Some app -> (
+                match options_of_json (J.member "options" json) with
+                | Error msg -> Error ("bad_request", msg)
+                | Ok options -> Ok (k app options))
+          in
+          match cmd with
+          | "run" -> with_app (fun app options -> Run { app; options })
+          | "simulate" -> with_app (fun app options -> Simulate { app; options })
+          | "list" -> Ok List_apps
+          | "stats" -> Ok Stats
+          | "shutdown" -> Ok Shutdown
+          | other ->
+              Error ("unknown_cmd", Printf.sprintf "unknown cmd %S" other)))
+  | _ -> Error ("bad_request", "request must be a JSON object")
+
+(* --- encoding ----------------------------------------------------- *)
+
+let options_to_json (o : run_options) =
+  let field name conv v = Option.map (fun x -> (name, conv x)) v in
+  let fields =
+    List.filter_map Fun.id
+      [
+        field "f" (fun x -> J.Float x) o.f;
+        field "n_max" (fun x -> J.Int x) o.n_max;
+        field "jobs" (fun x -> J.Int x) o.jobs;
+        field "asic_vdd_v" (fun x -> J.Float x) o.asic_vdd_v;
+        field "scheduler"
+          (function
+            | Candidate.List_sched -> J.String "list"
+            | Candidate.Fds stretch -> J.Assoc [ ("fds", J.Float stretch) ])
+          o.scheduler;
+        field "max_cells" (fun x -> J.Int x) o.max_cells;
+        field "peephole" (fun x -> J.Bool x) o.peephole;
+        field "icache_bytes" (fun x -> J.Int x) o.icache_bytes;
+        field "dcache_bytes" (fun x -> J.Int x) o.dcache_bytes;
+        field "optimize" (fun x -> J.Bool x) o.optimize;
+        field "unroll" (fun x -> J.Int x) o.unroll;
+      ]
+  in
+  J.Assoc fields
+
+let request_to_json ?(id = J.Null) req =
+  let id_field = match id with J.Null -> [] | v -> [ ("id", v) ] in
+  let body =
+    match req with
+    | Run { app; options } ->
+        [ ("app", J.String app); ("options", options_to_json options) ]
+    | Simulate { app; options } ->
+        [ ("app", J.String app); ("options", options_to_json options) ]
+    | List_apps | Stats | Shutdown -> []
+  in
+  J.Assoc (id_field @ [ ("cmd", J.String (cmd_name req)) ] @ body)
+
+let ok_response ~id ~cmd payload =
+  J.Assoc
+    [ ("id", id); ("ok", J.Bool true); ("cmd", J.String cmd); ("result", payload) ]
+
+let error_response ~id ~code ~message =
+  J.Assoc
+    [
+      ("id", id);
+      ("ok", J.Bool false);
+      ( "error",
+        J.Assoc [ ("code", J.String code); ("message", J.String message) ] );
+    ]
+
+type response = {
+  resp_id : Lp_json.t;
+  payload : (Lp_json.t, string * string) result;
+}
+
+let parse_response json =
+  let resp_id = request_id json in
+  match J.bool_field json "ok" with
+  | Some true -> (
+      match J.member "result" json with
+      | Some payload -> Ok { resp_id; payload = Ok payload }
+      | None -> Error "ok response without \"result\"")
+  | Some false -> (
+      match J.member "error" json with
+      | Some err ->
+          let code = Option.value (J.string_field err "code") ~default:"?" in
+          let message =
+            Option.value (J.string_field err "message") ~default:""
+          in
+          Ok { resp_id; payload = Error (code, message) }
+      | None -> Error "error response without \"error\"")
+  | None -> Error "response must carry a boolean \"ok\""

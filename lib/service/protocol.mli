@@ -1,0 +1,100 @@
+(** The wire protocol of the partitioning service.
+
+    Framing is line-delimited JSON: one request object per line, one
+    response object per line, in order. The compact {!Lp_json} printer
+    never emits a raw newline, so framing and syntax cannot disagree.
+
+    {2 Requests}
+
+    {[ {"id": <any>, "cmd": "run", "app": "digs", "options": {...}} ]}
+
+    [id] is optional and echoed verbatim in the response (clients use
+    it to correlate). [cmd] is one of [run], [simulate], [list],
+    [stats], [shutdown]; [run] and [simulate] name an [app]. [options]
+    (optional, [run]/[simulate]) carries the {!Lp_core.Flow.options}
+    surface:
+
+    - [f] (number) — objective balance factor
+    - [n_max] (int) — pre-selection bound
+    - [jobs] (int) — candidate fan-out width {e inside} this request
+      (default 1: daemon parallelism comes from concurrent requests)
+    - [asic_vdd_v] (number) — core supply voltage
+    - [scheduler] — ["list"] or [{"fds": <stretch>}]
+    - [max_cells] (int) — designer cap on one core
+    - [peephole] (bool) — assembly peephole pass
+    - [icache_bytes], [dcache_bytes] (int) — cache size overrides
+    - [optimize] (bool), [unroll] (int) — IR preparation, as in the CLI
+
+    {2 Responses}
+
+    {[ {"id": <echo>, "ok": true, "cmd": "run", "result": <payload>} ]}
+    {[ {"id": <echo>, "ok": false,
+        "error": {"code": "unknown_app", "message": "..."}} ]}
+
+    The [run] payload is byte-identical to one element of
+    [lowpart run --json] ({!Lp_report.Export.result_json}); [simulate]
+    answers {!Lp_report.Export.report_json}; [list] an array of
+    [{"name", "description"}]; [stats] server counters plus the memo
+    tiers; [shutdown] [{"stopping": true}]. Error codes: [parse],
+    [bad_request], [unknown_cmd], [unknown_app], [overloaded],
+    [timeout], [failed]. A failing request always produces an [ok:
+    false] envelope — never a dropped connection, never a dead
+    daemon. *)
+
+type run_options = {
+  f : float option;
+  n_max : int option;
+  jobs : int option;
+  asic_vdd_v : float option;
+  scheduler : Lp_core.Candidate.scheduler option;
+  max_cells : int option;
+  peephole : bool option;
+  icache_bytes : int option;
+  dcache_bytes : int option;
+  optimize : bool option;
+  unroll : int option;
+}
+
+val no_options : run_options
+
+type request =
+  | Run of { app : string; options : run_options }
+  | Simulate of { app : string; options : run_options }
+  | List_apps
+  | Stats
+  | Shutdown
+
+val cmd_name : request -> string
+
+val flow_options : run_options -> Lp_core.Flow.options
+(** Service-side defaults ({!Lp_core.Flow.default_options}, [jobs = 1])
+    with every present override applied. *)
+
+val prepare_program : run_options -> Lp_ir.Ast.program -> Lp_ir.Ast.program
+(** Apply the [optimize]/[unroll] IR preparation, as [lowpart run]
+    does. *)
+
+val request_id : Lp_json.t -> Lp_json.t
+(** The [id] member of a request object ([Null] when absent — the
+    echo for requests too malformed to carry one). *)
+
+val parse_request : Lp_json.t -> (request, string * string) result
+(** Decode a parsed request line; [Error (code, message)] with a
+    protocol error code from the list above. *)
+
+val request_to_json : ?id:Lp_json.t -> request -> Lp_json.t
+(** Encode a request (the client side). Only overrides present in
+    [options] are emitted. *)
+
+val ok_response : id:Lp_json.t -> cmd:string -> Lp_json.t -> Lp_json.t
+val error_response : id:Lp_json.t -> code:string -> message:string -> Lp_json.t
+
+type response = {
+  resp_id : Lp_json.t;
+  payload : (Lp_json.t, string * string) result;
+      (** [Ok payload] or [Error (code, message)] *)
+}
+
+val parse_response : Lp_json.t -> (response, string) result
+(** Decode a response line (the client side); [Error] only for
+    envelopes that are not responses at all. *)

@@ -1,0 +1,407 @@
+module J = Lp_json
+module Pool = Lp_parallel.Pool
+module Flow = Lp_core.Flow
+module Memo = Lp_core.Memo
+module Apps = Lp_apps.Apps
+module System = Lp_system.System
+
+let log = Logs.Src.create "lp.serve" ~doc:"partitioning service daemon"
+
+module Log = (val Logs.src_log log)
+
+type config = {
+  socket_path : string option;
+  tcp_port : int option;
+  workers : int;
+  queue_bound : int;
+  timeout_s : float;
+  cache_dir : string option;
+  handle_signals : bool;
+}
+
+let default_config =
+  {
+    socket_path = Some "lowpart.sock";
+    tcp_port = None;
+    workers = Flow.default_jobs;
+    queue_bound = 64;
+    timeout_s = 300.0;
+    cache_dir = Some ".lowpart-cache";
+    handle_signals = true;
+  }
+
+type counters = {
+  mutable run : int;
+  mutable simulate : int;
+  mutable list : int;
+  mutable stats : int;
+  mutable shutdown : int;
+  mutable errors : int;
+  mutable pending : int;  (** compute requests queued or running *)
+  mutable connections : int;  (** accepted over the lifetime *)
+  mutable active : int;  (** currently-open connections *)
+}
+
+type t = {
+  cfg : config;
+  listeners : Unix.file_descr list;
+  pool : Pool.t;
+  stop : bool Atomic.t;
+  started_at : float;
+  m : Mutex.t;  (** guards [c] and [threads] *)
+  c : counters;
+  mutable threads : Thread.t list;
+}
+
+let counted t f =
+  Mutex.lock t.m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) (fun () -> f t.c)
+
+(* --- low-level socket helpers ------------------------------------- *)
+
+let rec write_all fd s off =
+  if off < String.length s then
+    let n =
+      try Unix.write_substring fd s off (String.length s - off)
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd s (off + n)
+
+let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
+
+let listen_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* A previous daemon that died uncleanly leaves the socket file
+     behind; binding over it needs the unlink. A live daemon is not
+     protected against — last bind wins, as with any pidfile-less
+     service. *)
+  unlink_quiet path;
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let listen_tcp port =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+  Unix.listen fd 64;
+  fd
+
+(* --- request execution -------------------------------------------- *)
+
+let find_app name =
+  match Apps.find name with
+  | Some e -> Ok e
+  | None ->
+      Error
+        ( "unknown_app",
+          Printf.sprintf "unknown application %S (try: %s)" name
+            (String.concat ", " Apps.names) )
+
+(* The compute body of a [run]/[simulate] request; runs on a pool
+   worker domain. Returns the response payload as JSON. *)
+let compute request =
+  match request with
+  | Protocol.Run { app; options } -> (
+      match find_app app with
+      | Error e -> Error e
+      | Ok e ->
+          let opts = Protocol.flow_options options in
+          let program = Protocol.prepare_program options (e.Apps.build ()) in
+          let r = Flow.run ~options:opts ~name:e.Apps.name program in
+          (* Parsing our own export keeps the response payload
+             byte-identical to `lowpart run --json` after the client
+             re-prints it (Lp_json round-trip stability). *)
+          Ok (J.of_string (Lp_report.Export.result_json r)))
+  | Protocol.Simulate { app; options } -> (
+      match find_app app with
+      | Error e -> Error e
+      | Ok e ->
+          let opts = Protocol.flow_options options in
+          let program = Protocol.prepare_program options (e.Apps.build ()) in
+          let report = System.run ~config:opts.Flow.config program in
+          Ok (J.of_string (Lp_report.Export.report_json report)))
+  | Protocol.List_apps | Protocol.Stats | Protocol.Shutdown ->
+      (* Cheap requests never reach the pool. *)
+      assert false
+
+let list_payload () =
+  J.List
+    (List.map
+       (fun (e : Apps.entry) ->
+         J.Assoc
+           [
+             ("name", J.String e.Apps.name);
+             ("description", J.String e.Apps.description);
+           ])
+       Apps.all)
+
+let stats_payload t =
+  let ms = Memo.stats () in
+  let reqs =
+    counted t (fun c ->
+        [
+          ("run", J.Int c.run);
+          ("simulate", J.Int c.simulate);
+          ("list", J.Int c.list);
+          ("stats", J.Int c.stats);
+          ("shutdown", J.Int c.shutdown);
+          ("errors", J.Int c.errors);
+          ("pending", J.Int c.pending);
+        ])
+  in
+  let conns =
+    counted t (fun c ->
+        [ ("accepted", J.Int c.connections); ("active", J.Int c.active) ])
+  in
+  J.Assoc
+    [
+      ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
+      ("workers", J.Int t.cfg.workers);
+      ("queue_bound", J.Int t.cfg.queue_bound);
+      ("requests", J.Assoc reqs);
+      ("connections", J.Assoc conns);
+      ( "memo",
+        J.Assoc
+          [
+            ("hits", J.Int ms.Memo.hits);
+            ("misses", J.Int ms.Memo.misses);
+            ("entries", J.Int ms.Memo.entries);
+            ("disk_hits", J.Int ms.Memo.disk_hits);
+            ("disk_entries", J.Int (Memo.disk_entries ()));
+          ] );
+      ( "cache_dir",
+        match Memo.persist_dir () with
+        | Some d -> J.String d
+        | None -> J.Null );
+    ]
+
+(* Submit to the pool and wait, with a deadline. [Pool]'s futures have
+   no timed wait (stdlib [Condition] cannot), so the deadline is an
+   [is_resolved] poll — 5..50 ms granularity, far below any flow run.
+   On timeout the worker finishes (and warms the cache) anyway; only
+   the response is abandoned. *)
+let submit_and_wait t request =
+  let admitted =
+    counted t (fun c ->
+        if c.pending >= t.cfg.queue_bound then false
+        else begin
+          c.pending <- c.pending + 1;
+          true
+        end)
+  in
+  if not admitted then
+    Error
+      ( "overloaded",
+        Printf.sprintf "request queue is full (%d in flight)"
+          t.cfg.queue_bound )
+  else begin
+    let fut =
+      Pool.submit t.pool (fun () ->
+          Fun.protect
+            ~finally:(fun () -> counted t (fun c -> c.pending <- c.pending - 1))
+            (fun () -> compute request))
+    in
+    let deadline =
+      if t.cfg.timeout_s > 0.0 then Unix.gettimeofday () +. t.cfg.timeout_s
+      else infinity
+    in
+    let rec wait sleep_s =
+      if Pool.is_resolved fut then
+        match Pool.await fut with
+        | payload -> payload
+        | exception e ->
+            Error
+              ( "failed",
+                Printf.sprintf "%s: %s"
+                  (Protocol.cmd_name request)
+                  (Printexc.to_string e) )
+      else if Unix.gettimeofday () > deadline then
+        Error
+          ( "timeout",
+            Printf.sprintf "no result within %.0f s (the evaluation keeps \
+                            running and will warm the cache)"
+              t.cfg.timeout_s )
+      else begin
+        Thread.delay sleep_s;
+        wait (Float.min 0.05 (sleep_s *. 2.0))
+      end
+    in
+    wait 0.005
+  end
+
+let handle_request t request =
+  match request with
+  | Protocol.List_apps ->
+      counted t (fun c -> c.list <- c.list + 1);
+      Ok (list_payload ())
+  | Protocol.Stats ->
+      counted t (fun c -> c.stats <- c.stats + 1);
+      Ok (stats_payload t)
+  | Protocol.Shutdown ->
+      counted t (fun c -> c.shutdown <- c.shutdown + 1);
+      Atomic.set t.stop true;
+      Ok (J.Assoc [ ("stopping", J.Bool true) ])
+  | Protocol.Run _ ->
+      counted t (fun c -> c.run <- c.run + 1);
+      submit_and_wait t request
+  | Protocol.Simulate _ ->
+      counted t (fun c -> c.simulate <- c.simulate + 1);
+      submit_and_wait t request
+
+let response_for t line =
+  match J.of_string line with
+  | exception J.Parse_error msg ->
+      Error (J.Null, "parse", "malformed JSON: " ^ msg)
+  | json -> (
+      let id = Protocol.request_id json in
+      match Protocol.parse_request json with
+      | Error (code, message) -> Error (id, code, message)
+      | Ok request -> (
+          match handle_request t request with
+          | Ok payload -> Ok (id, Protocol.cmd_name request, payload)
+          | Error (code, message) -> Error (id, code, message)))
+
+let handle_line t fd line =
+  if String.trim line <> "" then begin
+    let response =
+      (* Nothing a request does may kill the daemon: even a bug in
+         dispatch itself degrades to an error envelope. *)
+      match response_for t line with
+      | r -> r
+      | exception e ->
+          Error (J.Null, "failed", "internal error: " ^ Printexc.to_string e)
+    in
+    let json =
+      match response with
+      | Ok (id, cmd, payload) -> Protocol.ok_response ~id ~cmd payload
+      | Error (id, code, message) ->
+          counted t (fun c -> c.errors <- c.errors + 1);
+          Protocol.error_response ~id ~code ~message
+    in
+    write_all fd (J.to_string json ^ "\n") 0
+  end
+
+(* Per-connection reader thread: accumulate bytes, dispatch complete
+   lines in order. The 0.2 s select timeout doubles as the shutdown
+   poll, so a silent client cannot pin the join at teardown. *)
+let handle_conn t fd =
+  let buf = Buffer.create 1024 in
+  let bytes = Bytes.create 4096 in
+  let rec drain_lines () =
+    let s = Buffer.contents buf in
+    match String.index_opt s '\n' with
+    | None -> ()
+    | Some i ->
+        Buffer.clear buf;
+        Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
+        handle_line t fd (String.sub s 0 i);
+        drain_lines ()
+  in
+  let rec loop () =
+    if not (Atomic.get t.stop) then begin
+      match Unix.select [ fd ] [] [] 0.2 with
+      | [], _, _ -> loop ()
+      | _ -> (
+          match Unix.read fd bytes 0 (Bytes.length bytes) with
+          | 0 -> ()
+          | n ->
+              Buffer.add_subbytes buf bytes 0 n;
+              drain_lines ();
+              loop ())
+    end
+  in
+  (try loop () with
+  | Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | Unix.Unix_error _ ->
+      (* Client went away (possibly mid-run): drop the connection,
+         keep the daemon. *)
+      Log.debug (fun m -> m "connection dropped"));
+  (try Unix.close fd with Unix.Unix_error _ -> ());
+  counted t (fun c -> c.active <- c.active - 1)
+
+(* --- lifecycle ---------------------------------------------------- *)
+
+let start cfg =
+  if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
+  if cfg.socket_path = None && cfg.tcp_port = None then
+    invalid_arg "Server.start: no endpoint (need a socket path or TCP port)";
+  Memo.set_persist_dir cfg.cache_dir;
+  let listeners =
+    List.filter_map Fun.id
+      [
+        Option.map listen_unix cfg.socket_path;
+        Option.map listen_tcp cfg.tcp_port;
+      ]
+  in
+  Log.info (fun m ->
+      m "listening (%s%s), %d workers, cache %s"
+        (match cfg.socket_path with Some p -> "unix:" ^ p | None -> "")
+        (match cfg.tcp_port with
+        | Some p -> Printf.sprintf " tcp:127.0.0.1:%d" p
+        | None -> "")
+        cfg.workers
+        (match cfg.cache_dir with Some d -> d | None -> "(memory only)"));
+  {
+    cfg;
+    listeners;
+    pool = Pool.create ~domains:cfg.workers ();
+    stop = Atomic.make false;
+    started_at = Unix.gettimeofday ();
+    m = Mutex.create ();
+    c =
+      {
+        run = 0;
+        simulate = 0;
+        list = 0;
+        stats = 0;
+        shutdown = 0;
+        errors = 0;
+        pending = 0;
+        connections = 0;
+        active = 0;
+      };
+    threads = [];
+  }
+
+let stop t = Atomic.set t.stop true
+
+let run t =
+  if t.cfg.handle_signals then begin
+    let on_signal _ = Atomic.set t.stop true in
+    Sys.set_signal Sys.sigint (Sys.Signal_handle on_signal);
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
+  end;
+  (* A client closing mid-write must surface as EPIPE, not kill us. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then begin
+      (match Unix.select t.listeners [] [] 0.2 with
+      | readable, _, _ ->
+          List.iter
+            (fun lfd ->
+              match Unix.accept lfd with
+              | fd, _ ->
+                  counted t (fun c ->
+                      c.connections <- c.connections + 1;
+                      c.active <- c.active + 1);
+                  let th = Thread.create (fun () -> handle_conn t fd) () in
+                  Mutex.lock t.m;
+                  t.threads <- th :: t.threads;
+                  Mutex.unlock t.m
+              | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EINTR), _, _) ->
+                  ())
+            readable
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      accept_loop ()
+    end
+  in
+  accept_loop ();
+  Log.info (fun m -> m "shutting down");
+  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
+  Option.iter unlink_quiet t.cfg.socket_path;
+  let threads = Mutex.protect t.m (fun () -> t.threads) in
+  List.iter Thread.join threads;
+  Pool.shutdown t.pool
+
+let serve cfg = run (start cfg)

@@ -1,0 +1,325 @@
+(* In-process exercise of the partitioning service: protocol errors,
+   byte-identical run payloads, persistent-cache restart, corruption
+   tolerance, and failure containment (mid-run disconnect, overload,
+   timeout). Runs a real [Lp_service.Server] on a temporary Unix
+   socket with signal handling off. *)
+
+module J = Lp_json
+module Protocol = Lp_service.Protocol
+module Server = Lp_service.Server
+module Client = Lp_service.Client
+
+let fresh_path =
+  let ctr = ref 0 in
+  fun suffix ->
+    incr ctr;
+    (* Unix sockets cap sun_path around 107 bytes — stay in the system
+       temp dir, not under _build. *)
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "lp-svc-%d-%d%s" (Unix.getpid ()) !ctr suffix)
+
+let rec rm_rf path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let with_server ?cache_dir ?(workers = 2) ?(queue_bound = 64)
+    ?(timeout_s = 300.0) f =
+  let socket = fresh_path ".sock" in
+  let config =
+    {
+      Server.socket_path = Some socket;
+      tcp_port = None;
+      workers;
+      queue_bound;
+      timeout_s;
+      cache_dir;
+      handle_signals = false;
+    }
+  in
+  let t = Server.start config in
+  let thread = Thread.create Server.run t in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.stop t;
+      Thread.join thread;
+      (* The server process owns the memo globally; give the next test
+         (and the rest of the suite) a clean slate. Disk entries are
+         deliberately kept — that is what the restart test relies on. *)
+      Lp_core.Memo.set_persist_dir None;
+      Lp_core.Memo.reset ();
+      try Sys.remove socket with Sys_error _ -> ())
+    (fun () -> f socket)
+
+let with_client socket f =
+  let c = Client.connect (Client.Unix_socket socket) in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let app = (List.hd Lp_apps.Apps.all).Lp_apps.Apps.name
+
+(* What the daemon must answer for a defaults [run] — computed through
+   the same Protocol entry points the server uses, then compared as
+   bytes on the wire. *)
+let expected_run_payload =
+  lazy
+    (let e = Option.get (Lp_apps.Apps.find app) in
+     let options = Protocol.no_options in
+     let program =
+       Protocol.prepare_program options (e.Lp_apps.Apps.build ())
+     in
+     let r =
+       Lp_core.Flow.run
+         ~options:(Protocol.flow_options options)
+         ~name:app program
+     in
+     let s = Lp_report.Export.result_json r in
+     Lp_core.Memo.reset ();
+     s)
+
+let run_request = Protocol.Run { app; options = Protocol.no_options }
+
+let payload_string = function
+  | { Protocol.payload = Ok v; _ } -> J.to_string v
+  | { Protocol.payload = Error (code, msg); _ } ->
+      Alcotest.failf "unexpected error %s: %s" code msg
+
+let expect_code what code = function
+  | { Protocol.payload = Error (c, _); _ } ->
+      Alcotest.(check string) what code c
+  | { Protocol.payload = Ok v; _ } ->
+      Alcotest.failf "%s: expected %s error, got ok: %s" what code
+        (J.to_string v)
+
+let stats_int resp path field =
+  match resp.Protocol.payload with
+  | Ok v ->
+      Option.get (J.int_field (Option.get (J.member path v)) field)
+  | Error (code, msg) -> Alcotest.failf "stats failed: %s: %s" code msg
+
+(* --- tests -------------------------------------------------------- *)
+
+let test_protocol_errors () =
+  with_server (fun socket ->
+      with_client socket (fun c ->
+          Client.send_line c "this is not json";
+          (match Client.recv_line c with
+          | None -> Alcotest.fail "no response to malformed line"
+          | Some line -> (
+              match Protocol.parse_response (J.of_string line) with
+              | Ok r -> expect_code "malformed line" "parse" r
+              | Error m -> Alcotest.failf "bad envelope: %s" m));
+          expect_code "unknown cmd" "unknown_cmd"
+            (let resp = Client.rpc_json c (J.of_string "{\"cmd\":\"frobnicate\"}") in
+             Result.get_ok (Protocol.parse_response resp));
+          expect_code "missing app" "bad_request"
+            (Result.get_ok
+               (Protocol.parse_response
+                  (Client.rpc_json c (J.of_string "{\"cmd\":\"run\"}"))));
+          expect_code "options must be an object" "bad_request"
+            (Result.get_ok
+               (Protocol.parse_response
+                  (Client.rpc_json c
+                     (J.of_string
+                        (Printf.sprintf
+                           "{\"cmd\":\"run\",\"app\":%S,\"options\":5}" app)))));
+          expect_code "unknown app" "unknown_app"
+            (Client.rpc c
+               (Protocol.Run
+                  { app = "no-such-app"; options = Protocol.no_options }));
+          (* id echo *)
+          let resp =
+            Client.rpc c ~id:(J.Int 7) Protocol.List_apps
+          in
+          Alcotest.(check bool)
+            "id echoed" true
+            (J.equal resp.Protocol.resp_id (J.Int 7));
+          (* list payload names every bundled app *)
+          (match resp.Protocol.payload with
+          | Ok (J.List entries) ->
+              Alcotest.(check int)
+                "list length"
+                (List.length Lp_apps.Apps.all)
+                (List.length entries)
+          | _ -> Alcotest.fail "list payload is not an array");
+          (* after all those errors the daemon still answers *)
+          let stats = Client.rpc c Protocol.Stats in
+          Alcotest.(check bool)
+            "errors counted" true
+            (stats_int stats "requests" "errors" >= 4)))
+
+let test_run_byte_identical () =
+  (* Force first: the lazy resets the memo after computing, which must
+     not happen between the daemon's two runs below. *)
+  let expected = Lazy.force expected_run_payload in
+  with_server (fun socket ->
+      with_client socket (fun c ->
+          let first = payload_string (Client.rpc c run_request) in
+          Alcotest.(check string)
+            "wire payload equals local Export.result_json" expected first;
+          let again = payload_string (Client.rpc c run_request) in
+          Alcotest.(check string) "repeat run identical" first again;
+          let stats = Client.rpc c Protocol.Stats in
+          Alcotest.(check bool)
+            "second run served from the memo" true
+            (stats_int stats "memo" "hits" > 0);
+          Alcotest.(check int)
+            "two runs counted" 2
+            (stats_int stats "requests" "run")))
+
+let test_concurrent_clients () =
+  with_server ~workers:2 (fun socket ->
+      let expected = Lazy.force expected_run_payload in
+      let results = Array.make 4 "" in
+      let worker i =
+        with_client socket (fun c ->
+            results.(i) <- payload_string (Client.rpc c run_request))
+      in
+      let threads = Array.init 4 (fun i -> Thread.create worker i) in
+      Array.iter Thread.join threads;
+      Array.iteri
+        (fun i got ->
+          Alcotest.(check string)
+            (Printf.sprintf "client %d payload" i)
+            expected got)
+        results)
+
+let test_persistent_cache () =
+  let cache = fresh_path ".cache" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf cache)
+    (fun () ->
+      let expected = Lazy.force expected_run_payload in
+      (* Cold daemon: computes and populates the disk tier. *)
+      with_server ~cache_dir:cache (fun socket ->
+          with_client socket (fun c ->
+              Alcotest.(check string)
+                "cold payload" expected
+                (payload_string (Client.rpc c run_request));
+              let stats = Client.rpc c Protocol.Stats in
+              Alcotest.(check bool)
+                "entries persisted" true
+                (stats_int stats "memo" "disk_entries" > 0)));
+      (* Restarted daemon ([with_server] reset the in-memory tier):
+         answers from disk, byte-identical. *)
+      with_server ~cache_dir:cache (fun socket ->
+          with_client socket (fun c ->
+              Alcotest.(check string)
+                "warm-from-disk payload" expected
+                (payload_string (Client.rpc c run_request));
+              let stats = Client.rpc c Protocol.Stats in
+              Alcotest.(check bool)
+                "restart served from the disk tier" true
+                (stats_int stats "memo" "disk_hits" > 0)));
+      (* Vandalised cache: truncate every entry, add a foreign file.
+         The daemon must treat them as misses and recompute. *)
+      let dir =
+        Filename.concat cache
+          (Printf.sprintf "v%d" Lp_core.Memo.format_version)
+      in
+      Array.iter
+        (fun e ->
+          let path = Filename.concat dir e in
+          let oc = open_out path in
+          output_string oc "junk, definitely not a memo entry";
+          close_out oc)
+        (Sys.readdir dir);
+      let oc = open_out (Filename.concat dir "intruder.memo") in
+      output_string oc "\x00\x01\x02";
+      close_out oc;
+      with_server ~cache_dir:cache (fun socket ->
+          with_client socket (fun c ->
+              Alcotest.(check string)
+                "corrupt cache recomputes, same payload" expected
+                (payload_string (Client.rpc c run_request));
+              let stats = Client.rpc c Protocol.Stats in
+              Alcotest.(check int)
+                "nothing served from corrupt entries" 0
+                (stats_int stats "memo" "disk_hits"))))
+
+let test_disconnect_mid_run () =
+  let expected = Lazy.force expected_run_payload in
+  with_server (fun socket ->
+      (* Fire a run and hang up before the answer. *)
+      (let c = Client.connect (Client.Unix_socket socket) in
+       Client.send_line c (J.to_string (Protocol.request_to_json run_request));
+       Client.close c);
+      Thread.delay 0.05;
+      (* The daemon must still be serving. *)
+      with_client socket (fun c ->
+          let resp = Client.rpc c Protocol.Stats in
+          Alcotest.(check bool)
+            "stats answers after disconnect" true
+            (Result.is_ok resp.Protocol.payload);
+          Alcotest.(check string)
+            "run still works after disconnect" expected
+            (payload_string (Client.rpc c run_request))))
+
+let test_overloaded () =
+  with_server ~queue_bound:0 (fun socket ->
+      with_client socket (fun c ->
+          expect_code "bound 0 rejects compute" "overloaded"
+            (Client.rpc c run_request);
+          (* Cheap requests bypass the queue. *)
+          let resp = Client.rpc c Protocol.List_apps in
+          Alcotest.(check bool)
+            "list unaffected" true
+            (Result.is_ok resp.Protocol.payload)))
+
+let test_timeout () =
+  with_server ~timeout_s:0.001 (fun socket ->
+      with_client socket (fun c ->
+          expect_code "deadline exceeded" "timeout" (Client.rpc c run_request)))
+
+let test_shutdown_request () =
+  let socket = fresh_path ".sock" in
+  let config =
+    {
+      Server.default_config with
+      Server.socket_path = Some socket;
+      cache_dir = None;
+      handle_signals = false;
+    }
+  in
+  let t = Server.start config in
+  let thread = Thread.create Server.run t in
+  with_client socket (fun c ->
+      let resp = Client.rpc c Protocol.Shutdown in
+      match resp.Protocol.payload with
+      | Ok v ->
+          Alcotest.(check (option bool))
+            "acknowledges stop" (Some true) (J.bool_field v "stopping")
+      | Error (code, msg) -> Alcotest.failf "shutdown failed: %s: %s" code msg);
+  (* run returns on its own — no [stop] from us. *)
+  Thread.join thread;
+  Lp_core.Memo.reset ();
+  Alcotest.(check bool)
+    "socket unlinked at teardown" false (Sys.file_exists socket)
+
+let () =
+  Alcotest.run "service"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "error envelopes" `Quick test_protocol_errors;
+          Alcotest.test_case "shutdown request" `Quick test_shutdown_request;
+        ] );
+      ( "compute",
+        [
+          Alcotest.test_case "run byte-identical" `Quick
+            test_run_byte_identical;
+          Alcotest.test_case "concurrent clients" `Quick
+            test_concurrent_clients;
+          Alcotest.test_case "overloaded" `Quick test_overloaded;
+          Alcotest.test_case "timeout" `Quick test_timeout;
+        ] );
+      ( "resilience",
+        [
+          Alcotest.test_case "persistent cache" `Quick test_persistent_cache;
+          Alcotest.test_case "mid-run disconnect" `Quick
+            test_disconnect_mid_run;
+        ] );
+    ]
