@@ -538,18 +538,65 @@ let stage_timings () =
       time_stage ~reps (fun () ->
           Memo.reset ();
           Flow.run ~options:seq_options ~name:"digs16" digs_small) );
+    (* The parallel figure is the steady-state cost of one run: the
+       worker pool is built once outside the timed region and injected,
+       the way a sweep or the service daemon would hold one across
+       requests. Pool spin-up (~1 ms) would otherwise dominate a
+       several-ms flow and misattribute a fixed cost to every run. *)
     ( "full-flow-par",
-      time_stage ~reps (fun () ->
-          Memo.reset ();
-          Flow.run ~name:"digs16" digs_small) );
+      Lp_parallel.Pool.with_pool ~domains:(Flow.default_jobs - 1) (fun pool ->
+          time_stage ~reps (fun () ->
+              Memo.reset ();
+              Flow.run ~pool ~name:"digs16" digs_small)) );
     ( "full-flow-warm",
       time_stage ~reps (fun () -> Flow.run ~name:"digs16" digs_small) );
   ]
+
+(* Raw co-simulation speed: ISS throughput (no memory system, null
+   hooks) and the latency of the initial ("I") system simulation cold
+   vs warm through the Memo initial-report tier. *)
+let sim_metrics () =
+  let digs_small = Lp_apps.Digs.program ~width:16 () in
+  let prog, layout = Lp_compiler.Compiler.compile digs_small in
+  let data = Lp_compiler.Compiler.initial_data digs_small layout in
+  let iss_run () =
+    let m = Lp_iss.Iss.create prog Lp_iss.Iss.null_hooks in
+    List.iter (fun (base, img) -> Lp_iss.Iss.load_data m base img) data;
+    Lp_iss.Iss.run m;
+    Lp_iss.Iss.result m
+  in
+  let r = iss_run () in
+  let reps = 9 in
+  let samples =
+    List.init reps (fun _ -> snd (wall (fun () -> iss_run ())))
+    |> List.sort compare
+  in
+  let dt = List.nth samples (reps / 2) in
+  let iss_mips = float_of_int r.Lp_iss.Iss.instr_count /. dt /. 1e6 in
+  let config = System.default_config in
+  let key = Memo.initial_fingerprint ~config digs_small in
+  let initial_once () =
+    match Memo.find_initial key with
+    | Some r -> r
+    | None ->
+        let r = System.run ~config digs_small in
+        Memo.store_initial key r;
+        r
+  in
+  Memo.reset ();
+  let _, cold_s = wall initial_once in
+  let warm_ms = time_stage ~reps initial_once in
+  Memo.reset ();
+  (iss_mips, 1e3 *. cold_s, warm_ms)
 
 let rec speed ?(smoke = false) () =
   section "B7: evaluation-engine performance (BENCH_flow.json)";
   let stages = stage_timings () in
   List.iter (fun (name, ms) -> Printf.printf "  %-16s %8.3f ms/run\n" name ms) stages;
+  let iss_mips, initial_cold_ms, initial_warm_ms = sim_metrics () in
+  Printf.printf
+    "  co-sim: ISS %.1f MIPS; initial sim cold %.3f ms, memo-warm %.3f ms\n"
+    iss_mips initial_cold_ms initial_warm_ms;
   let seq_s, par_s, warm_s, seq_stats, warm_rate = flow_timing () in
   Printf.printf
     "  full suite: sequential %.3fs, parallel (jobs=%d) %.3fs (%.2fx), \
@@ -578,6 +625,13 @@ let rec speed ?(smoke = false) () =
                (fun (name, ms) ->
                  j_obj [ ("name", j_str name); ("ms_per_run", j_float ms) ])
                stages) );
+        ( "sim",
+          j_obj
+            [
+              ("iss_mips", j_float iss_mips);
+              ("initial_cold_ms", j_float initial_cold_ms);
+              ("initial_warm_ms", j_float initial_warm_ms);
+            ] );
         ( "flow",
           j_obj
             [

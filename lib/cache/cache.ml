@@ -41,6 +41,15 @@ type t = {
   cfg : config;
   lines : line array array;  (** [set].[way] *)
   lru : int array array;  (** higher = more recently used *)
+  (* Geometry is power-of-two-validated at [create], so address
+     decomposition reduces to shifts and masks precomputed here;
+     per-access array energies are likewise computed once (the analytic
+     model takes logs), not per access. *)
+  line_shift : int;  (** log2 line_bytes *)
+  set_mask : int;  (** sets - 1 *)
+  set_shift : int;  (** log2 sets *)
+  read_e : float;  (** energy of one read access *)
+  write_e : float;  (** energy of one write access *)
   mutable clock : int;
   mutable s_reads : int;
   mutable s_writes : int;
@@ -76,6 +85,10 @@ let access_energy cfg ~write =
 let read_energy_j cfg = access_energy cfg ~write:false
 let write_energy_j cfg = access_energy cfg ~write:true
 
+let log2_exact n =
+  let rec go k m = if m >= n then k else go (k + 1) (m * 2) in
+  go 0 1
+
 let create cfg =
   if not (config_valid cfg) then invalid_arg "Cache.create: invalid geometry";
   let n = sets cfg in
@@ -86,6 +99,11 @@ let create cfg =
           Array.init cfg.assoc (fun _ ->
               { tag = 0; valid = false; dirty = false }));
     lru = Array.make_matrix n cfg.assoc 0;
+    line_shift = log2_exact cfg.line_bytes;
+    set_mask = n - 1;
+    set_shift = log2_exact n;
+    read_e = access_energy cfg ~write:false;
+    write_e = access_energy cfg ~write:true;
     clock = 0;
     s_reads = 0;
     s_writes = 0;
@@ -100,17 +118,21 @@ let config t = t.cfg
 let line_words t = t.cfg.line_bytes / 4
 
 let locate t addr =
-  let line_no = addr / t.cfg.line_bytes in
-  let set = line_no mod sets t.cfg in
-  let tag = line_no / sets t.cfg in
+  let line_no = addr lsr t.line_shift in
+  let set = line_no land t.set_mask in
+  let tag = line_no lsr t.set_shift in
   (set, tag)
 
-let find_way t set tag =
+(* -1 = no way holds the tag. The option-returning probe of the seed
+   allocated on every hit; the hot path wants a bare int. *)
+let find_way_int t set tag =
   let ways = t.lines.(set) in
+  let n = Array.length ways in
   let rec go i =
-    if i >= Array.length ways then None
-    else if ways.(i).valid && ways.(i).tag = tag then Some i
-    else go (i + 1)
+    if i >= n then -1
+    else
+      let w = Array.unsafe_get ways i in
+      if w.valid && w.tag = tag then i else go (i + 1)
   in
   go 0
 
@@ -135,53 +157,102 @@ let victim t set =
         t.lru.(set);
       !best
 
+(* Hits that move no words (clean read hits, write-back write hits) and
+   write-through events have constant event payloads; sharing one
+   immutable record per shape keeps the event path allocation-free
+   except for genuine line movement. *)
+let ev_hit = { hit = true; fill_words = 0; writeback_words = 0; through_words = 0 }
+
+let ev_hit_through =
+  { hit = true; fill_words = 0; writeback_words = 0; through_words = 1 }
+
+let ev_miss_through =
+  { hit = false; fill_words = 0; writeback_words = 0; through_words = 1 }
+
 let access t addr ~write =
   let set, tag = locate t addr in
   if write then begin
     t.s_writes <- t.s_writes + 1;
-    t.s_energy <- t.s_energy +. write_energy_j t.cfg
+    t.s_energy <- t.s_energy +. t.write_e
   end
   else begin
     t.s_reads <- t.s_reads + 1;
-    t.s_energy <- t.s_energy +. read_energy_j t.cfg
+    t.s_energy <- t.s_energy +. t.read_e
   end;
-  match find_way t set tag with
-  | Some way ->
+  let way = find_way_int t set tag in
+  if way >= 0 then begin
+    touch t set way;
+    if write then begin
+      match t.cfg.policy with
+      | Write_back ->
+          t.lines.(set).(way).dirty <- true;
+          ev_hit
+      | Write_through -> ev_hit_through
+    end
+    else ev_hit
+  end
+  else begin
+    if write then t.s_write_misses <- t.s_write_misses + 1
+    else t.s_read_misses <- t.s_read_misses + 1;
+    if write && t.cfg.policy = Write_through then
+      (* No-allocate: the word goes straight to memory. *)
+      ev_miss_through
+    else begin
+      let way = victim t set in
+      let line = t.lines.(set).(way) in
+      let wb = if line.valid && line.dirty then line_words t else 0 in
+      if wb > 0 then t.s_writebacks <- t.s_writebacks + 1;
+      line.valid <- true;
+      line.tag <- tag;
+      line.dirty <- write;
       touch t set way;
-      if write then begin
-        match t.cfg.policy with
-        | Write_back ->
-            t.lines.(set).(way).dirty <- true;
-            { hit = true; fill_words = 0; writeback_words = 0; through_words = 0 }
-        | Write_through ->
-            { hit = true; fill_words = 0; writeback_words = 0; through_words = 1 }
-      end
-      else { hit = true; fill_words = 0; writeback_words = 0; through_words = 0 }
-  | None ->
-      if write then t.s_write_misses <- t.s_write_misses + 1
-      else t.s_read_misses <- t.s_read_misses + 1;
-      if write && t.cfg.policy = Write_through then
-        (* No-allocate: the word goes straight to memory. *)
-        { hit = false; fill_words = 0; writeback_words = 0; through_words = 1 }
-      else begin
-        let way = victim t set in
-        let line = t.lines.(set).(way) in
-        let wb = if line.valid && line.dirty then line_words t else 0 in
-        if wb > 0 then t.s_writebacks <- t.s_writebacks + 1;
-        line.valid <- true;
-        line.tag <- tag;
-        line.dirty <- write;
-        touch t set way;
-        {
-          hit = false;
-          fill_words = line_words t;
-          writeback_words = wb;
-          through_words = 0;
-        }
-      end
+      {
+        hit = false;
+        fill_words = line_words t;
+        writeback_words = wb;
+        through_words = 0;
+      }
+    end
+  end
 
 let read t addr = access t addr ~write:false
 let write t addr = access t addr ~write:true
+
+(* Allocation-free hit fast paths. A hit that moves no words costs the
+   uP zero stall cycles, so the caller needs no event at all: [true]
+   means the access is fully accounted (stats, energy, LRU) and done.
+   [false] means {e nothing} was accounted — the caller must fall back
+   to the event-returning path, which redoes the (cheap) way probe and
+   handles misses, write-through traffic and replacement. *)
+
+let read_hit t addr =
+  let line_no = addr lsr t.line_shift in
+  let set = line_no land t.set_mask in
+  let way = find_way_int t set (line_no lsr t.set_shift) in
+  way >= 0
+  && begin
+       t.s_reads <- t.s_reads + 1;
+       t.s_energy <- t.s_energy +. t.read_e;
+       touch t set way;
+       true
+     end
+
+let write_hit t addr =
+  (* Only write-back hits qualify: a write-through hit still moves a
+     word to memory, which the caller must charge via the event path. *)
+  t.cfg.policy = Write_back
+  &&
+  let line_no = addr lsr t.line_shift in
+  let set = line_no land t.set_mask in
+  let way = find_way_int t set (line_no lsr t.set_shift) in
+  way >= 0
+  && begin
+       t.s_writes <- t.s_writes + 1;
+       t.s_energy <- t.s_energy +. t.write_e;
+       t.lines.(set).(way).dirty <- true;
+       touch t set way;
+       true
+     end
 
 let flush t =
   let words = ref 0 in

@@ -50,6 +50,24 @@ val read : t -> int -> event
 
 val write : t -> int -> event
 
+val read_hit : t -> int -> bool
+(** Allocation-free fast path. [read_hit c byte_addr] probes for a hit:
+    on [true] the access is fully accounted (stats, energy, LRU) and —
+    a hit moving no words — costs zero stall cycles, so no event is
+    needed. On [false] {e nothing} was accounted; the caller must take
+    the event path ({!read}). Behaviourally identical to checking
+    [(read c a).hit] first, minus the event allocation. *)
+
+val write_hit : t -> int -> bool
+(** Like {!read_hit} for writes. Only write-back hits qualify ([false]
+    on any write-through cache): a write-through hit still moves a word
+    to memory, which the caller charges from the {!write} event. *)
+
+val locate : t -> int -> int * int
+(** [(set, tag)] of a byte address — exposed so tests can check the
+    shift/mask decomposition against the div/mod definition
+    [(line mod sets, line / sets)] with [line = addr / line_bytes]. *)
+
 val flush : t -> int
 (** Write back all dirty lines and invalidate everything; returns the
     number of words written back (charged by the caller). Used when an

@@ -176,7 +176,32 @@ let verify_or_fail ~what expected got =
             "%s: outputs diverge (%d reference values, %d observed)" what
             (List.length expected) (List.length got)))
 
-let run ?(options = default_options) ~name program =
+(* Below this many (cluster × resource set) pairs the candidate fan-out
+   runs sequentially even when [jobs > 1]: spinning up a domain pool
+   costs on the order of a millisecond, while a single memoized
+   evaluation is tens of microseconds (and a warm one, microseconds) —
+   a small fan-out finishes before the workers would. Irrelevant when
+   the caller injects a [?pool]: an existing pool costs nothing to
+   use. *)
+let pool_threshold = 32
+
+let run ?(options = default_options) ?pool ~name program =
+  (* The initial ("I") simulation is pure in (program, config) and is
+     memoized whole; on a cold key it is launched first so it overlaps
+     with profiling, decomposition and pre-selection — on the injected
+     pool when one is given, else on a scratch domain when [jobs]
+     allows. *)
+  let init_key = Memo.initial_fingerprint ~config:options.config program in
+  let initial_cached = Memo.find_initial init_key in
+  let initial_sim () = System.run ~config:options.config program in
+  let initial_job =
+    match (initial_cached, pool) with
+    | Some r, _ -> `Done r
+    | None, Some pool -> `Future (Lp_parallel.Pool.submit pool initial_sim)
+    | None, None ->
+        if options.jobs > 1 then `Domain (Domain.spawn initial_sim)
+        else `Inline
+  in
   (* Steps 1-2: profile and decompose. *)
   let interp = Lp_ir.Interp.run program in
   let profile = interp.Lp_ir.Interp.profile in
@@ -186,7 +211,14 @@ let run ?(options = default_options) ~name program =
   let pre = Preselect.create program chain in
   let preselected = Preselect.pre_select pre ~profile ~n_max:options.n_max in
   (* Initial design simulation (the "I" rows of Table 1). *)
-  let initial = System.run ~config:options.config program in
+  let initial =
+    match initial_job with
+    | `Done r -> r
+    | `Future f -> Lp_parallel.Pool.await f
+    | `Domain d -> Domain.join d
+    | `Inline -> initial_sim ()
+  in
+  if initial_cached = None then Memo.store_initial init_key initial;
   if options.verify_outputs then
     verify_or_fail ~what:(name ^ " initial")
       interp.Lp_ir.Interp.outputs initial.System.outputs;
@@ -215,10 +247,14 @@ let run ?(options = default_options) ~name program =
       ~e_trans_j:est.Preselect.energy_j cluster rset
   in
   let evaluated =
-    if options.jobs <= 1 || Array.length pairs <= 1 then Array.map eval pairs
-    else
-      Lp_parallel.Pool.with_pool ~domains:(options.jobs - 1) (fun pool ->
-          Lp_parallel.Pool.map pool eval pairs)
+    match pool with
+    | Some pool -> Lp_parallel.Pool.map pool eval pairs
+    | None ->
+        if options.jobs <= 1 || Array.length pairs < pool_threshold then
+          Array.map eval pairs
+        else
+          Lp_parallel.Pool.with_pool ~domains:(options.jobs - 1) (fun pool ->
+              Lp_parallel.Pool.map pool eval pairs)
   in
   let candidates =
     Array.to_list evaluated

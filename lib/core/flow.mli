@@ -92,8 +92,28 @@ val core_verilog : result -> core -> string
 
 exception Verification_failed of string
 
-val run : ?options:options -> name:string -> Lp_ir.Ast.program -> result
-(** @raise Verification_failed when the partitioned system's outputs
+val run :
+  ?options:options ->
+  ?pool:Lp_parallel.Pool.t ->
+  name:string ->
+  Lp_ir.Ast.program ->
+  result
+(** Run the whole flow. With [?pool] the candidate fan-out and the
+    overlapped initial simulation run on the caller's pool — repeated
+    runs (sweeps, benchmarks, the service daemon) amortize domain
+    spin-up across calls. Without it a scratch pool is created only
+    when [options.jobs > 1] {e and} the fan-out is large enough to
+    repay pool construction (see [pool_threshold]); small design
+    spaces run sequentially. The initial ("I") simulation is memoized
+    via {!Memo.find_initial} keyed on program × system config, and on
+    a cold key runs concurrently with profiling and pre-selection.
+    @raise Verification_failed when the partitioned system's outputs
     diverge from the reference (with [verify_outputs]). *)
+
+val pool_threshold : int
+(** Minimum (cluster × resource set) fan-out for which [run] creates
+    its own worker pool; below it evaluation is sequential because a
+    memoized evaluation (~tens of µs) is far cheaper than pool
+    spin-up (~1 ms). *)
 
 val pp_summary : Format.formatter -> result -> unit

@@ -1,5 +1,7 @@
 module Cluster = Lp_cluster.Cluster
 module Ast = Lp_ir.Ast
+module System = Lp_system.System
+module Cache = Lp_cache.Cache
 
 (* --- structural fingerprint ------------------------------------- *)
 
@@ -108,6 +110,53 @@ let fingerprint ~scheduler ~profile (cluster : Cluster.t) rset =
   add_stmts buf ~profile cluster.Cluster.stmts;
   Digest.string (Buffer.contents buf)
 
+(* Fingerprint of the initial ("I") system simulation: the whole program
+   — entry, every array with its init image, every function — plus every
+   [System.config] field that can change the report. The leading tag
+   keeps the keyspace disjoint from candidate fingerprints, so the two
+   kinds of entry can share the persistent directory. Statements are
+   serialized with an empty profile (the initial run does not depend on
+   one). *)
+let add_cache_config buf (c : Cache.config) =
+  add_int buf c.Cache.size_bytes;
+  add_int buf c.Cache.line_bytes;
+  add_int buf c.Cache.assoc;
+  add_int buf
+    (match c.Cache.policy with Cache.Write_back -> 0 | Cache.Write_through -> 1)
+
+let initial_fingerprint ~(config : System.config) (p : Ast.program) =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "initial-report/1;";
+  add_cache_config buf config.System.icache;
+  add_cache_config buf config.System.dcache;
+  add_int buf config.System.fuel;
+  add_int buf config.System.buffer_capacity_words;
+  add_int buf config.System.asic_word_cycles;
+  add_int buf (if config.System.peephole then 1 else 0);
+  add_str buf p.Ast.entry;
+  add_int buf (List.length p.Ast.arrays);
+  List.iter
+    (fun (a : Ast.array_decl) ->
+      add_str buf a.Ast.aname;
+      add_int buf a.Ast.size;
+      match a.Ast.init with
+      | None -> add_int buf (-1)
+      | Some img ->
+          add_int buf (Array.length img);
+          Array.iter (add_int buf) img)
+    p.Ast.arrays;
+  add_int buf (List.length p.Ast.funcs);
+  List.iter
+    (fun (f : Ast.func) ->
+      add_str buf f.Ast.fname;
+      add_int buf (List.length f.Ast.params);
+      List.iter (add_str buf) f.Ast.params;
+      add_int buf (List.length f.Ast.locals);
+      List.iter (add_str buf) f.Ast.locals;
+      add_stmts buf ~profile:[||] f.Ast.body)
+    p.Ast.funcs;
+  Digest.string (Buffer.contents buf)
+
 (* --- the cache --------------------------------------------------- *)
 
 let lock = Mutex.create ()
@@ -116,7 +165,22 @@ let hits = ref 0
 let misses = ref 0
 let disk_hits = ref 0
 
+(* The initial-report tier keeps its own table and counters: candidate
+   hit/miss statistics are asserted exactly by callers and tests, and an
+   initial-simulation probe must not perturb them. *)
+let initial_table : (string, System.report) Hashtbl.t = Hashtbl.create 16
+let initial_hits = ref 0
+let initial_misses = ref 0
+let initial_disk_hits = ref 0
+
 type stats = { hits : int; misses : int; entries : int; disk_hits : int }
+
+type initial_stats = {
+  initial_hits : int;
+  initial_misses : int;
+  initial_entries : int;
+  initial_disk_hits : int;
+}
 
 let locked f =
   Mutex.lock lock;
@@ -131,6 +195,15 @@ let stats () =
         disk_hits = !disk_hits;
       })
 
+let initial_stats () =
+  locked (fun () ->
+      {
+        initial_hits = !initial_hits;
+        initial_misses = !initial_misses;
+        initial_entries = Hashtbl.length initial_table;
+        initial_disk_hits = !initial_disk_hits;
+      })
+
 let hit_rate () =
   let s = stats () in
   let total = s.hits + s.misses in
@@ -141,7 +214,11 @@ let reset () =
       Hashtbl.reset table;
       hits := 0;
       misses := 0;
-      disk_hits := 0)
+      disk_hits := 0;
+      Hashtbl.reset initial_table;
+      initial_hits := 0;
+      initial_misses := 0;
+      initial_disk_hits := 0)
 
 (* --- persistence -------------------------------------------------- *)
 
@@ -184,7 +261,12 @@ let persist_dir () = locked (fun () -> !persist_root)
 let entry_path root key =
   Filename.concat (entry_dir root) (Digest.to_hex key ^ ".memo")
 
-let disk_load root key : Candidate.t option option =
+(* Polymorphic over the payload: candidate entries store a
+   [Candidate.t option], initial-report entries a [System.report]. Keys
+   are digests of tag-prefixed serializations, so the two kinds can
+   never name the same file — a payload is always read back at the type
+   it was written at. *)
+let disk_load root key =
   let path = entry_path root key in
   let read () =
     let ic = open_in_bin path in
@@ -193,7 +275,7 @@ let disk_load root key : Candidate.t option option =
       (fun () ->
         let m = really_input_string ic (String.length magic) in
         if m <> magic then failwith "bad magic";
-        let stored_key, (v : Candidate.t option) = Marshal.from_channel ic in
+        let stored_key, v = Marshal.from_channel ic in
         if stored_key <> key then failwith "key mismatch";
         v)
   in
@@ -205,7 +287,7 @@ let disk_load root key : Candidate.t option option =
         (try Sys.remove path with Sys_error _ -> ());
         None
 
-let disk_store root key (v : Candidate.t option) =
+let disk_store root key v =
   try
     let dir = entry_dir root in
     mkdir_p dir;
@@ -273,3 +355,41 @@ let evaluate ?(scheduler = Candidate.List_sched) ~profile ~e_trans_j cluster
           locked (fun () -> Hashtbl.replace table key normalised);
           Option.iter (fun r -> disk_store r key normalised) root;
           v)
+
+(* --- initial-report tier ------------------------------------------ *)
+
+(* Unlike [evaluate], probing and storing are split: the flow wants to
+   overlap the (expensive) initial simulation with profiling and
+   pre-selection when the probe misses, so it owns the computation. *)
+
+let find_initial key : System.report option =
+  let cached =
+    locked (fun () ->
+        match Hashtbl.find_opt initial_table key with
+        | Some r ->
+            incr initial_hits;
+            Some r
+        | None -> None)
+  in
+  match cached with
+  | Some _ -> cached
+  | None -> (
+      let root = locked (fun () -> !persist_root) in
+      match Option.bind root (fun r -> disk_load r key) with
+      | Some (r : System.report) ->
+          locked (fun () ->
+              Hashtbl.replace initial_table key r;
+              incr initial_hits;
+              incr initial_disk_hits);
+          Some r
+      | None ->
+          locked (fun () -> incr initial_misses);
+          None)
+
+let store_initial key (r : System.report) =
+  let root =
+    locked (fun () ->
+        Hashtbl.replace initial_table key r;
+        !persist_root)
+  in
+  Option.iter (fun dir -> disk_store dir key r) root

@@ -41,6 +41,17 @@ type stats = {
   disk_hits : int;  (** subset of [hits] served from the disk tier *)
 }
 
+type initial_stats = {
+  initial_hits : int;
+  initial_misses : int;
+  initial_entries : int;
+  initial_disk_hits : int;
+}
+(** Counters of the initial-report tier (see {!find_initial}) — kept
+    separate from {!stats} so candidate hit/miss accounting, which
+    callers assert exactly, is unaffected by initial-simulation
+    probes. *)
+
 val fingerprint :
   scheduler:Candidate.scheduler ->
   profile:int array ->
@@ -63,6 +74,31 @@ val evaluate :
 val stats : unit -> stats
 val hit_rate : unit -> float
 (** [hits / (hits + misses)], 0 before any lookup. *)
+
+(** {2 Initial-report tier}
+
+    The initial ("I") system simulation of a program is pure in the
+    program and the system configuration, and it is re-run verbatim by
+    every ablation sweep point and every warm service request. This
+    tier memoizes the whole {!Lp_system.System.report} under a digest
+    of program × config. Probe and store are split (unlike
+    {!evaluate}) so the flow can overlap a cold simulation with
+    profiling and pre-selection. Shares the persistent directory with
+    candidate entries; the fingerprint tag keeps the keyspaces
+    disjoint. *)
+
+val initial_fingerprint :
+  config:Lp_system.System.config -> Lp_ir.Ast.program -> string
+(** Digest of the full program (entry, arrays with init images, all
+    functions) and every report-relevant [System.config] field. *)
+
+val find_initial : string -> Lp_system.System.report option
+(** Probe memory, then disk. A disk hit is promoted to memory. *)
+
+val store_initial : string -> Lp_system.System.report -> unit
+(** Publish a computed report to memory and (if enabled) disk. *)
+
+val initial_stats : unit -> initial_stats
 
 val reset : unit -> unit
 (** Drop all in-memory entries and zero the counters (bench runs use

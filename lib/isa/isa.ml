@@ -80,6 +80,36 @@ let opclass = function
   | Jmp _ | Jal _ | Jr _ -> C_jump
   | Print _ | Acall _ | Halt | Nop -> C_sys
 
+(* Dense tags so per-class accounting can live in flat int arrays
+   (the ISS hot path) instead of hashtables. Tag order follows the
+   constructor order, so sorting by tag equals sorting by [compare]. *)
+let opclass_count = 10
+
+let opclass_tag = function
+  | C_alu -> 0
+  | C_shift -> 1
+  | C_mul -> 2
+  | C_div -> 3
+  | C_move -> 4
+  | C_load -> 5
+  | C_store -> 6
+  | C_branch -> 7
+  | C_jump -> 8
+  | C_sys -> 9
+
+let opclass_of_tag_table =
+  [|
+    C_alu; C_shift; C_mul; C_div; C_move; C_load; C_store; C_branch; C_jump;
+    C_sys;
+  |]
+
+let opclass_of_tag tag = opclass_of_tag_table.(tag)
+
+(* Byte address where the data segment starts: word [w] of data memory
+   lives at byte [data_base_byte + 4w]. Shared by the ISS (which forms
+   d-cache addresses) and the system simulator (which maps them back). *)
+let data_base_byte = 0x100000
+
 let cmp_to_string = function
   | Clt -> "lt"
   | Cle -> "le"

@@ -100,6 +100,23 @@ type opclass =
 
 val opclass : instr -> opclass
 
+val opclass_count : int
+(** Number of opcode classes. *)
+
+val opclass_tag : opclass -> int
+(** Dense tag in [0, opclass_count): index for flat per-class counter
+    arrays on the simulator hot path. Tags follow the constructor
+    order, so ascending tag order equals [compare] order. *)
+
+val opclass_of_tag : int -> opclass
+(** Inverse of {!opclass_tag}. *)
+
+val data_base_byte : int
+(** Byte address of the start of the data segment: data-memory word [w]
+    has byte address [data_base_byte + 4 * w]. The single authority for
+    this constant — the ISS uses it to form d-cache addresses, the
+    system simulator to map them back to word addresses. *)
+
 val pp_instr : Format.formatter -> instr -> unit
 
 val pp_program : Format.formatter -> program -> unit

@@ -5,8 +5,19 @@ exception Runtime_error of string
 
 let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
 
+(* The executed program is pre-decoded at [create]: everything the
+   per-instruction accounting needs — the opclass tag and the base cycle
+   cost — is computed once per static instruction and stored in flat int
+   arrays indexed by pc. The step loop then touches only int arrays and
+   int fields; energy stays in integer event counters (per-class
+   executions, class transitions, taken branches, stall cycles) and is
+   converted to joules exactly once, in [result]. *)
+
 type t = {
-  prog : Isa.program;
+  code : Isa.instr array;
+  code_len : int;
+  cls_of_pc : int array;  (** opclass tag of each static instruction *)
+  cyc_of_pc : int array;  (** base cycle cost of each static instruction *)
   regs : int array;
   mem : int array;
   mutable pc : int;
@@ -17,9 +28,10 @@ type t = {
   mutable up_cycles : int;
   mutable stall_cycles : int;
   mutable asic_cycles : int;
-  mutable up_energy : float;
-  mutable last_class : Isa.opclass option;
-  class_counts : (Isa.opclass, int) Hashtbl.t;
+  mutable taken_branches : int;
+  mutable class_transitions : int;
+  mutable last_tag : int;  (** -1 before the first instruction *)
+  class_counts : int array;  (** indexed by opclass tag *)
   hooks : hooks;
 }
 
@@ -38,9 +50,21 @@ let null_hooks =
     acall = (fun _ _ -> fail "acall with null hooks");
   }
 
-let create ?(fuel = 500_000_000) prog hooks =
+let create ?(fuel = 500_000_000) (prog : Isa.program) hooks =
+  let n = Array.length prog.Isa.code in
+  let cls_of_pc = Array.make n 0 in
+  let cyc_of_pc = Array.make n 0 in
+  Array.iteri
+    (fun i instr ->
+      let cls = Isa.opclass instr in
+      cls_of_pc.(i) <- Isa.opclass_tag cls;
+      cyc_of_pc.(i) <- Energy_model.base_cycles cls)
+    prog.Isa.code;
   {
-    prog;
+    code = prog.Isa.code;
+    code_len = n;
+    cls_of_pc;
+    cyc_of_pc;
     regs = Array.make Isa.reg_count 0;
     mem = Array.make prog.Isa.data_words 0;
     pc = prog.Isa.entry_pc;
@@ -51,9 +75,10 @@ let create ?(fuel = 500_000_000) prog hooks =
     up_cycles = 0;
     stall_cycles = 0;
     asic_cycles = 0;
-    up_energy = 0.0;
-    last_class = None;
-    class_counts = Hashtbl.create 16;
+    taken_branches = 0;
+    class_transitions = 0;
+    last_tag = -1;
+    class_counts = Array.make Isa.opclass_count 0;
     hooks;
   }
 
@@ -70,6 +95,22 @@ let write_mem t a v =
   if a < 0 || a >= Array.length t.mem then fail "write at bad address %d" a;
   t.mem.(a) <- Word.norm v
 
+(* Block transfers for the system simulator's ASIC model: one bounds
+   check per block instead of one per word. *)
+let read_mem_block t base dst =
+  let n = Array.length dst in
+  if base < 0 || base + n > Array.length t.mem then
+    fail "block read out of range at %d (+%d)" base n;
+  Array.blit t.mem base dst 0 n
+
+let write_mem_block t base src =
+  let n = Array.length src in
+  if base < 0 || base + n > Array.length t.mem then
+    fail "block write out of range at %d (+%d)" base n;
+  for i = 0 to n - 1 do
+    t.mem.(base + i) <- Word.norm src.(i)
+  done
+
 let mem_size t = Array.length t.mem
 
 let push_output t v = t.out <- v :: t.out
@@ -80,29 +121,11 @@ let get t r = if r = Isa.zero_reg then 0 else t.regs.(r)
 
 let set t r v = if r <> Isa.zero_reg then t.regs.(r) <- Word.norm v
 
-let charge t cls =
-  t.instr_count <- t.instr_count + 1;
-  t.up_cycles <- t.up_cycles + Energy_model.base_cycles cls;
-  t.up_energy <- t.up_energy +. Energy_model.base_energy_j cls;
-  (match t.last_class with
-  | Some prev when prev <> cls ->
-      t.up_energy <- t.up_energy +. Energy_model.inter_instr_overhead_j
-  | Some _ | None -> ());
-  t.last_class <- Some cls;
-  let n = Option.value ~default:0 (Hashtbl.find_opt t.class_counts cls) in
-  Hashtbl.replace t.class_counts cls (n + 1)
-
-let stall t cycles =
-  if cycles > 0 then begin
-    t.stall_cycles <- t.stall_cycles + cycles;
-    t.up_energy <-
-      t.up_energy
-      +. (float_of_int cycles *. Energy_model.stall_energy_per_cycle_j)
-  end
+let stall t cycles = t.stall_cycles <- t.stall_cycles + cycles
 
 let taken_branch t =
   t.up_cycles <- t.up_cycles + Energy_model.taken_branch_cycles;
-  t.up_energy <- t.up_energy +. Energy_model.taken_branch_energy_j
+  t.taken_branches <- t.taken_branches + 1
 
 let eval_cmp c a b =
   match (c : Isa.cmp) with
@@ -113,17 +136,24 @@ let eval_cmp c a b =
   | Isa.Ceq -> a = b
   | Isa.Cne -> a <> b
 
-let data_byte_addr word_addr = 0x100000 + (word_addr * 4)
+let data_byte_addr word_addr = Isa.data_base_byte + (word_addr * 4)
 
 let step t =
   if t.fuel <= 0 then fail "instruction fuel exhausted at pc %d" t.pc;
   t.fuel <- t.fuel - 1;
-  if t.pc < 0 || t.pc >= Array.length t.prog.Isa.code then
-    fail "pc %d out of code range" t.pc;
-  stall t (t.hooks.ifetch (t.pc * 4));
-  let i = t.prog.Isa.code.(t.pc) in
-  charge t (Isa.opclass i);
-  let next = t.pc + 1 in
+  let pc = t.pc in
+  if pc < 0 || pc >= t.code_len then fail "pc %d out of code range" pc;
+  stall t (t.hooks.ifetch (pc * 4));
+  let i = Array.unsafe_get t.code pc in
+  (* charge: pure int accounting against the pre-decoded tables *)
+  t.instr_count <- t.instr_count + 1;
+  t.up_cycles <- t.up_cycles + Array.unsafe_get t.cyc_of_pc pc;
+  let tag = Array.unsafe_get t.cls_of_pc pc in
+  if t.last_tag >= 0 && t.last_tag <> tag then
+    t.class_transitions <- t.class_transitions + 1;
+  t.last_tag <- tag;
+  t.class_counts.(tag) <- t.class_counts.(tag) + 1;
+  let next = pc + 1 in
   let dload a =
     stall t (t.hooks.dread (data_byte_addr a));
     read_mem t a
@@ -139,11 +169,11 @@ let step t =
   | Isa.Mul (d, a, b) -> set t d (Word.mul (get t a) (get t b))
   | Isa.Div (d, a, b) ->
       let bv = get t b in
-      if bv = 0 then fail "division by zero at pc %d" t.pc;
+      if bv = 0 then fail "division by zero at pc %d" pc;
       set t d (Word.div (get t a) bv)
   | Isa.Rem (d, a, b) ->
       let bv = get t b in
-      if bv = 0 then fail "modulo by zero at pc %d" t.pc;
+      if bv = 0 then fail "modulo by zero at pc %d" pc;
       set t d (Word.rem (get t a) bv)
   | Isa.And (d, a, b) -> set t d (Word.logand (get t a) (get t b))
   | Isa.Or (d, a, b) -> set t d (Word.logor (get t a) (get t b))
@@ -204,17 +234,40 @@ type result = {
   class_counts : (Isa.opclass * int) list;
 }
 
-let result t =
+(* Joules from the integer event counters: per-class executions at the
+   class base energy, plus the circuit-state overhead per class
+   transition, the refill energy per taken branch, and the stall energy
+   per stalled cycle. Equal to the seed's per-instruction accumulation
+   up to float summation order (well within 1e-9 relative). *)
+let up_energy_of (t : t) =
+  let e = ref 0.0 in
+  Array.iteri
+    (fun tag n ->
+      if n > 0 then
+        e :=
+          !e
+          +. (float_of_int n
+             *. Energy_model.base_energy_j (Isa.opclass_of_tag tag)))
+    t.class_counts;
+  !e
+  +. (float_of_int t.class_transitions *. Energy_model.inter_instr_overhead_j)
+  +. (float_of_int t.taken_branches *. Energy_model.taken_branch_energy_j)
+  +. (float_of_int t.stall_cycles *. Energy_model.stall_energy_per_cycle_j)
+
+let result (t : t) =
+  let class_counts = ref [] in
+  for tag = Isa.opclass_count - 1 downto 0 do
+    let n = t.class_counts.(tag) in
+    if n > 0 then class_counts := (Isa.opclass_of_tag tag, n) :: !class_counts
+  done;
   {
     outputs = List.rev t.out;
     instr_count = t.instr_count;
     up_cycles = t.up_cycles;
     stall_cycles = t.stall_cycles;
     asic_cycles = t.asic_cycles;
-    up_energy_j = t.up_energy;
-    class_counts =
-      Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.class_counts []
-      |> List.sort compare;
+    up_energy_j = up_energy_of t;
+    class_counts = !class_counts;
   }
 
 let total_cycles r = r.up_cycles + r.stall_cycles + r.asic_cycles

@@ -45,6 +45,17 @@ val run : t -> unit
 
 val read_mem : t -> int -> int
 val write_mem : t -> int -> int -> unit
+
+val read_mem_block : t -> int -> int array -> unit
+(** [read_mem_block t base dst] fills [dst] from data memory starting at
+    word address [base] — one bounds check per block, not per word. The
+    system simulator's ASIC model snapshots shared arrays with this. *)
+
+val write_mem_block : t -> int -> int array -> unit
+(** [write_mem_block t base src] writes [src] back to data memory at
+    [base], normalising each word ({!Lp_ir.Word.norm}) like
+    {!write_mem}. *)
+
 val mem_size : t -> int
 val push_output : t -> int -> unit
 val add_asic_cycles : t -> int -> unit

@@ -1,0 +1,114 @@
+(* Schema check of the committed BENCH_flow.json: the benchmark file is
+   the perf trajectory later changes compare against, so its shape is
+   part of the repo's contract. Parses the committed file with Lp_json
+   and asserts the keys and types the speed suite promises — including
+   the "sim" co-simulation block and the "system-sim" stage row the
+   acceptance criteria reference. The "service" block is optional (the
+   serve suite merges it in separately). *)
+
+module Json = Lp_json
+
+let load () =
+  (* Under `dune runtest` the cwd is the test directory and the dune dep
+     puts the file one level up; when run from the project root, it is
+     right there. *)
+  let path =
+    if Sys.file_exists "../BENCH_flow.json" then "../BENCH_flow.json"
+    else "BENCH_flow.json"
+  in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let field_of kind j name to_opt =
+  match Option.bind (Json.member name j) to_opt with
+  | Some v -> v
+  | None -> Alcotest.failf "missing or mistyped %s field %S" kind name
+
+let str j name = field_of "string" j name Json.to_string_opt
+let num j name = field_of "number" j name Json.to_float_opt
+let int_ j name = field_of "int" j name Json.to_int_opt
+let obj j name = field_of "object" j name (fun v -> Json.to_assoc_opt v |> Option.map (fun _ -> v))
+let arr j name = field_of "array" j name Json.to_list_opt
+
+let test_schema () =
+  let doc =
+    match Json.parse (load ()) with
+    | Ok v -> v
+    | Error e -> Alcotest.failf "BENCH_flow.json does not parse: %s" e
+  in
+  Alcotest.(check string)
+    "schema tag" "lowpart-bench-flow/1" (str doc "schema");
+  Alcotest.(check bool) "jobs >= 1" true (int_ doc "jobs" >= 1);
+  let apps = arr doc "apps" in
+  Alcotest.(check bool) "apps non-empty" true (apps <> []);
+  List.iter
+    (fun a ->
+      match Json.to_string_opt a with
+      | Some _ -> ()
+      | None -> Alcotest.fail "apps entries must be strings")
+    apps;
+  (* stages: array of {name, ms_per_run}, including the co-simulation
+     row the acceptance criteria track. *)
+  let stages = arr doc "stages" in
+  let stage_names =
+    List.map
+      (fun s ->
+        let name = str s "name" in
+        let ms = num s "ms_per_run" in
+        Alcotest.(check bool) (name ^ " ms_per_run >= 0") true (ms >= 0.0);
+        name)
+      stages
+  in
+  List.iter
+    (fun required ->
+      if not (List.mem required stage_names) then
+        Alcotest.failf "stages is missing %S" required)
+    [ "system-sim"; "full-flow-seq"; "full-flow-par"; "full-flow-warm" ];
+  (* sim: co-simulation metrics. *)
+  let sim = obj doc "sim" in
+  Alcotest.(check bool) "iss_mips > 0" true (num sim "iss_mips" > 0.0);
+  Alcotest.(check bool)
+    "initial_cold_ms > 0" true
+    (num sim "initial_cold_ms" > 0.0);
+  (* A memo-warm probe can be below the clock's resolution. *)
+  Alcotest.(check bool)
+    "initial_warm_ms >= 0" true
+    (num sim "initial_warm_ms" >= 0.0);
+  (* flow: suite-level timings. *)
+  let flow = obj doc "flow" in
+  List.iter
+    (fun k -> ignore (num flow k))
+    [
+      "sequential_s";
+      "parallel_s";
+      "memo_warm_s";
+      "parallel_speedup";
+      "memo_warm_speedup";
+    ];
+  (* cache: memo statistics. *)
+  let cache = obj doc "cache" in
+  let cold = obj cache "cold" in
+  List.iter (fun k -> ignore (int_ cold k)) [ "hits"; "misses"; "entries" ];
+  ignore (num cache "warm_hit_rate");
+  let f_sweep = obj cache "f_sweep" in
+  Alcotest.(check bool)
+    "f_sweep points non-empty" true
+    (arr f_sweep "points" <> []);
+  ignore (num f_sweep "rest_hit_rate");
+  (* service is merged in by the serve suite; when present it must be
+     an object with its own schema tag. *)
+  match Json.member "service" doc with
+  | None -> ()
+  | Some service ->
+      Alcotest.(check string)
+        "service schema tag" "lowpart-bench-service/1" (str service "schema")
+
+let () =
+  Alcotest.run "bench_schema"
+    [
+      ( "bench-flow-json",
+        [ Alcotest.test_case "committed file matches schema" `Quick test_schema ]
+      );
+    ]
