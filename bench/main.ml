@@ -5,7 +5,7 @@
    Subcommands (default = table1 + fig6 + hwcost):
 
      main.exe [table1|fig6|hwcost|ablation-f|ablation-rs|ablation-nmax|
-               cache-sweep|speed|serve|all]
+               cache-sweep|speed|serve|explore|all]
 
    Experiment index (see DESIGN.md):
      E1 table1        the paper's Table 1
@@ -22,7 +22,8 @@
      E11 ablation-unroll loop unrolling: ILP vs datapath area
      F1 future-work   control-dominated probe app
      B* speed         Bechamel micro-benchmarks of the flow stages
-     B8 serve         partitioning-service latency/throughput *)
+     B8 serve         partitioning-service latency/throughput
+     B9 explore       design-space explorer sweep latency *)
 
 module Flow = Lp_core.Flow
 module Memo = Lp_core.Memo
@@ -950,11 +951,148 @@ let serve_bench ?(smoke = false) () =
   close_out oc;
   Printf.printf "  merged service results into BENCH_flow.json\n%!"
 
+(* --- B9: the design-space explorer — cold vs memo-warm sweep latency,
+   points/s, and how many evaluations each strategy needs before it has
+   seen its best point. Results merge into BENCH_flow.json under an
+   "explore" key, like the service bench. --- *)
+
+let explore_bench ?(smoke = false) () =
+  let module E = Lp_explore.Explore in
+  let module Json = Lp_json in
+  section "B9: design-space explorer -- sweep latency and strategy efficiency";
+  let apps =
+    if smoke then [ List.nth Apps.names 0; List.nth Apps.names 1 ]
+    else Apps.names
+  in
+  let space =
+    if smoke then
+      {
+        E.default_space with
+        E.f_values = [ 1.0; 8.0 ];
+        max_cells_values = [ 8_000; 16_000 ];
+      }
+    else E.default_space
+  in
+  let grid_size = List.length (E.grid_points space) in
+  let jobs = Flow.default_jobs in
+  (* Evaluations before (and including) the first point that reaches
+     the log's best energy: "how much of the sweep bought the win". *)
+  let points_to_best (r : E.result) =
+    let best =
+      List.fold_left
+        (fun acc (o : E.outcome) -> Float.min acc o.E.metrics.E.energy_j)
+        infinity r.E.log
+    in
+    let rec go i = function
+      | [] -> i
+      | (o : E.outcome) :: rest ->
+          if o.E.metrics.E.energy_j <= best then i + 1 else go (i + 1) rest
+    in
+    go 0 r.E.log
+  in
+  let per_app =
+    List.map
+      (fun name ->
+        let e = Option.get (Apps.find name) in
+        let program = e.Apps.build () in
+        Memo.reset ();
+        let cold_r, cold_s = wall (fun () -> E.run ~jobs ~space ~name program) in
+        let before = Memo.stats () in
+        let _, warm_s = wall (fun () -> E.run ~jobs ~space ~name program) in
+        let after = Memo.stats () in
+        let warm_new_misses = after.Memo.misses - before.Memo.misses in
+        let anneal_r =
+          E.run
+            ~strategy:(E.Strategy.anneal ~budget:grid_size ())
+            ~seed:0 ~jobs ~space ~name program
+        in
+        Printf.printf
+          "  %-10s %2d points: cold %7.1f ms (%6.0f pts/s), memo-warm %6.1f \
+           ms (%6.0f pts/s, %d new misses); to-best: grid %d, anneal %d\n"
+          name grid_size (1e3 *. cold_s)
+          (float_of_int grid_size /. cold_s)
+          (1e3 *. warm_s)
+          (float_of_int grid_size /. warm_s)
+          warm_new_misses (points_to_best cold_r) (points_to_best anneal_r);
+        ( name,
+          Json.Assoc
+            [
+              ("app", Json.String name);
+              ("points", Json.Int grid_size);
+              ("cold_s", Json.Float cold_s);
+              ("warm_s", Json.Float warm_s);
+              ( "cold_points_per_s",
+                Json.Float (float_of_int grid_size /. cold_s) );
+              ( "warm_points_per_s",
+                Json.Float (float_of_int grid_size /. warm_s) );
+              ("warm_new_misses", Json.Int warm_new_misses);
+              ("frontier_size", Json.Int (List.length cold_r.E.frontier));
+              ("grid_points_to_best", Json.Int (points_to_best cold_r));
+              ( "anneal",
+                Json.Assoc
+                  [
+                    ("strategy", Json.String anneal_r.E.strategy);
+                    ("evaluated", Json.Int anneal_r.E.evaluated);
+                    ("points_to_best", Json.Int (points_to_best anneal_r));
+                    ( "frontier_size",
+                      Json.Int (List.length anneal_r.E.frontier) );
+                  ] );
+            ],
+          (cold_s, warm_s) ))
+      apps
+  in
+  let cold_total = List.fold_left (fun a (_, _, (c, _)) -> a +. c) 0.0 per_app
+  and warm_total = List.fold_left (fun a (_, _, (_, w)) -> a +. w) 0.0 per_app in
+  Printf.printf
+    "  totals: cold %.2fs, memo-warm %.3fs (%.1fx) over %d apps x %d points\n"
+    cold_total warm_total
+    (cold_total /. warm_total)
+    (List.length apps) grid_size;
+  let explore =
+    Json.Assoc
+      [
+        ("schema", Json.String "lowpart-bench-explore/1");
+        ("jobs", Json.Int jobs);
+        ("smoke", Json.Bool smoke);
+        ("points", Json.Int grid_size);
+        ("apps", Json.List (List.map (fun (_, j, _) -> j) per_app));
+        ( "totals",
+          Json.Assoc
+            [
+              ("cold_s", Json.Float cold_total);
+              ("warm_s", Json.Float warm_total);
+              ("warm_speedup", Json.Float (cold_total /. warm_total));
+            ] );
+      ]
+  in
+  let base =
+    if Sys.file_exists "BENCH_flow.json" then begin
+      let ic = open_in_bin "BENCH_flow.json" in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      match Json.parse s with Ok v -> v | Error _ -> Json.Assoc []
+    end
+    else Json.Assoc []
+  in
+  let merged =
+    match base with
+    | Json.Assoc fields ->
+        Json.Assoc
+          (List.filter (fun (k, _) -> k <> "explore") fields
+          @ [ ("explore", explore) ])
+    | _ -> Json.Assoc [ ("explore", explore) ]
+  in
+  let oc = open_out "BENCH_flow.json" in
+  output_string oc (Json.to_string merged);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  merged explore results into BENCH_flow.json\n%!"
+
 let usage () =
   print_endline
     "usage: main.exe \
      [table1|fig6|hwcost|ablation-f|ablation-rs|ablation-nmax|cache-sweep|ablation-opt|speed \
-     [--smoke]|serve [--smoke]|all]";
+     [--smoke]|serve [--smoke]|explore [--smoke]|all]";
   exit 2
 
 let () =
@@ -982,6 +1120,8 @@ let () =
   | [ "speed"; "--smoke" ] -> speed ~smoke:true ()
   | [ "serve" ] -> serve_bench ()
   | [ "serve"; "--smoke" ] -> serve_bench ~smoke:true ()
+  | [ "explore" ] -> explore_bench ()
+  | [ "explore"; "--smoke" ] -> explore_bench ~smoke:true ()
   | [ "all" ] ->
       run_default ();
       ablation_f ();
@@ -994,5 +1134,6 @@ let () =
       ablation_unroll ();
       future_work ();
       speed ();
-      serve_bench ()
+      serve_bench ();
+      explore_bench ()
   | _ -> usage ()

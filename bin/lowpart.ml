@@ -7,6 +7,7 @@
      lowpart dump APP [--asm]      print the IR (or compiled assembly)
      lowpart serve                 long-lived partitioning daemon
      lowpart client CMD ...        talk to a running daemon
+     lowpart explore [APPS]        design-space search, Pareto frontiers
 *)
 
 open Cmdliner
@@ -281,6 +282,153 @@ let graph_cmd =
   in
   Cmd.v (Cmd.info "graph" ~doc) Term.(const run $ app_pos)
 
+(* --- design-space exploration: `lowpart explore` ------------------- *)
+
+module E = Lp_explore.Explore
+
+let seed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "PRNG seed of the adaptive strategy. Echoed in every JSON \
+           export, so a published frontier names the seed that \
+           reproduces it.")
+
+let strategy_conv =
+  let parse s =
+    match E.Strategy.of_string s with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf t = Format.pp_print_string ppf (E.Strategy.name t) in
+  Arg.conv (parse, print)
+
+let strategy_arg =
+  Arg.(
+    value
+    & opt strategy_conv E.Strategy.grid
+    & info [ "strategy" ] ~docv:"S"
+        ~doc:
+          "Search strategy: $(b,grid) (exhaustive), $(b,anneal), \
+           $(b,anneal:BUDGET) or $(b,anneal:BUDGET:CHAINS) (simulated \
+           annealing).")
+
+let journal_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some ".lowpart-explore") (some string) None
+    & info [ "journal" ] ~docv:"DIR"
+        ~doc:
+          "Checkpoint every completed point under $(docv) (bare \
+           $(b,--journal) uses $(b,.lowpart-explore)); re-running the \
+           same exploration resumes from the checkpoints instead of \
+           re-evaluating finished points.")
+
+let axis_values_arg item name doc =
+  Arg.(
+    value
+    & opt (some (list item)) None
+    & info [ name ] ~docv:"V,.." ~doc)
+
+let f_values_arg =
+  axis_values_arg Arg.float "f-values"
+    "Objective-factor axis (default: 0.5,1,2,4,8,16)."
+
+let max_cells_values_arg =
+  axis_values_arg Arg.int "max-cells-values"
+    "Hardware-budget axis in ASIC cells (default: 8000,16000,24000)."
+
+let n_max_values_arg =
+  axis_values_arg Arg.int "n-max-values"
+    "Pre-selection-bound axis (default: just the flow default)."
+
+let vdd_values_arg =
+  axis_values_arg Arg.float "vdd-values"
+    "ASIC supply-voltage axis in volts (default: just nominal)."
+
+let print_explore_result (r : E.result) =
+  Printf.printf
+    "== Pareto frontier of %S — %s, seed %d: %d points, %d evaluated, %d \
+     from journal ==\n"
+    r.app r.strategy r.seed (List.length r.log) r.evaluated r.journal_hits;
+  let rows =
+    List.map
+      (fun (o : E.outcome) ->
+        [
+          Printf.sprintf "%.2f" o.point.f;
+          string_of_int o.point.n_max;
+          string_of_int o.point.max_cells;
+          Printf.sprintf "%.2f" o.point.asic_vdd_v;
+          Printf.sprintf "%.4g" o.metrics.energy_j;
+          string_of_int o.metrics.cells;
+          Printf.sprintf "%+.0f%%" (100.0 *. o.metrics.time_change);
+          Printf.sprintf "%.1f%%" (100.0 *. o.metrics.energy_saving);
+        ])
+      r.frontier
+  in
+  print_endline
+    (Lp_report.Table.render
+       ~header:
+         [
+           "F"; "N_max"; "max cells"; "Vdd"; "energy [J]"; "ASIC cells";
+           "time"; "saving";
+         ]
+       rows)
+
+let explore_cmd =
+  let doc =
+    "Search the partitioning design space and print the Pareto frontier \
+     over (energy, ASIC cells, execution-time change)."
+  in
+  let run verbose names strategy seed jobs journal json fvs nvs cvs vvs =
+    setup_logs verbose;
+    match resolve_apps names with
+    | Error msg ->
+        prerr_endline msg;
+        exit 2
+    | Ok entries ->
+        let space =
+          let d = E.default_space in
+          {
+            d with
+            E.f_values = Option.value fvs ~default:d.E.f_values;
+            n_max_values = Option.value nvs ~default:d.E.n_max_values;
+            max_cells_values = Option.value cvs ~default:d.E.max_cells_values;
+            vdd_values = Option.value vvs ~default:d.E.vdd_values;
+          }
+        in
+        let explore pool (e : Lp_apps.Apps.entry) =
+          E.run ~strategy ~seed ~jobs ?pool ?journal_dir:journal ~space
+            ~name:e.name (e.build ())
+        in
+        (* One pool for all apps: domain spin-up is paid once and the
+           memo stays warm across the whole sweep. *)
+        let results =
+          if jobs > 1 then
+            Lp_parallel.Pool.with_pool ~domains:(jobs - 1) (fun p ->
+                List.map (explore (Some p)) entries)
+          else List.map (explore None) entries
+        in
+        let json_payload () =
+          Lp_json.to_string (Lp_json.List (List.map E.to_json results))
+        in
+        (match json with
+        | Some "-" -> print_endline (json_payload ())
+        | Some path ->
+            let oc = open_out path in
+            output_string oc (json_payload ());
+            output_char oc '\n';
+            close_out oc
+        | None -> ());
+        if json <> Some "-" then List.iter print_explore_result results
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ verbose_arg $ apps_arg $ strategy_arg $ seed_arg $ jobs_arg
+      $ journal_arg $ json_arg $ f_values_arg $ n_max_values_arg
+      $ max_cells_values_arg $ vdd_values_arg)
+
 (* --- the service: `lowpart serve` and `lowpart client` ------------- *)
 
 let socket_arg =
@@ -439,6 +587,39 @@ let client_simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(const run $ socket_arg $ tcp_arg $ app_pos)
 
+let client_explore_cmd =
+  let doc =
+    "Ask the daemon to explore the design space (same payload as one \
+     element of explore --json)."
+  in
+  let run socket tcp app strategy seed fvs nvs cvs vvs =
+    let explore =
+      {
+        Lp_service.Protocol.strategy = Some (E.Strategy.name strategy);
+        seed = Some seed;
+        f_values = fvs;
+        n_max_values = nvs;
+        max_cells_values = cvs;
+        vdd_values = vvs;
+      }
+    in
+    with_client socket tcp (fun c ->
+        exit
+          (print_payload
+             (Lp_service.Client.rpc c
+                (Lp_service.Protocol.Explore
+                   {
+                     app;
+                     options = Lp_service.Protocol.no_options;
+                     explore;
+                   }))))
+  in
+  Cmd.v (Cmd.info "explore" ~doc)
+    Term.(
+      const run $ socket_arg $ tcp_arg $ app_pos $ strategy_arg $ seed_arg
+      $ f_values_arg $ n_max_values_arg $ max_cells_values_arg
+      $ vdd_values_arg)
+
 let client_plain_cmd name doc request =
   let run socket tcp =
     with_client socket tcp (fun c ->
@@ -452,6 +633,7 @@ let client_cmd =
     [
       client_run_cmd;
       client_simulate_cmd;
+      client_explore_cmd;
       client_plain_cmd "list" "List the daemon's applications."
         Lp_service.Protocol.List_apps;
       client_plain_cmd "stats"
@@ -473,6 +655,7 @@ let main_cmd =
       synth_cmd;
       graph_cmd;
       file_cmd;
+      explore_cmd;
       serve_cmd;
       client_cmd;
     ]

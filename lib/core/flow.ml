@@ -15,9 +15,19 @@ type options = {
   asic_vdd_v : float;
   scheduler : Candidate.scheduler;
   jobs : int;
+  pool_threshold : int;
 }
 
 let default_jobs = max 1 (min 8 (Domain.recommended_domain_count ()))
+
+(* Below this many (cluster × resource set) pairs the candidate fan-out
+   runs sequentially even when [jobs > 1]: spinning up a domain pool
+   costs on the order of a millisecond, while a single memoized
+   evaluation is tens of microseconds (and a warm one, microseconds) —
+   a small fan-out finishes before the workers would. Irrelevant when
+   the caller injects a [?pool]: an existing pool costs nothing to
+   use. *)
+let pool_threshold = 32
 
 let default_options =
   {
@@ -31,6 +41,7 @@ let default_options =
     asic_vdd_v = Lp_tech.Cmos6.vdd_v;
     scheduler = Candidate.List_sched;
     jobs = default_jobs;
+    pool_threshold;
   }
 
 type selected = {
@@ -176,15 +187,6 @@ let verify_or_fail ~what expected got =
             "%s: outputs diverge (%d reference values, %d observed)" what
             (List.length expected) (List.length got)))
 
-(* Below this many (cluster × resource set) pairs the candidate fan-out
-   runs sequentially even when [jobs > 1]: spinning up a domain pool
-   costs on the order of a millisecond, while a single memoized
-   evaluation is tens of microseconds (and a warm one, microseconds) —
-   a small fan-out finishes before the workers would. Irrelevant when
-   the caller injects a [?pool]: an existing pool costs nothing to
-   use. *)
-let pool_threshold = 32
-
 let run ?(options = default_options) ?pool ~name program =
   (* The initial ("I") simulation is pure in (program, config) and is
      memoized whole; on a cold key it is launched first so it overlaps
@@ -250,7 +252,7 @@ let run ?(options = default_options) ?pool ~name program =
     match pool with
     | Some pool -> Lp_parallel.Pool.map pool eval pairs
     | None ->
-        if options.jobs <= 1 || Array.length pairs < pool_threshold then
+        if options.jobs <= 1 || Array.length pairs < options.pool_threshold then
           Array.map eval pairs
         else
           Lp_parallel.Pool.with_pool ~domains:(options.jobs - 1) (fun pool ->

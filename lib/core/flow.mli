@@ -40,6 +40,13 @@ type options = {
           caller. [1] = fully sequential. Results are deterministic —
           identical to the sequential order — for any value. Default:
           {!default_jobs}. *)
+  pool_threshold : int;
+      (** minimum (cluster × resource set) fan-out for which [run]
+          creates its own worker pool when no [?pool] is injected;
+          below it evaluation is sequential because a memoized
+          evaluation (~tens of µs) is far cheaper than pool spin-up
+          (~1 ms). Default: {!pool_threshold}. Sweeping callers — the
+          explorer, the service daemon — tune it per workload. *)
 }
 
 val default_jobs : int
@@ -111,9 +118,6 @@ val run :
     diverge from the reference (with [verify_outputs]). *)
 
 val pool_threshold : int
-(** Minimum (cluster × resource set) fan-out for which [run] creates
-    its own worker pool; below it evaluation is sequential because a
-    memoized evaluation (~tens of µs) is far cheaper than pool
-    spin-up (~1 ms). *)
+(** The default of [options.pool_threshold] (32). *)
 
 val pp_summary : Format.formatter -> result -> unit

@@ -3,6 +3,8 @@ module Flow = Lp_core.Flow
 module Candidate = Lp_core.Candidate
 module System = Lp_system.System
 
+module Explore = Lp_explore.Explore
+
 type run_options = {
   f : float option;
   n_max : int option;
@@ -15,6 +17,7 @@ type run_options = {
   dcache_bytes : int option;
   optimize : bool option;
   unroll : int option;
+  pool_threshold : int option;
 }
 
 let no_options =
@@ -30,11 +33,36 @@ let no_options =
     dcache_bytes = None;
     optimize = None;
     unroll = None;
+    pool_threshold = None;
+  }
+
+type explore_options = {
+  strategy : string option;
+  seed : int option;
+  f_values : float list option;
+  n_max_values : int list option;
+  max_cells_values : int list option;
+  vdd_values : float list option;
+}
+
+let no_explore_options =
+  {
+    strategy = None;
+    seed = None;
+    f_values = None;
+    n_max_values = None;
+    max_cells_values = None;
+    vdd_values = None;
   }
 
 type request =
   | Run of { app : string; options : run_options }
   | Simulate of { app : string; options : run_options }
+  | Explore of {
+      app : string;
+      options : run_options;
+      explore : explore_options;
+    }
   | List_apps
   | Stats
   | Shutdown
@@ -42,6 +70,7 @@ type request =
 let cmd_name = function
   | Run _ -> "run"
   | Simulate _ -> "simulate"
+  | Explore _ -> "explore"
   | List_apps -> "list"
   | Stats -> "stats"
   | Shutdown -> "shutdown"
@@ -73,8 +102,34 @@ let flow_options (o : run_options) =
     asic_vdd_v = Option.value o.asic_vdd_v ~default:d.Flow.asic_vdd_v;
     scheduler = Option.value o.scheduler ~default:d.Flow.scheduler;
     max_cells = Option.value o.max_cells ~default:d.Flow.max_cells;
+    pool_threshold =
+      Option.value o.pool_threshold ~default:d.Flow.pool_threshold;
     config;
   }
+
+(* The space an [explore] request walks: the [f] and [max_cells] axes
+   default to the explorer's standard sweep (exactly what a local
+   `lowpart explore` covers), every other axis to the request's base
+   option value, so overrides like [icache_bytes] or [asic_vdd_v]
+   apply to every point. *)
+let explore_space (o : run_options) (eo : explore_options) =
+  let base = flow_options o in
+  let d = Explore.default_space in
+  {
+    Explore.f_values = Option.value eo.f_values ~default:d.Explore.f_values;
+    n_max_values =
+      Option.value eo.n_max_values ~default:[ base.Flow.n_max ];
+    max_cells_values =
+      Option.value eo.max_cells_values ~default:d.Explore.max_cells_values;
+    vdd_values = Option.value eo.vdd_values ~default:[ base.Flow.asic_vdd_v ];
+    rset_choices = [ ("default", base.Flow.resource_sets) ];
+    config_choices = [ ("default", base.Flow.config) ];
+  }
+
+let explore_strategy (eo : explore_options) =
+  match eo.strategy with
+  | None -> Ok Explore.Strategy.grid
+  | Some s -> Explore.Strategy.of_string s
 
 let prepare_program (o : run_options) p =
   let p =
@@ -124,8 +179,59 @@ let options_of_json v =
               dcache_bytes = J.int_field o "dcache_bytes";
               optimize = J.bool_field o "optimize";
               unroll = J.int_field o "unroll";
+              pool_threshold = J.int_field o "pool_threshold";
             })
   | Some _ -> Error "options must be an object"
+
+let axis_of_json to_opt what v =
+  let err = Error (Printf.sprintf "%s must be a non-empty numeric array" what) in
+  match J.to_list_opt v with
+  | None | Some [] -> err
+  | Some items ->
+      let rec go acc = function
+        | [] -> Ok (Some (List.rev acc))
+        | x :: rest -> (
+            match to_opt x with Some n -> go (n :: acc) rest | None -> err)
+      in
+      go [] items
+
+let explore_options_of_json v =
+  match v with
+  | None | Some J.Null -> Ok no_explore_options
+  | Some (J.Assoc _ as o) ->
+      let ( let* ) = Result.bind in
+      let axis to_opt name =
+        match J.member name o with
+        | None -> Ok None
+        | Some v -> axis_of_json to_opt name v
+      in
+      let* strategy =
+        match J.member "strategy" o with
+        | None -> Ok None
+        | Some s -> (
+            match J.to_string_opt s with
+            | None -> Error "strategy must be a string"
+            | Some s -> (
+                (* Validate at the protocol edge so a typo answers
+                   [bad_request], not a failed compute. *)
+                match Explore.Strategy.of_string s with
+                | Ok _ -> Ok (Some s)
+                | Error msg -> Error msg))
+      in
+      let* f_values = axis J.to_float_opt "f_values" in
+      let* n_max_values = axis J.to_int_opt "n_max_values" in
+      let* max_cells_values = axis J.to_int_opt "max_cells_values" in
+      let* vdd_values = axis J.to_float_opt "vdd_values" in
+      Ok
+        {
+          strategy;
+          seed = J.int_field o "seed";
+          f_values;
+          n_max_values;
+          max_cells_values;
+          vdd_values;
+        }
+  | Some _ -> Error "explore must be an object"
 
 let parse_request json =
   match json with
@@ -147,6 +253,12 @@ let parse_request json =
           match cmd with
           | "run" -> with_app (fun app options -> Run { app; options })
           | "simulate" -> with_app (fun app options -> Simulate { app; options })
+          | "explore" -> (
+              match explore_options_of_json (J.member "explore" json) with
+              | Error msg -> Error ("bad_request", msg)
+              | Ok explore ->
+                  with_app (fun app options -> Explore { app; options; explore })
+              )
           | "list" -> Ok List_apps
           | "stats" -> Ok Stats
           | "shutdown" -> Ok Shutdown
@@ -176,6 +288,24 @@ let options_to_json (o : run_options) =
         field "dcache_bytes" (fun x -> J.Int x) o.dcache_bytes;
         field "optimize" (fun x -> J.Bool x) o.optimize;
         field "unroll" (fun x -> J.Int x) o.unroll;
+        field "pool_threshold" (fun x -> J.Int x) o.pool_threshold;
+      ]
+  in
+  J.Assoc fields
+
+let explore_options_to_json (eo : explore_options) =
+  let field name conv v = Option.map (fun x -> (name, conv x)) v in
+  let floats xs = J.List (List.map (fun x -> J.Float x) xs) in
+  let ints xs = J.List (List.map (fun x -> J.Int x) xs) in
+  let fields =
+    List.filter_map Fun.id
+      [
+        field "strategy" (fun s -> J.String s) eo.strategy;
+        field "seed" (fun x -> J.Int x) eo.seed;
+        field "f_values" floats eo.f_values;
+        field "n_max_values" ints eo.n_max_values;
+        field "max_cells_values" ints eo.max_cells_values;
+        field "vdd_values" floats eo.vdd_values;
       ]
   in
   J.Assoc fields
@@ -188,6 +318,12 @@ let request_to_json ?(id = J.Null) req =
         [ ("app", J.String app); ("options", options_to_json options) ]
     | Simulate { app; options } ->
         [ ("app", J.String app); ("options", options_to_json options) ]
+    | Explore { app; options; explore } ->
+        [
+          ("app", J.String app);
+          ("options", options_to_json options);
+          ("explore", explore_options_to_json explore);
+        ]
     | List_apps | Stats | Shutdown -> []
   in
   J.Assoc (id_field @ [ ("cmd", J.String (cmd_name req)) ] @ body)

@@ -24,6 +24,25 @@
     - [peephole] (bool) — assembly peephole pass
     - [icache_bytes], [dcache_bytes] (int) — cache size overrides
     - [optimize] (bool), [unroll] (int) — IR preparation, as in the CLI
+    - [pool_threshold] (int) — minimum candidate fan-out before the
+      flow spins up its own pool
+
+    An [explore] request walks the design space of one app
+    ({!Lp_explore.Explore}):
+
+    {[ {"cmd": "explore", "app": "digs", "options": {...},
+        "explore": {"strategy": "anneal:24:4", "seed": 7,
+                    "f_values": [1, 4, 16],
+                    "max_cells_values": [8000, 16000]}} ]}
+
+    [options] supplies the base flow options of every point; the
+    [explore] object (all fields optional) carries the [strategy]
+    (["grid"], ["anneal"], ["anneal:<budget>"],
+    ["anneal:<budget>:<chains>"]), the PRNG [seed] (int, default 0) and
+    the axis overrides [f_values], [n_max_values], [max_cells_values],
+    [vdd_values] (non-empty numeric arrays; defaults: the standard
+    [f]/[max_cells] sweep of [lowpart explore], base option values for
+    the rest).
 
     {2 Responses}
 
@@ -33,7 +52,9 @@
 
     The [run] payload is byte-identical to one element of
     [lowpart run --json] ({!Lp_report.Export.result_json}); [simulate]
-    answers {!Lp_report.Export.report_json}; [list] an array of
+    answers {!Lp_report.Export.report_json}; [explore] answers
+    {!Lp_explore.Explore.to_json} — one element of
+    [lowpart explore --json]; [list] an array of
     [{"name", "description"}]; [stats] server counters plus the memo
     tiers; [shutdown] [{"stopping": true}]. Error codes: [parse],
     [bad_request], [unknown_cmd], [unknown_app], [overloaded],
@@ -53,13 +74,33 @@ type run_options = {
   dcache_bytes : int option;
   optimize : bool option;
   unroll : int option;
+  pool_threshold : int option;
 }
 
 val no_options : run_options
 
+(** The search surface of an [explore] request; [None] everywhere =
+    the default sweep. [strategy] is kept as its wire string (already
+    validated by {!parse_request}); {!explore_strategy} resolves it. *)
+type explore_options = {
+  strategy : string option;
+  seed : int option;
+  f_values : float list option;
+  n_max_values : int list option;
+  max_cells_values : int list option;
+  vdd_values : float list option;
+}
+
+val no_explore_options : explore_options
+
 type request =
   | Run of { app : string; options : run_options }
   | Simulate of { app : string; options : run_options }
+  | Explore of {
+      app : string;
+      options : run_options;
+      explore : explore_options;
+    }
   | List_apps
   | Stats
   | Shutdown
@@ -69,6 +110,18 @@ val cmd_name : request -> string
 val flow_options : run_options -> Lp_core.Flow.options
 (** Service-side defaults ({!Lp_core.Flow.default_options}, [jobs = 1])
     with every present override applied. *)
+
+val explore_space :
+  run_options -> explore_options -> Lp_explore.Explore.space
+(** The space an [explore] request walks: present axis overrides win;
+    absent [f_values]/[max_cells_values] default to
+    {!Lp_explore.Explore.default_space}'s sweep, absent
+    [n_max_values]/[vdd_values] to the base option's single value. The
+    resource-set menu and system config come from [flow_options]. *)
+
+val explore_strategy :
+  explore_options -> (Lp_explore.Explore.Strategy.t, string) result
+(** Resolve the request's strategy string (default: grid). *)
 
 val prepare_program : run_options -> Lp_ir.Ast.program -> Lp_ir.Ast.program
 (** Apply the [optimize]/[unroll] IR preparation, as [lowpart run]

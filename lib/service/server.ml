@@ -33,6 +33,7 @@ let default_config =
 type counters = {
   mutable run : int;
   mutable simulate : int;
+  mutable explore : int;
   mutable list : int;
   mutable stats : int;
   mutable shutdown : int;
@@ -121,6 +122,37 @@ let compute request =
           let program = Protocol.prepare_program options (e.Apps.build ()) in
           let report = System.run ~config:opts.Flow.config program in
           Ok (J.of_string (Lp_report.Export.report_json report)))
+  | Protocol.Explore { app; options; explore } -> (
+      match find_app app with
+      | Error e -> Error e
+      | Ok e -> (
+          match Protocol.explore_strategy explore with
+          | Error msg -> Error ("bad_request", msg)
+          | Ok strategy ->
+              let base = Protocol.flow_options options in
+              let space = Protocol.explore_space options explore in
+              let program =
+                Protocol.prepare_program options (e.Apps.build ())
+              in
+              (* Checkpoints land next to the candidate cache, so a
+                 daemon restart resumes half-done explorations the same
+                 way it keeps its memoized candidates. Points evaluate
+                 sequentially inside the request ([jobs = 1], like
+                 [run]); the pool's width is spent across requests. *)
+              let journal_dir =
+                Option.map
+                  (fun d -> Filename.concat d "explore")
+                  (Memo.persist_dir ())
+              in
+              let r =
+                Lp_explore.Explore.run ~strategy
+                  ~seed:(Option.value explore.Protocol.seed ~default:0)
+                  ~jobs:1 ?journal_dir ~base ~space ~name:e.Apps.name program
+              in
+              (* Printed by the same Lp_json printer the CLI uses, so
+                 the payload is byte-identical to one element of
+                 `lowpart explore --json`. *)
+              Ok (Lp_explore.Explore.to_json r)))
   | Protocol.List_apps | Protocol.Stats | Protocol.Shutdown ->
       (* Cheap requests never reach the pool. *)
       assert false
@@ -143,6 +175,7 @@ let stats_payload t =
         [
           ("run", J.Int c.run);
           ("simulate", J.Int c.simulate);
+          ("explore", J.Int c.explore);
           ("list", J.Int c.list);
           ("stats", J.Int c.stats);
           ("shutdown", J.Int c.shutdown);
@@ -247,6 +280,9 @@ let handle_request t request =
       submit_and_wait t request
   | Protocol.Simulate _ ->
       counted t (fun c -> c.simulate <- c.simulate + 1);
+      submit_and_wait t request
+  | Protocol.Explore _ ->
+      counted t (fun c -> c.explore <- c.explore + 1);
       submit_and_wait t request
 
 let response_for t line =
@@ -353,6 +389,7 @@ let start cfg =
       {
         run = 0;
         simulate = 0;
+        explore = 0;
         list = 0;
         stats = 0;
         shutdown = 0;

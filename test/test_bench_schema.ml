@@ -3,8 +3,9 @@
    part of the repo's contract. Parses the committed file with Lp_json
    and asserts the keys and types the speed suite promises — including
    the "sim" co-simulation block and the "system-sim" stage row the
-   acceptance criteria reference. The "service" block is optional (the
-   serve suite merges it in separately). *)
+   acceptance criteria reference. The "service" and "explore" blocks
+   are optional (the serve and explore suites merge them in
+   separately). *)
 
 module Json = Lp_json
 
@@ -99,11 +100,43 @@ let test_schema () =
   ignore (num f_sweep "rest_hit_rate");
   (* service is merged in by the serve suite; when present it must be
      an object with its own schema tag. *)
-  match Json.member "service" doc with
+  (match Json.member "service" doc with
   | None -> ()
   | Some service ->
       Alcotest.(check string)
-        "service schema tag" "lowpart-bench-service/1" (str service "schema")
+        "service schema tag" "lowpart-bench-service/1" (str service "schema"));
+  (* explore is merged in by the explorer suite; when present it carries
+     per-app sweep latencies and strategy-efficiency counters. *)
+  match Json.member "explore" doc with
+  | None -> ()
+  | Some explore ->
+      Alcotest.(check string)
+        "explore schema tag" "lowpart-bench-explore/1" (str explore "schema");
+      Alcotest.(check bool) "explore points >= 1" true
+        (int_ explore "points" >= 1);
+      let apps = arr explore "apps" in
+      Alcotest.(check bool) "explore apps non-empty" true (apps <> []);
+      List.iter
+        (fun a ->
+          ignore (str a "app");
+          Alcotest.(check bool)
+            (str a "app" ^ " cold_points_per_s > 0")
+            true
+            (num a "cold_points_per_s" > 0.0);
+          Alcotest.(check bool)
+            (str a "app" ^ " warm misses counted")
+            true
+            (int_ a "warm_new_misses" >= 0);
+          let anneal = obj a "anneal" in
+          Alcotest.(check bool)
+            (str a "app" ^ " anneal evaluated >= 1")
+            true
+            (int_ anneal "evaluated" >= 1))
+        apps;
+      let totals = obj explore "totals" in
+      List.iter
+        (fun k -> ignore (num totals k))
+        [ "cold_s"; "warm_s"; "warm_speedup" ]
 
 let () =
   Alcotest.run "bench_schema"

@@ -170,6 +170,65 @@ let test_run_byte_identical () =
             "two runs counted" 2
             (stats_int stats "requests" "run")))
 
+let explore_options =
+  {
+    Protocol.strategy = Some "grid";
+    seed = Some 3;
+    f_values = Some [ 1.0; 8.0 ];
+    n_max_values = None;
+    max_cells_values = Some [ 8_000; 16_000 ];
+    vdd_values = None;
+  }
+
+let explore_request =
+  Protocol.Explore
+    { app; options = Protocol.no_options; explore = explore_options }
+
+let test_explore_request () =
+  (* The daemon's explore payload must be byte-identical to a local
+     exploration built through the same Protocol entry points — one
+     element of `lowpart explore --json`. *)
+  let expected =
+    let e = Option.get (Lp_apps.Apps.find app) in
+    let base = Protocol.flow_options Protocol.no_options in
+    let space = Protocol.explore_space Protocol.no_options explore_options in
+    let r =
+      Lp_explore.Explore.run ~seed:3 ~jobs:1 ~base ~space ~name:app
+        (e.Lp_apps.Apps.build ())
+    in
+    Lp_core.Memo.reset ();
+    J.to_string (Lp_explore.Explore.to_json r)
+  in
+  with_server (fun socket ->
+      with_client socket (fun c ->
+          let got = payload_string (Client.rpc c explore_request) in
+          Alcotest.(check string)
+            "wire payload equals local exploration" expected got;
+          let stats = Client.rpc c Protocol.Stats in
+          Alcotest.(check int)
+            "explore counted" 1
+            (stats_int stats "requests" "explore")));
+  (* The request survives its own encode/decode. *)
+  (match
+     Protocol.parse_request (Protocol.request_to_json explore_request)
+   with
+  | Ok req ->
+      Alcotest.(check bool) "request round-trips" true (req = explore_request)
+  | Error (code, msg) -> Alcotest.failf "round-trip failed: %s %s" code msg);
+  (* A typo'd strategy or a bad axis is rejected at the protocol edge. *)
+  List.iter
+    (fun line ->
+      match Protocol.parse_request (J.of_string line) with
+      | Error ("bad_request", _) -> ()
+      | Error (code, _) -> Alcotest.failf "expected bad_request, got %s" code
+      | Ok _ -> Alcotest.failf "%s should not parse" line)
+    [
+      {|{"cmd":"explore","app":"digs","explore":{"strategy":"grad"}}|};
+      {|{"cmd":"explore","app":"digs","explore":{"f_values":[]}}|};
+      {|{"cmd":"explore","app":"digs","explore":{"f_values":["x"]}}|};
+      {|{"cmd":"explore","app":"digs","explore":42}|};
+    ]
+
 let test_concurrent_clients () =
   with_server ~workers:2 (fun socket ->
       let expected = Lazy.force expected_run_payload in
@@ -311,6 +370,7 @@ let () =
         [
           Alcotest.test_case "run byte-identical" `Quick
             test_run_byte_identical;
+          Alcotest.test_case "explore request" `Quick test_explore_request;
           Alcotest.test_case "concurrent clients" `Quick
             test_concurrent_clients;
           Alcotest.test_case "overloaded" `Quick test_overloaded;
