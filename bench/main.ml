@@ -613,6 +613,26 @@ let rec speed ?(smoke = false) () =
   Printf.printf "  E3 F-sweep hit rate, 2nd..Nth points: %.1f%% (%s)\n"
     (100.0 *. rest_rate)
     (if rest_rate > 0.5 then "ok, > 50%" else "BELOW the 50% target");
+  (* Where one cold flow run spends its time, stage by stage: a single
+     sequential memo-cold digs16 run's [Flow.stage_times]. *)
+  let pipeline_stage_s =
+    Memo.reset ();
+    let r =
+      Flow.run
+        ~options:{ Flow.default_options with Flow.jobs = 1 }
+        ~name:"digs16"
+        (Lp_apps.Digs.program ~width:16 ())
+    in
+    Memo.reset ();
+    List.map
+      (fun (st, dt) -> (Flow.stage_name st, dt))
+      r.Flow.stage_times
+  in
+  Printf.printf "  cold flow by pipeline stage:%s\n"
+    (String.concat ""
+       (List.map
+          (fun (name, s) -> Printf.sprintf " %s %.2fms" name (1e3 *. s))
+          pipeline_stage_s));
   let json =
     j_obj
       [
@@ -641,6 +661,11 @@ let rec speed ?(smoke = false) () =
               ("memo_warm_s", j_float warm_s);
               ("parallel_speedup", j_float (seq_s /. par_s));
               ("memo_warm_speedup", j_float (seq_s /. warm_s));
+              ( "stages",
+                j_obj
+                  (List.map
+                     (fun (name, s) -> (name, j_float s))
+                     pipeline_stage_s) );
             ] );
         ( "cache",
           j_obj

@@ -111,8 +111,29 @@ let json_arg =
     & opt (some string) None
     & info [ "json" ] ~docv:"FILE"
         ~doc:
-          "Write results as JSON (the same payload the service answers) \
-           to $(docv); $(b,-) writes it to stdout instead of the tables.")
+          "Write results as JSON (the same payload the service answers; \
+           $(b,run) adds a $(i,stages) wall-time block) to $(docv); \
+           $(b,-) writes it to stdout instead of the tables.")
+
+let trace_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some "-") (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Emit one span-trace event per line (JSON, Chrome-trace-like \
+           ph/name/dom/ts fields) covering every flow stage to $(docv); \
+           plain $(b,--trace) writes the events to stderr.")
+
+let with_trace trace f =
+  match trace with
+  | None -> f ()
+  | Some dest ->
+      let sink =
+        if dest = "-" then Lp_trace.stderr_sink () else Lp_trace.file_sink dest
+      in
+      Lp_trace.set_sink (Some sink);
+      Fun.protect ~finally:Lp_trace.close f
 
 let run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole (e : Lp_apps.Apps.entry) =
   let config = { Lp_system.System.default_config with Lp_system.System.peephole } in
@@ -121,7 +142,8 @@ let run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole (e : Lp_apps.Apps.entry
 
 let run_cmd =
   let doc = "Run the partitioning flow and print the paper's tables." in
-  let run verbose names f n_max jobs detail json optimize unroll peephole =
+  let run verbose names f n_max jobs detail json trace optimize unroll
+      peephole =
     setup_logs verbose;
     match resolve_apps names with
     | Error msg ->
@@ -129,13 +151,18 @@ let run_cmd =
         exit 2
     | Ok entries ->
         let results =
-          List.map (run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole) entries
+          with_trace trace (fun () ->
+              List.map
+                (run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole)
+                entries)
         in
         (match json with
-        | Some "-" -> print_endline (Lp_report.Export.results_json results)
+        | Some "-" ->
+            print_endline (Lp_report.Export.results_json ~stages:true results)
         | Some path ->
             let oc = open_out path in
-            output_string oc (Lp_report.Export.results_json results);
+            output_string oc
+              (Lp_report.Export.results_json ~stages:true results);
             output_char oc '\n';
             close_out oc
         | None -> ());
@@ -159,7 +186,8 @@ let run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ verbose_arg $ apps_arg $ f_arg $ nmax_arg $ jobs_arg
-      $ detail_arg $ json_arg $ optimize_arg $ unroll_arg $ peephole_arg)
+      $ detail_arg $ json_arg $ trace_arg $ optimize_arg $ unroll_arg
+      $ peephole_arg)
 
 let app_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP")
@@ -381,7 +409,8 @@ let explore_cmd =
     "Search the partitioning design space and print the Pareto frontier \
      over (energy, ASIC cells, execution-time change)."
   in
-  let run verbose names strategy seed jobs journal json fvs nvs cvs vvs =
+  let run verbose names strategy seed jobs journal json trace fvs nvs cvs vvs
+      =
     setup_logs verbose;
     match resolve_apps names with
     | Error msg ->
@@ -405,10 +434,11 @@ let explore_cmd =
         (* One pool for all apps: domain spin-up is paid once and the
            memo stays warm across the whole sweep. *)
         let results =
-          if jobs > 1 then
-            Lp_parallel.Pool.with_pool ~domains:(jobs - 1) (fun p ->
-                List.map (explore (Some p)) entries)
-          else List.map (explore None) entries
+          with_trace trace (fun () ->
+              if jobs > 1 then
+                Lp_parallel.Pool.with_pool ~domains:(jobs - 1) (fun p ->
+                    List.map (explore (Some p)) entries)
+              else List.map (explore None) entries)
         in
         let json_payload () =
           Lp_json.to_string (Lp_json.List (List.map E.to_json results))
@@ -426,7 +456,7 @@ let explore_cmd =
   Cmd.v (Cmd.info "explore" ~doc)
     Term.(
       const run $ verbose_arg $ apps_arg $ strategy_arg $ seed_arg $ jobs_arg
-      $ journal_arg $ json_arg $ f_values_arg $ n_max_values_arg
+      $ journal_arg $ json_arg $ trace_arg $ f_values_arg $ n_max_values_arg
       $ max_cells_values_arg $ vdd_values_arg)
 
 (* --- the service: `lowpart serve` and `lowpart client` ------------- *)

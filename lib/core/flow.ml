@@ -78,9 +78,80 @@ type result = {
   energy_saving : float;
   time_change : float;
   total_cells : int;
+  stage_times : (stage * float) list;
+}
+
+and stage =
+  | Profile
+  | Cluster
+  | Preselect
+  | Simulate_initial
+  | Candidates
+  | Select
+  | Cores
+  | Simulate_partitioned
+  | Verify
+
+let all_stages =
+  [
+    Profile;
+    Cluster;
+    Preselect;
+    Simulate_initial;
+    Candidates;
+    Select;
+    Cores;
+    Simulate_partitioned;
+    Verify;
+  ]
+
+let stage_name = function
+  | Profile -> "profile"
+  | Cluster -> "cluster"
+  | Preselect -> "preselect"
+  | Simulate_initial -> "simulate_initial"
+  | Candidates -> "candidates"
+  | Select -> "select"
+  | Cores -> "cores"
+  | Simulate_partitioned -> "simulate_partitioned"
+  | Verify -> "verify"
+
+let stage_rank = function
+  | Profile -> 0
+  | Cluster -> 1
+  | Preselect -> 2
+  | Simulate_initial -> 3
+  | Candidates -> 4
+  | Select -> 5
+  | Cores -> 6
+  | Simulate_partitioned -> 7
+  | Verify -> 8
+
+let n_stages = List.length all_stages
+
+(* Stage artifacts: each pipeline stage consumes the artifacts of the
+   stages before it and produces exactly one of these records, so the
+   dataflow between stages is explicit in the types rather than in the
+   interleaving of one long function body. *)
+type profiled = { prof_counts : int array; prof_outputs : int list }
+type clustered = { clu_chain : Cluster.chain }
+
+type preselection = {
+  pre_state : Preselect.t;
+  pre_clusters : (Cluster.t * Preselect.estimate) list;
+}
+
+type evaluated = { cand_pairs : int; cand_kept : Candidate.t list }
+type selection = { sel_chosen : Candidate.t list }
+
+type packaging = {
+  pack_cores : core list;
+  pack_selected : selected list;
+  pack_tasks : System.asic_task list;
 }
 
 exception Verification_failed of string
+exception Cancelled of string
 
 let log = Logs.Src.create "lp.flow" ~doc:"low-power partitioning flow"
 
@@ -187,12 +258,35 @@ let verify_or_fail ~what expected got =
             "%s: outputs diverge (%d reference values, %d observed)" what
             (List.length expected) (List.length got)))
 
-let run ?(options = default_options) ?pool ~name program =
+let run ?(options = default_options) ?pool ?cancel ~name program =
+  (* Per-stage wall times, accumulated by canonical stage rank ([Verify]
+     runs twice — after each simulation — and accumulates). Durations
+     come from [Lp_trace.timed_span], i.e. from the same clock samples
+     stamped into the trace events, so a trace consumer reproduces
+     [stage_times] exactly. *)
+  let times = Array.make n_stages 0.0 in
+  let stage st f =
+    (match cancel with
+    | Some c when Lp_parallel.Cancel.fired c -> raise (Cancelled (stage_name st))
+    | Some _ | None -> ());
+    match Lp_trace.timed_span ("flow." ^ stage_name st) f with
+    | v, dt ->
+        times.(stage_rank st) <- times.(stage_rank st) +. dt;
+        v
+    | exception Lp_parallel.Cancel.Cancelled -> raise (Cancelled (stage_name st))
+  in
+  let check_cancel () =
+    match cancel with
+    | Some c -> Lp_parallel.Cancel.check c
+    | None -> ()
+  in
   (* The initial ("I") simulation is pure in (program, config) and is
      memoized whole; on a cold key it is launched first so it overlaps
      with profiling, decomposition and pre-selection — on the injected
      pool when one is given, else on a scratch domain when [jobs]
-     allows. *)
+     allows. The [Simulate_initial] stage below therefore measures the
+     caller's {e wait} for the overlapped simulation, not necessarily
+     its full duration. *)
   let init_key = Memo.initial_fingerprint ~config:options.config program in
   let initial_cached = Memo.find_initial init_key in
   let initial_sim () = System.run ~config:options.config program in
@@ -205,30 +299,44 @@ let run ?(options = default_options) ?pool ~name program =
         else `Inline
   in
   (* Steps 1-2: profile and decompose. *)
-  let interp = Lp_ir.Interp.run program in
-  let profile = interp.Lp_ir.Interp.profile in
-  let chain = Cluster.decompose program in
+  let { prof_counts = profile; prof_outputs = reference_outputs } =
+    stage Profile (fun () ->
+        let interp = Lp_ir.Interp.run program in
+        {
+          prof_counts = interp.Lp_ir.Interp.profile;
+          prof_outputs = interp.Lp_ir.Interp.outputs;
+        })
+  in
+  let { clu_chain = chain } =
+    stage Cluster (fun () -> { clu_chain = Cluster.decompose program })
+  in
   Log.debug (fun m -> m "%s: %d clusters" name (List.length chain));
   (* Steps 3-5: transfer estimation and pre-selection. *)
-  let pre = Preselect.create program chain in
-  let preselected = Preselect.pre_select pre ~profile ~n_max:options.n_max in
+  let { pre_state = pre; pre_clusters = preselected } =
+    stage Preselect (fun () ->
+        let pre = Preselect.create program chain in
+        {
+          pre_state = pre;
+          pre_clusters = Preselect.pre_select pre ~profile ~n_max:options.n_max;
+        })
+  in
   (* Initial design simulation (the "I" rows of Table 1). *)
   let initial =
-    match initial_job with
-    | `Done r -> r
-    | `Future f -> Lp_parallel.Pool.await f
-    | `Domain d -> Domain.join d
-    | `Inline -> initial_sim ()
+    stage Simulate_initial (fun () ->
+        let initial =
+          match initial_job with
+          | `Done r -> r
+          | `Future f -> Lp_parallel.Pool.await f
+          | `Domain d -> Domain.join d
+          | `Inline -> initial_sim ()
+        in
+        if initial_cached = None then Memo.store_initial init_key initial;
+        initial)
   in
-  if initial_cached = None then Memo.store_initial init_key initial;
-  if options.verify_outputs then
-    verify_or_fail ~what:(name ^ " initial")
-      interp.Lp_ir.Interp.outputs initial.System.outputs;
-  let e0_j = System.total_energy_j initial in
-  let energy_per_up_cycle =
-    if initial.System.up_cycles = 0 then 0.0
-    else initial.System.up_j /. float_of_int initial.System.up_cycles
-  in
+  stage Verify (fun () ->
+      if options.verify_outputs then
+        verify_or_fail ~what:(name ^ " initial")
+          reference_outputs initial.System.outputs);
   (* Steps 6-12: evaluate every surviving cluster on every set. Each
      (cluster × resource set) pair is independent, so the fan-out runs
      on a worker pool when [options.jobs > 1]; results come back in
@@ -237,43 +345,66 @@ let run ?(options = default_options) ?pool ~name program =
      repeated flow runs — ablation sweeps over F, N_max, voltage, the
      system config — re-use every schedule/bind/netlist whose inputs
      did not change. *)
-  let pairs =
-    Array.of_list
-      (List.concat_map
-         (fun ((cluster : Cluster.t), (est : Preselect.estimate)) ->
-           List.map (fun rset -> (cluster, est, rset)) options.resource_sets)
-         preselected)
-  in
-  let eval ((cluster : Cluster.t), (est : Preselect.estimate), rset) =
-    Memo.evaluate ~scheduler:options.scheduler ~profile
-      ~e_trans_j:est.Preselect.energy_j cluster rset
-  in
-  let evaluated =
-    match pool with
-    | Some pool -> Lp_parallel.Pool.map pool eval pairs
-    | None ->
-        if options.jobs <= 1 || Array.length pairs < options.pool_threshold then
-          Array.map eval pairs
-        else
-          Lp_parallel.Pool.with_pool ~domains:(options.jobs - 1) (fun pool ->
-              Lp_parallel.Pool.map pool eval pairs)
-  in
-  let candidates =
-    Array.to_list evaluated
-    |> List.filter_map (function
-         | Some c
-           when Candidate.beats_up c && c.Candidate.cells <= options.max_cells
-           ->
-             Some c
-         | Some _ | None -> None)
+  let { cand_pairs = _; cand_kept = candidates } =
+    stage Candidates (fun () ->
+        let pairs =
+          Array.of_list
+            (List.concat_map
+               (fun ((cluster : Cluster.t), (est : Preselect.estimate)) ->
+                 List.map (fun rset -> (cluster, est, rset)) options.resource_sets)
+               preselected)
+        in
+        Lp_trace.counter "flow.candidates.pairs" (Array.length pairs);
+        let eval ((cluster : Cluster.t), (est : Preselect.estimate), rset) =
+          (* The fan-out is where a large flow spends its time, so the
+             token is also polled per evaluation on the sequential
+             path (the pool polls it per chunk). *)
+          check_cancel ();
+          Memo.evaluate ~scheduler:options.scheduler ~profile
+            ~e_trans_j:est.Preselect.energy_j cluster rset
+        in
+        let evaluated =
+          match pool with
+          | Some pool -> Lp_parallel.Pool.map ?cancel pool eval pairs
+          | None ->
+              if
+                options.jobs <= 1
+                || Array.length pairs < options.pool_threshold
+              then Array.map eval pairs
+              else
+                Lp_parallel.Pool.with_pool ~domains:(options.jobs - 1)
+                  (fun pool -> Lp_parallel.Pool.map ?cancel pool eval pairs)
+        in
+        let kept =
+          Array.to_list evaluated
+          |> List.filter_map (function
+               | Some c
+                 when Candidate.beats_up c
+                      && c.Candidate.cells <= options.max_cells ->
+                   Some c
+               | Some _ | None -> None)
+        in
+        { cand_pairs = Array.length pairs; cand_kept = kept })
   in
   (* Step 13: objective function, greedy partition selection. *)
-  let chosen =
-    select_candidates options ~e0_j ~energy_per_up_cycle ~pre candidates
+  let { sel_chosen = chosen } =
+    stage Select (fun () ->
+        let e0_j = System.total_energy_j initial in
+        let energy_per_up_cycle =
+          if initial.System.up_cycles = 0 then 0.0
+          else initial.System.up_j /. float_of_int initial.System.up_cycles
+        in
+        {
+          sel_chosen =
+            select_candidates options ~e0_j ~energy_per_up_cycle ~pre
+              candidates;
+        })
   in
   let selected_cids =
     List.map (fun c -> c.Candidate.cluster.Cluster.cid) chosen
   in
+  let { pack_cores = cores; pack_selected = selected; pack_tasks = tasks } =
+    stage Cores (fun () ->
   (* One gen/use computation per cluster, shared by the privacy
      analysis, the live-out filtering and the task packaging below
      (previously recomputed at every use site, O(clusters²) overall). *)
@@ -456,13 +587,17 @@ let run ?(options = default_options) ?pool ~name program =
         })
       selected
   in
-  let partitioned =
-    if tasks = [] then initial
-    else System.run ~config:options.config ~tasks program
+  { pack_cores = cores; pack_selected = selected; pack_tasks = tasks })
   in
-  if options.verify_outputs then
-    verify_or_fail ~what:(name ^ " partitioned")
-      interp.Lp_ir.Interp.outputs partitioned.System.outputs;
+  let partitioned =
+    stage Simulate_partitioned (fun () ->
+        if tasks = [] then initial
+        else System.run ~config:options.config ~tasks program)
+  in
+  stage Verify (fun () ->
+      if options.verify_outputs then
+        verify_or_fail ~what:(name ^ " partitioned")
+          reference_outputs partitioned.System.outputs);
   let e_i = System.total_energy_j initial in
   let e_p = System.total_energy_j partitioned in
   let t_i = System.total_cycles initial in
@@ -482,6 +617,7 @@ let run ?(options = default_options) ?pool ~name program =
     time_change =
       (if t_i > 0 then float_of_int (t_p - t_i) /. float_of_int t_i else 0.0);
     total_cells = List.fold_left (fun acc c -> acc + c.core_cells) 0 cores;
+    stage_times = List.map (fun st -> (st, times.(stage_rank st))) all_stages;
   }
 
 let core_verilog r core =

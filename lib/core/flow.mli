@@ -92,6 +92,65 @@ type result = {
   energy_saving : float;  (** (E_I - E_P) / E_I *)
   time_change : float;  (** (T_P - T_I) / T_I; negative = faster *)
   total_cells : int;
+  stage_times : (stage * float) list;
+      (** wall seconds per pipeline stage, one entry per member of
+          {!all_stages} in that order. [Verify] accumulates both
+          verification passes; [Simulate_initial] measures the
+          caller's wait for the (possibly overlapped or memoized)
+          initial simulation. *)
+}
+
+(** The named stages of {!run}, in pipeline order (see {!all_stages}).
+    Each stage is wrapped in an {!Lp_trace} span named
+    ["flow." ^ stage_name] and billed into {!field-result.stage_times}. *)
+and stage =
+  | Profile  (** reference interpretation: profile + expected outputs *)
+  | Cluster  (** decompose the program into the cluster chain (1–2) *)
+  | Preselect  (** transfer-energy estimation + pre-selection (3–5) *)
+  | Simulate_initial  (** the "I" system co-simulation (memoized) *)
+  | Candidates  (** (cluster × resource set) evaluation fan-out (6–12) *)
+  | Select  (** objective function, greedy partition choice (13) *)
+  | Cores  (** core grouping, binding, netlists, task packaging (14–15) *)
+  | Simulate_partitioned  (** the "P" system co-simulation *)
+  | Verify  (** output equivalence against the reference (twice) *)
+
+val all_stages : stage list
+(** Every stage, in execution order. *)
+
+val stage_name : stage -> string
+(** Stable lowercase identifier (["profile"], ["simulate_initial"],
+    …) used in trace span names, JSON exports and service stats. *)
+
+(** {2 Stage artifacts}
+
+    What each stage produces; the explicit hand-off records between
+    pipeline stages. *)
+
+type profiled = {
+  prof_counts : int array;  (** per-statement execution counts *)
+  prof_outputs : int list;  (** the reference observable outputs *)
+}
+
+type clustered = { clu_chain : Lp_cluster.Cluster.chain }
+
+type preselection = {
+  pre_state : Lp_preselect.Preselect.t;
+      (** transfer-energy estimator, reused by selection synergy *)
+  pre_clusters :
+    (Lp_cluster.Cluster.t * Lp_preselect.Preselect.estimate) list;
+}
+
+type evaluated = {
+  cand_pairs : int;  (** size of the (cluster × resource set) fan-out *)
+  cand_kept : Candidate.t list;  (** evaluations that beat the uP *)
+}
+
+type selection = { sel_chosen : Candidate.t list }
+
+type packaging = {
+  pack_cores : core list;
+  pack_selected : selected list;
+  pack_tasks : Lp_system.System.asic_task list;
 }
 
 val core_verilog : result -> core -> string
@@ -99,9 +158,14 @@ val core_verilog : result -> core -> string
 
 exception Verification_failed of string
 
+exception Cancelled of string
+(** The [?cancel] token fired; the payload is the {!stage_name} of the
+    stage that was about to run (or running) when the flow stopped. *)
+
 val run :
   ?options:options ->
   ?pool:Lp_parallel.Pool.t ->
+  ?cancel:Lp_parallel.Cancel.t ->
   name:string ->
   Lp_ir.Ast.program ->
   result
@@ -114,6 +178,13 @@ val run :
     spaces run sequentially. The initial ("I") simulation is memoized
     via {!Memo.find_initial} keyed on program × system config, and on
     a cold key runs concurrently with profiling and pre-selection.
+
+    With [?cancel], the token is polled at every stage boundary and
+    per candidate evaluation (per pool chunk when parallel); a fired
+    token aborts the flow at the next checkpoint with {!Cancelled},
+    leaving any injected pool and the memo fully usable. The two
+    system co-simulations are the only long uninterruptible sections.
+    @raise Cancelled when [cancel] fires mid-flow.
     @raise Verification_failed when the partitioned system's outputs
     diverge from the reference (with [verify_outputs]). *)
 

@@ -578,8 +578,9 @@ type result = {
   journal_hits : int;
 }
 
-let run ?(strategy = Strategy.grid) ?(seed = 0) ?jobs ?pool ?journal_dir
-    ?(base = Flow.default_options) ?(space = default_space) ~name program =
+let run ?(strategy = Strategy.grid) ?(seed = 0) ?jobs ?pool ?cancel
+    ?journal_dir ?(base = Flow.default_options) ?(space = default_space)
+    ~name program =
   validate_space space;
   let jobs =
     match jobs with Some j -> max 1 j | None -> base.Flow.jobs
@@ -597,9 +598,16 @@ let run ?(strategy = Strategy.grid) ?(seed = 0) ?jobs ?pool ?journal_dir
      across the batch (Pool.map over points), never inside a point:
      a task that blocked on futures of its own pool could deadlock the
      workers, and cross-point fan-out saturates the domains anyway. *)
-  let eval (p : point) =
+  (* Each point journals itself the moment it completes — from inside
+     the pool task, not after the whole batch — so a cancellation (or
+     crash) mid-batch keeps every finished evaluation for the next,
+     resumed, exploration. Keys within a batch are unique (deduped
+     below), so concurrent stores never race on one file. *)
+  let eval ((p : point), key) =
     let options = { (options_of_point ~base space p) with Flow.jobs = 1 } in
-    metrics_of_result (Flow.run ~options ~name program)
+    let m = metrics_of_result (Flow.run ~options ?cancel ~name program) in
+    Option.iter (fun j -> journal_store j key (p, m)) journal;
+    m
   in
   let run_batch pool_opt batch =
     let resolved =
@@ -630,14 +638,12 @@ let run ?(strategy = Strategy.grid) ?(seed = 0) ?jobs ?pool ?journal_dir
     in
     let results =
       match pool_opt with
-      | Some pool -> Pool.map pool (fun (p, _) -> eval p) cold
-      | None -> Array.map (fun (p, _) -> eval p) cold
+      | Some pool -> Pool.map ?cancel pool eval cold
+      | None -> Array.map eval cold
     in
     let computed = Hashtbl.create 16 in
     Array.iteri
-      (fun i (p, key) ->
-        Option.iter (fun j -> journal_store j key (p, results.(i))) journal;
-        Hashtbl.replace computed key results.(i))
+      (fun i (_, key) -> Hashtbl.replace computed key results.(i))
       cold;
     evaluated := !evaluated + Array.length cold;
     List.map
@@ -652,10 +658,14 @@ let run ?(strategy = Strategy.grid) ?(seed = 0) ?jobs ?pool ?journal_dir
   in
   let explore pool_opt =
     let rec loop () =
+      Option.iter Lp_parallel.Cancel.check cancel;
       match stepper.propose () with
       | [] -> ()
       | batch ->
-          let outcomes = run_batch pool_opt batch in
+          let outcomes =
+            Lp_trace.with_span "explore.batch" (fun () ->
+                run_batch pool_opt batch)
+          in
           Log.debug (fun m ->
               m "%s: batch of %d (%d fresh, %d from journal so far)" name
                 (List.length batch) !evaluated !journal_hits);

@@ -167,6 +167,7 @@ val run :
   ?seed:int ->
   ?jobs:int ->
   ?pool:Lp_parallel.Pool.t ->
+  ?cancel:Lp_parallel.Cancel.t ->
   ?journal_dir:string ->
   ?base:Lp_core.Flow.options ->
   ?space:space ->
@@ -180,7 +181,16 @@ val run :
     [Flow.run ~options:(options_of_point ~base space point)]. [?base]
     (default {!Lp_core.Flow.default_options}) supplies every field the
     space does not span. With [?journal_dir] completed points are
-    checkpointed and replayed (see above).
+    checkpointed and replayed (see above); each point is journaled the
+    moment it completes, so an aborted exploration keeps everything it
+    finished.
+
+    With [?cancel], the token is polled between batches, between pool
+    chunks and inside every point's flow stages; a fired token aborts
+    with {!Lp_parallel.Cancel.Cancelled} (or the in-flight point's
+    [Flow.Cancelled]), leaving the pool, the memo and the journal
+    consistent — a resumed run replays every completed point from the
+    journal.
     @raise Invalid_argument on an empty axis. *)
 
 val to_json : result -> Lp_json.t

@@ -1,0 +1,8 @@
+type t = bool Atomic.t
+
+exception Cancelled
+
+let create () = Atomic.make false
+let fire t = Atomic.set t true
+let fired t = Atomic.get t
+let check t = if Atomic.get t then raise Cancelled

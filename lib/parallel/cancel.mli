@@ -1,0 +1,33 @@
+(** Cooperative cancellation tokens.
+
+    A token is a one-way latch: once {!fire}d it stays fired. Work that
+    accepts a token polls it at its own safe points — {!Pool.map}
+    checks between chunks, [Flow.run] between pipeline stages,
+    [Explore.run] between points — and aborts by raising {!Cancelled}.
+    Firing never interrupts a computation mid-instruction; it only
+    promises that the holder will stop at its next checkpoint, leaving
+    shared structures (the pool, the memo, journals) consistent and
+    reusable.
+
+    Tokens are a plain atomic flag: firing is safe from any domain or
+    thread (a signal handler included), and polling is one atomic
+    load. *)
+
+type t
+(** A cancellation token. *)
+
+exception Cancelled
+(** Raised by {!check} (and by token-accepting operations such as
+    [Pool.map ~cancel]) when the token has been fired. *)
+
+val create : unit -> t
+(** A fresh, unfired token. *)
+
+val fire : t -> unit
+(** Latch the token. Idempotent; never blocks. *)
+
+val fired : t -> bool
+(** Non-raising poll. *)
+
+val check : t -> unit
+(** @raise Cancelled if the token has been fired. *)

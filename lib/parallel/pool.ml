@@ -69,10 +69,17 @@ let with_pool ?domains f =
 (* One in-flight [map]. Results land in per-index slots, so ordering is
    deterministic by construction; completion and failure are tracked
    under a private lock so concurrent maps on one pool don't interfere. *)
-let map t f input =
+let check_cancel = function Some c -> Cancel.check c | None -> ()
+
+let map ?cancel t f input =
   let n = Array.length input in
   if n = 0 then [||]
-  else if size t = 0 || n = 1 then Array.map f input
+  else if size t = 0 || n = 1 then
+    Array.map
+      (fun x ->
+        check_cancel cancel;
+        f x)
+      input
   else begin
     let out = Array.make n None in
     (* Aim for several chunks per runner so a slow chunk can't leave the
@@ -85,6 +92,10 @@ let map t f input =
     let failure = ref None in
     let run_chunk ci =
       (try
+         (* Cancellation is polled once per chunk: a fired token makes
+            the remaining chunks fail fast (cheaply) while in-flight
+            elements finish, so the pool drains and stays reusable. *)
+         check_cancel cancel;
          let lo = ci * chunk and hi = min n ((ci + 1) * chunk) in
          for i = lo to hi - 1 do
            out.(i) <- Some (f input.(i))
@@ -138,7 +149,7 @@ let map t f input =
     Array.map (function Some v -> v | None -> assert false) out
   end
 
-let map_list t f l = Array.to_list (map t f (Array.of_list l))
+let map_list ?cancel t f l = Array.to_list (map ?cancel t f (Array.of_list l))
 
 (* --- single-task submission --------------------------------------- *)
 
@@ -153,11 +164,17 @@ type 'a future = {
   mutable state : 'a state;
 }
 
-let submit t f =
+let submit ?cancel t f =
   let fut = { fm = Mutex.create (); fc = Condition.create (); state = Pending } in
   let run () =
     let outcome =
-      match f () with
+      (* A task whose token fired while it was still queued never
+         starts: it resolves [Failed Cancelled] immediately, freeing
+         the worker for live work. *)
+      match
+        check_cancel cancel;
+        f ()
+      with
       | v -> Resolved v
       | exception e -> Failed (e, Printexc.get_raw_backtrace ())
     in
@@ -198,3 +215,41 @@ let await fut =
   | Resolved v -> v
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
   | Pending -> assert false
+
+(* Timed wait. The stdlib [Condition] has no timed variant, so the
+   deadline is delegated to a short-lived waker thread that broadcasts
+   the future's condition once the deadline passes; the waiter itself
+   sits in a plain condition-variable loop. Resolution therefore wakes
+   the waiter immediately (the resolving worker broadcasts), and the
+   timeout path is bounded by the waker's 200 ms poll granularity —
+   which only runs while the wait is actually outstanding. *)
+let await_until fut ~deadline =
+  Mutex.lock fut.fm;
+  if pending fut.state && Unix.gettimeofday () < deadline then begin
+    let waker =
+      Thread.create
+        (fun () ->
+          let rec sleep () =
+            let remaining = deadline -. Unix.gettimeofday () in
+            if remaining > 0.0 && not (is_resolved fut) then begin
+              Thread.delay (Float.min remaining 0.2);
+              sleep ()
+            end
+          in
+          sleep ();
+          Mutex.lock fut.fm;
+          Condition.broadcast fut.fc;
+          Mutex.unlock fut.fm)
+        ()
+    in
+    ignore waker;
+    while pending fut.state && Unix.gettimeofday () < deadline do
+      Condition.wait fut.fc fut.fm
+    done
+  end;
+  let state = fut.state in
+  Mutex.unlock fut.fm;
+  match state with
+  | Resolved v -> Some v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Pending -> None

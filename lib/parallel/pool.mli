@@ -30,12 +30,17 @@ val create : ?domains:int -> unit -> t
 val size : t -> int
 (** Number of worker domains (excluding the participating caller). *)
 
-val map : t -> ('a -> 'b) -> 'a array -> 'b array
+val map : ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map] with deterministic result ordering. Safe to
     call from several domains at once and reentrantly from inside a
-    task. @raise Invalid_argument if the pool has been shut down. *)
+    task. With [~cancel], the token is polled once per chunk (per
+    element on the sequential path): chunks that start after the token
+    fires fail fast, the map drains, and {!Cancel.Cancelled} is
+    re-raised in the caller — the pool itself stays fully usable.
+    @raise Cancel.Cancelled if [cancel] fired while mapping.
+    @raise Invalid_argument if the pool has been shut down. *)
 
-val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+val map_list : ?cancel:Cancel.t -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** {!map} over lists, preserving order. *)
 
 val shutdown : t -> unit
@@ -55,11 +60,13 @@ val with_pool : ?domains:int -> (t -> 'a) -> 'a
 
 type 'a future
 
-val submit : t -> (unit -> 'a) -> 'a future
+val submit : ?cancel:Cancel.t -> t -> (unit -> 'a) -> 'a future
 (** Enqueue one task. On a worker-less pool the task runs inline in
     the caller before [submit] returns (there is nobody else to run
     it). A task exception is captured into the future, never kills a
-    worker, and re-raises in {!await}.
+    worker, and re-raises in {!await}. With [~cancel], a task whose
+    token fired while it was still queued resolves
+    [Failed Cancel.Cancelled] without running at all.
     @raise Invalid_argument if the pool has been shut down. *)
 
 val is_resolved : 'a future -> bool
@@ -69,3 +76,14 @@ val is_resolved : 'a future -> bool
 val await : 'a future -> 'a
 (** Block until the task finishes; re-raises its exception (with the
     worker's backtrace). Safe to call from several threads. *)
+
+val await_until : 'a future -> deadline:float -> 'a option
+(** [await_until fut ~deadline] blocks in a condition-variable loop
+    until the task finishes or [Unix.gettimeofday] passes [deadline]
+    (an absolute time). Returns [Some v] on completion, [None] on
+    timeout — the task itself keeps running; pair the wait with a
+    {!Cancel.t} to actually stop it. Resolution wakes the waiter
+    immediately; the timeout wake-up is delivered by a short-lived
+    helper thread with 200 ms granularity. Re-raises the task's
+    exception like {!await}. Safe to call from several threads, and
+    repeatedly on the same future. *)

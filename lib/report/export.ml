@@ -60,9 +60,15 @@ let core_json (c : Flow.core) =
              c.Flow.core_instances) );
     ]
 
-let result_json (r : Flow.result) =
+let stages_json (r : Flow.result) =
   j_obj
-    [
+    (List.map
+       (fun (st, dt) -> (Flow.stage_name st, j_float dt))
+       r.Flow.stage_times)
+
+let result_json ?(stages = false) (r : Flow.result) =
+  j_obj
+    ([
       ("app", j_str r.Flow.name);
       ("energy_saving", j_float r.Flow.energy_saving);
       ("time_change", j_float r.Flow.time_change);
@@ -82,8 +88,9 @@ let result_json (r : Flow.result) =
       ("partitioned", report_json r.Flow.partitioned);
       ("cores", j_arr (List.map core_json r.Flow.cores));
     ]
+    @ if stages then [ ("stages", stages_json r) ] else [])
 
-let results_json rs = j_arr (List.map result_json rs)
+let results_json ?stages rs = j_arr (List.map (result_json ?stages) rs)
 
 let dfg_dot dfg =
   Lp_graph.Dot.render ~name:"dfg"

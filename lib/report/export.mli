@@ -5,12 +5,22 @@ val report_json : Lp_system.System.report -> string
 (** One system-simulation report (per-core energies, cycle counts) as a
     JSON object — the payload of the service's [simulate] response. *)
 
-val result_json : Lp_core.Flow.result -> string
+val result_json : ?stages:bool -> Lp_core.Flow.result -> string
 (** One application's result as a JSON object: per-core energy
     breakdown of both designs, cycle counts, savings, selected
-    clusters, synthesised cores. Self-contained (no external schema). *)
+    clusters, synthesised cores. Self-contained (no external schema).
+    With [~stages:true], a trailing ["stages"] object carries the
+    per-pipeline-stage wall seconds of [Flow.stage_times] (keyed by
+    [Flow.stage_name]); the default output is byte-identical to what
+    it was before stage timing existed — wall times are
+    non-deterministic, and the service's [run] payload is contractually
+    byte-identical to this function's default output. *)
 
-val results_json : Lp_core.Flow.result list -> string
+val stages_json : Lp_core.Flow.result -> string
+(** Just the ["stages"] object: per-stage wall seconds, one key per
+    [Flow.all_stages] member in order. *)
+
+val results_json : ?stages:bool -> Lp_core.Flow.result list -> string
 (** A JSON array of {!result_json} objects. *)
 
 val dfg_dot : Lp_ir.Dfg.t -> string

@@ -56,11 +56,15 @@
     {!Lp_explore.Explore.to_json} — one element of
     [lowpart explore --json]; [list] an array of
     [{"name", "description"}]; [stats] server counters plus the memo
-    tiers; [shutdown] [{"stopping": true}]. Error codes: [parse],
-    [bad_request], [unknown_cmd], [unknown_app], [overloaded],
-    [timeout], [failed]. A failing request always produces an [ok:
-    false] envelope — never a dropped connection, never a dead
-    daemon. *)
+    tiers and cumulative per-stage flow times; [shutdown]
+    [{"stopping": true}]. Error codes: [parse], [bad_request],
+    [unknown_cmd], [unknown_app], [overloaded], [timeout] (the
+    deadline fired — the request was cancelled and its worker freed),
+    [cancelled] (the flow was cancelled mid-run; the message names the
+    active stage when known), [verification_failed] (the partitioned
+    design's outputs diverged from the reference), [failed]. A failing
+    request always produces an [ok: false] envelope — never a dropped
+    connection, never a dead daemon. *)
 
 type run_options = {
   f : float option;

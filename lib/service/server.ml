@@ -49,8 +49,11 @@ type t = {
   pool : Pool.t;
   stop : bool Atomic.t;
   started_at : float;
-  m : Mutex.t;  (** guards [c] and [threads] *)
+  m : Mutex.t;  (** guards [c], [threads] and [stage_totals] *)
   c : counters;
+  stage_totals : float array;
+      (** cumulative wall seconds per flow stage (by [Flow.stage_rank]
+          order of {!Flow.all_stages}) over completed [run] requests *)
   mutable threads : Thread.t list;
 }
 
@@ -99,9 +102,21 @@ let find_app name =
           Printf.sprintf "unknown application %S (try: %s)" name
             (String.concat ", " Apps.names) )
 
+(* Stage-time accounting: every completed [run] folds its
+   [Flow.stage_times] into the server-wide totals surfaced by
+   [stats]. *)
+let record_stages t stage_times =
+  Mutex.lock t.m;
+  List.iteri
+    (fun i (_, dt) -> t.stage_totals.(i) <- t.stage_totals.(i) +. dt)
+    stage_times;
+  Mutex.unlock t.m
+
 (* The compute body of a [run]/[simulate] request; runs on a pool
-   worker domain. Returns the response payload as JSON. *)
-let compute request =
+   worker domain. Returns the response payload as JSON. [cancel] is
+   the request's own token — fired by the waiter at the deadline — and
+   reaches every stage/chunk/point boundary of the flow underneath. *)
+let compute t ~cancel request =
   match request with
   | Protocol.Run { app; options } -> (
       match find_app app with
@@ -109,7 +124,8 @@ let compute request =
       | Ok e ->
           let opts = Protocol.flow_options options in
           let program = Protocol.prepare_program options (e.Apps.build ()) in
-          let r = Flow.run ~options:opts ~name:e.Apps.name program in
+          let r = Flow.run ~options:opts ~cancel ~name:e.Apps.name program in
+          record_stages t r.Flow.stage_times;
           (* Parsing our own export keeps the response payload
              byte-identical to `lowpart run --json` after the client
              re-prints it (Lp_json round-trip stability). *)
@@ -147,7 +163,8 @@ let compute request =
               let r =
                 Lp_explore.Explore.run ~strategy
                   ~seed:(Option.value explore.Protocol.seed ~default:0)
-                  ~jobs:1 ?journal_dir ~base ~space ~name:e.Apps.name program
+                  ~jobs:1 ~cancel ?journal_dir ~base ~space
+                  ~name:e.Apps.name program
               in
               (* Printed by the same Lp_json printer the CLI uses, so
                  the payload is byte-identical to one element of
@@ -207,13 +224,37 @@ let stats_payload t =
         match Memo.persist_dir () with
         | Some d -> J.String d
         | None -> J.Null );
+      ( "stages",
+        J.Assoc
+          (Mutex.protect t.m (fun () ->
+               List.mapi
+                 (fun i st ->
+                   (Flow.stage_name st, J.Float t.stage_totals.(i)))
+                 Flow.all_stages)) );
     ]
 
-(* Submit to the pool and wait, with a deadline. [Pool]'s futures have
-   no timed wait (stdlib [Condition] cannot), so the deadline is an
-   [is_resolved] poll — 5..50 ms granularity, far below any flow run.
-   On timeout the worker finishes (and warms the cache) anyway; only
-   the response is abandoned. *)
+(* Exception → structured error envelope. Cancellation and output
+   verification get their own codes (with the active flow stage echoed
+   when known) so clients can tell "your deadline fired" and "the
+   partition is wrong" from a generic failure. *)
+let error_of_exn ~cmd e =
+  match e with
+  | Flow.Cancelled stage ->
+      ( "cancelled",
+        Printf.sprintf "%s: cancelled during stage %S" cmd stage )
+  | Lp_parallel.Cancel.Cancelled ->
+      ("cancelled", Printf.sprintf "%s: cancelled" cmd)
+  | Flow.Verification_failed msg ->
+      ("verification_failed", Printf.sprintf "%s: %s" cmd msg)
+  | e -> ("failed", Printf.sprintf "%s: %s" cmd (Printexc.to_string e))
+
+(* Submit to the pool and wait under the request deadline with
+   [Pool.await_until] (a real condition-variable wait: resolution wakes
+   us immediately). Each request carries its own [Cancel] token; when
+   the deadline passes, the token is fired before answering [timeout],
+   so the flow aborts at its next stage/chunk/point boundary and the
+   worker domain is actually freed — a blown deadline no longer burns
+   a domain to the end of the run. *)
 let submit_and_wait t request =
   let admitted =
     counted t (fun c ->
@@ -229,38 +270,36 @@ let submit_and_wait t request =
         Printf.sprintf "request queue is full (%d in flight)"
           t.cfg.queue_bound )
   else begin
+    let cancel = Lp_parallel.Cancel.create () in
     let fut =
       Pool.submit t.pool (fun () ->
           Fun.protect
             ~finally:(fun () -> counted t (fun c -> c.pending <- c.pending - 1))
-            (fun () -> compute request))
+            (fun () ->
+              (* A request whose token fired while still queued never
+                 starts computing (the admission slot is still released
+                 by the [finally] above). *)
+              Lp_parallel.Cancel.check cancel;
+              compute t ~cancel request))
     in
     let deadline =
       if t.cfg.timeout_s > 0.0 then Unix.gettimeofday () +. t.cfg.timeout_s
       else infinity
     in
-    let rec wait sleep_s =
-      if Pool.is_resolved fut then
-        match Pool.await fut with
-        | payload -> payload
-        | exception e ->
-            Error
-              ( "failed",
-                Printf.sprintf "%s: %s"
-                  (Protocol.cmd_name request)
-                  (Printexc.to_string e) )
-      else if Unix.gettimeofday () > deadline then
+    match
+      if deadline = infinity then Some (Pool.await fut)
+      else Pool.await_until fut ~deadline
+    with
+    | Some payload -> payload
+    | None ->
+        Lp_parallel.Cancel.fire cancel;
         Error
           ( "timeout",
-            Printf.sprintf "no result within %.0f s (the evaluation keeps \
-                            running and will warm the cache)"
+            Printf.sprintf
+              "no result within %.0f s (the request was cancelled and its \
+               worker freed; completed work stayed in the cache)"
               t.cfg.timeout_s )
-      else begin
-        Thread.delay sleep_s;
-        wait (Float.min 0.05 (sleep_s *. 2.0))
-      end
-    in
-    wait 0.005
+    | exception e -> Error (error_of_exn ~cmd:(Protocol.cmd_name request) e)
   end
 
 let handle_request t request =
@@ -398,6 +437,7 @@ let start cfg =
         connections = 0;
         active = 0;
       };
+    stage_totals = Array.make (List.length Flow.all_stages) 0.0;
     threads = [];
   }
 

@@ -15,7 +15,16 @@
     mid-run each cost exactly one error envelope (or a discarded
     response) — the daemon keeps serving. SIGINT/SIGTERM (and the
     [shutdown] request) stop accepting, drain the workers, close and
-    unlink the sockets, and return from {!run}. *)
+    unlink the sockets, and return from {!run}.
+
+    Deadlines are enforced with a per-request {!Lp_parallel.Cancel}
+    token: the waiter sits in {!Lp_parallel.Pool.await_until} and, if
+    the deadline passes first, fires the token before answering
+    [timeout] — the flow underneath aborts at its next stage, chunk or
+    exploration-point boundary and the worker domain goes back to
+    serving live requests. [stats] additionally reports cumulative
+    per-stage flow wall times (the ["stages"] object, one entry per
+    {!Lp_core.Flow.all_stages} member). *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listening socket *)
@@ -54,3 +63,12 @@ val stop : t -> unit
 
 val serve : config -> unit
 (** [start] + [run]. *)
+
+val error_of_exn : cmd:string -> exn -> string * string
+(** The daemon's exception → [(code, message)] envelope mapping for
+    compute requests: [Flow.Cancelled stage] and
+    [Lp_parallel.Cancel.Cancelled] become ["cancelled"] (the former
+    naming the active stage), [Flow.Verification_failed] becomes
+    ["verification_failed"], anything else ["failed"]. Exposed so the
+    mapping itself is testable without engineering each failure
+    end-to-end. *)

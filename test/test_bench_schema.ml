@@ -88,6 +88,17 @@ let test_schema () =
       "parallel_speedup";
       "memo_warm_speedup";
     ];
+  (* flow.stages: one cold run's per-pipeline-stage wall seconds, one
+     key per Flow stage in pipeline order. *)
+  let flow_stages = obj flow "stages" in
+  List.iter
+    (fun st ->
+      let k = Lp_core.Flow.stage_name st in
+      Alcotest.(check bool)
+        ("flow.stages." ^ k ^ " >= 0")
+        true
+        (num flow_stages k >= 0.0))
+    Lp_core.Flow.all_stages;
   (* cache: memo statistics. *)
   let cache = obj doc "cache" in
   let cold = obj cache "cold" in

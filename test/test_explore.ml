@@ -281,6 +281,57 @@ let test_journal_corruption_is_a_miss () =
       Alcotest.(check int) "torn checkpoint re-evaluated" 1 r.E.evaluated;
       Alcotest.(check int) "intact checkpoint replayed" 1 r.E.journal_hits)
 
+(* Cancellation mid-exploration keeps every completed point in the
+   journal; a plain grid resume replays exactly those and evaluates
+   only the rest. *)
+let test_cancellation_keeps_journal () =
+  let program = fixture_program () in
+  let journal_dir = temp_dir "lp-explore-cancel" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf journal_dir)
+    (fun () ->
+      let cancel = Lp_parallel.Cancel.create () in
+      (* One grid point per batch; the token fires once the second
+         observation lands, so the engine's next between-batch poll
+         must abort before a third point is proposed. *)
+      let strategy : E.Strategy.t =
+        (module struct
+          let name = "drip"
+
+          let start space ~seed:_ =
+            let remaining = ref (E.grid_points space) in
+            let seen = ref 0 in
+            {
+              E.propose =
+                (fun () ->
+                  match !remaining with
+                  | [] -> []
+                  | p :: rest ->
+                      remaining := rest;
+                      [ p ]);
+              observe =
+                (fun obs ->
+                  seen := !seen + List.length obs;
+                  if !seen >= 2 then Lp_parallel.Cancel.fire cancel);
+            }
+        end)
+      in
+      (match
+         E.run ~strategy ~cancel ~jobs:1 ~journal_dir ~space:small_space
+           ~name:"fixture" program
+       with
+      | _ -> Alcotest.fail "expected the exploration to abort"
+      | exception Lp_parallel.Cancel.Cancelled -> ());
+      let resumed =
+        E.run ~jobs:1 ~journal_dir ~space:small_space ~name:"fixture" program
+      in
+      Alcotest.(check int) "completed points replayed" 2
+        resumed.E.journal_hits;
+      Alcotest.(check int) "only the remaining points evaluated" 2
+        resumed.E.evaluated;
+      Alcotest.(check int) "full grid in the log" 4
+        (List.length resumed.E.log))
+
 (* --- the pool_threshold option ------------------------------------ *)
 
 let test_pool_threshold_option () =
@@ -343,6 +394,8 @@ let () =
           Alcotest.test_case "kill and resume" `Quick test_journal_resume;
           Alcotest.test_case "corruption is a miss" `Quick
             test_journal_corruption_is_a_miss;
+          Alcotest.test_case "cancellation keeps completed points" `Quick
+            test_cancellation_keeps_journal;
         ] );
       ( "options",
         [

@@ -210,6 +210,32 @@ let test_fds_scheduler_option () =
   Alcotest.(check bool) "list schedule at least as good" true
     (list_sched.Flow.energy_saving >= fds.Flow.energy_saving -. 0.02)
 
+let test_stage_times () =
+  let r = run "mini-digs" mini_digs in
+  Alcotest.(check bool)
+    "stage_times covers every stage in pipeline order" true
+    (List.map fst r.Flow.stage_times = Flow.all_stages);
+  List.iter
+    (fun (st, dt) ->
+      Alcotest.(check bool) (Flow.stage_name st ^ " >= 0") true (dt >= 0.0))
+    r.Flow.stage_times;
+  Alcotest.(check bool) "pipeline took measurable time" true
+    (List.fold_left (fun a (_, dt) -> a +. dt) 0.0 r.Flow.stage_times > 0.0);
+  (* the stage ids are distinct, stable identifiers *)
+  let names = List.map Flow.stage_name Flow.all_stages in
+  Alcotest.(check int) "stage names distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_prefired_cancel () =
+  (* A token fired before the flow starts stops it at the very first
+     stage boundary, naming the stage that never ran. *)
+  let cancel = Lp_parallel.Cancel.create () in
+  Lp_parallel.Cancel.fire cancel;
+  match Flow.run ~cancel ~name:"mini-digs-cancel" mini_digs with
+  | _ -> Alcotest.fail "expected Flow.Cancelled"
+  | exception Flow.Cancelled stage ->
+      Alcotest.(check string) "stopped before the first stage" "profile" stage
+
 let test_verification_guard () =
   (* verify_outputs = false must not change results for a healthy
      program. *)
@@ -240,6 +266,11 @@ let () =
           Alcotest.test_case "F monotone" `Quick test_f_monotone_selection;
           Alcotest.test_case "max cells cap" `Quick test_max_cells_cap;
           Alcotest.test_case "n_max bound" `Quick test_n_max_limits_candidates;
+        ] );
+      ( "stages",
+        [
+          Alcotest.test_case "stage times" `Quick test_stage_times;
+          Alcotest.test_case "pre-fired cancel" `Quick test_prefired_cancel;
         ] );
       ("objective", [ Alcotest.test_case "values" `Quick test_objective_values ]);
     ]

@@ -3,6 +3,7 @@
    the whole partitioning flow, and the candidate memo cache. *)
 
 module Pool = Lp_parallel.Pool
+module Cancel = Lp_parallel.Cancel
 module Parmap = Lp_parallel.Parmap
 module Flow = Lp_core.Flow
 module Memo = Lp_core.Memo
@@ -83,6 +84,91 @@ let test_shutdown_rejects_map () =
   match Pool.map pool (fun i -> i) [| 1; 2 |] with
   | _ -> Alcotest.fail "map on a shut-down pool must be rejected"
   | exception Invalid_argument _ -> ()
+
+(* --- cancellation ------------------------------------------------ *)
+
+let test_map_cancelled_mid_run () =
+  (* 64 slow elements over 3 workers split into many chunks; the very
+     first element fires the token, so most chunks must observe it and
+     fail fast instead of running. *)
+  Pool.with_pool ~domains:3 (fun pool ->
+      let cancel = Cancel.create () in
+      let started = Atomic.make 0 in
+      let n = 64 in
+      let f i =
+        Atomic.incr started;
+        if i = 0 then Cancel.fire cancel else Unix.sleepf 0.002;
+        i
+      in
+      (match Pool.map ~cancel pool f (Array.init n (fun i -> i)) with
+      | _ -> Alcotest.fail "expected Cancel.Cancelled"
+      | exception Cancel.Cancelled -> ());
+      Alcotest.(check bool)
+        "chunks after the fire never started" true
+        (Atomic.get started < n);
+      (* the pool survives a cancelled map, and a fresh map works *)
+      Alcotest.(check (array int))
+        "pool reusable after cancellation" [| 0; 1; 4 |]
+        (Pool.map pool (fun i -> i * i) [| 0; 1; 2 |]))
+
+let test_prefired_cancel () =
+  Pool.with_pool ~domains:2 (fun pool ->
+      let cancel = Cancel.create () in
+      Cancel.fire cancel;
+      Alcotest.(check bool) "fired observable" true (Cancel.fired cancel);
+      let ran = Atomic.make false in
+      (match
+         Pool.map ~cancel pool
+           (fun i ->
+             Atomic.set ran true;
+             i)
+           [| 1; 2; 3 |]
+       with
+      | _ -> Alcotest.fail "map with a fired token must raise"
+      | exception Cancel.Cancelled -> ());
+      Alcotest.(check bool) "no element ran" false (Atomic.get ran);
+      (* a submitted task whose token fired resolves without running *)
+      let fut = Pool.submit ~cancel pool (fun () -> Atomic.set ran true) in
+      (match Pool.await fut with
+      | () -> Alcotest.fail "await must re-raise the cancellation"
+      | exception Cancel.Cancelled -> ());
+      Alcotest.(check bool) "task body never ran" false (Atomic.get ran))
+
+let test_await_until () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      let gate = Atomic.make false in
+      let fut =
+        Pool.submit pool (fun () ->
+            while not (Atomic.get gate) do
+              Unix.sleepf 0.002
+            done;
+            99)
+      in
+      let t0 = Unix.gettimeofday () in
+      (match Pool.await_until fut ~deadline:(t0 +. 0.05) with
+      | None -> ()
+      | Some _ -> Alcotest.fail "must time out while the task is gated");
+      let waited = Unix.gettimeofday () -. t0 in
+      Alcotest.(check bool)
+        "timeout waited at least until the deadline" true (waited >= 0.05);
+      Alcotest.(check bool)
+        "timeout within the waker's granularity" true (waited < 2.0);
+      Atomic.set gate true;
+      (match Pool.await_until fut ~deadline:(Unix.gettimeofday () +. 5.0) with
+      | Some v -> Alcotest.(check int) "resolved value" 99 v
+      | None -> Alcotest.fail "must resolve well before the deadline");
+      (* await_until is repeatable on a resolved future *)
+      Alcotest.(check (option int))
+        "repeat await_until" (Some 99)
+        (Pool.await_until fut ~deadline:(Unix.gettimeofday () +. 1.0)))
+
+let test_await_until_reraises () =
+  Pool.with_pool ~domains:1 (fun pool ->
+      let fut = Pool.submit pool (fun () -> failwith "kaput") in
+      match Pool.await_until fut ~deadline:(Unix.gettimeofday () +. 5.0) with
+      | _ -> Alcotest.fail "expected the task's exception"
+      | exception Failure msg ->
+          Alcotest.(check string) "task exception re-raised" "kaput" msg)
 
 let test_parmap () =
   Alcotest.(check (list int))
@@ -232,6 +318,15 @@ let () =
             test_sequential_pool;
           Alcotest.test_case "shutdown" `Quick test_shutdown_rejects_map;
           Alcotest.test_case "parmap" `Quick test_parmap;
+        ] );
+      ( "cancel",
+        [
+          Alcotest.test_case "map cancelled mid-run" `Quick
+            test_map_cancelled_mid_run;
+          Alcotest.test_case "pre-fired token" `Quick test_prefired_cancel;
+          Alcotest.test_case "await_until" `Quick test_await_until;
+          Alcotest.test_case "await_until re-raises" `Quick
+            test_await_until_reraises;
         ] );
       ( "flow",
         [

@@ -333,6 +333,101 @@ let test_timeout () =
       with_client socket (fun c ->
           expect_code "deadline exceeded" "timeout" (Client.rpc c run_request)))
 
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+(* The exception → error-envelope mapping: cancellation and failed
+   verification are distinguishable from a generic failure, and a flow
+   cancellation names the stage it stopped at. *)
+let test_error_codes () =
+  let code e = fst (Server.error_of_exn ~cmd:"run" e) in
+  Alcotest.(check string) "flow cancellation" "cancelled"
+    (code (Lp_core.Flow.Cancelled "candidates"));
+  Alcotest.(check string) "token cancellation" "cancelled"
+    (code Lp_parallel.Cancel.Cancelled);
+  Alcotest.(check string) "verification" "verification_failed"
+    (code (Lp_core.Flow.Verification_failed "outputs diverge"));
+  Alcotest.(check string) "everything else" "failed" (code (Failure "boom"));
+  let _, msg =
+    Server.error_of_exn ~cmd:"run" (Lp_core.Flow.Cancelled "candidates")
+  in
+  Alcotest.(check bool) "active stage echoed" true
+    (contains ~sub:"candidates" msg)
+
+(* stats carries the accumulated per-pipeline-stage wall seconds of the
+   run requests it served. *)
+let test_stats_stages () =
+  with_server (fun socket ->
+      with_client socket (fun c ->
+          let _ = payload_string (Client.rpc c run_request) in
+          let stats = Client.rpc c Protocol.Stats in
+          match stats.Protocol.payload with
+          | Error (code, msg) -> Alcotest.failf "stats failed: %s: %s" code msg
+          | Ok v ->
+              let stages =
+                match J.member "stages" v with
+                | Some s -> s
+                | None -> Alcotest.fail "stats payload lacks stages"
+              in
+              let total =
+                List.fold_left
+                  (fun acc st ->
+                    match
+                      Option.bind
+                        (J.member (Lp_core.Flow.stage_name st) stages)
+                        J.to_float_opt
+                    with
+                    | Some dt ->
+                        Alcotest.(check bool)
+                          (Lp_core.Flow.stage_name st ^ " >= 0")
+                          true (dt >= 0.0);
+                        acc +. dt
+                    | None ->
+                        Alcotest.failf "stats stages misses %S"
+                          (Lp_core.Flow.stage_name st))
+                  0.0 Lp_core.Flow.all_stages
+              in
+              Alcotest.(check bool)
+                "stage time accumulated over the run" true (total > 0.0)))
+
+(* The deadline token actually frees the single worker: a huge explore
+   blows the 2 s deadline and gets the timeout envelope; the follow-up
+   run on the same (sole) worker must then complete promptly instead of
+   queueing behind the rest of the exploration (which would take far
+   longer than the assertion bound to finish uncancelled). *)
+let test_timeout_frees_worker () =
+  with_server ~workers:1 ~timeout_s:2.0 (fun socket ->
+      with_client socket (fun c ->
+          (* warm the memo so the follow-up run is cheap *)
+          let warm = payload_string (Client.rpc c run_request) in
+          let big_explore =
+            Protocol.Explore
+              {
+                app;
+                options = Protocol.no_options;
+                explore =
+                  {
+                    Protocol.strategy = Some "anneal:20000:4";
+                    seed = Some 1;
+                    f_values = Some [ 0.5; 16.0 ];
+                    n_max_values = None;
+                    max_cells_values = Some [ 8_000; 16_000; 24_000 ];
+                    vdd_values = Some [ 2.0; 3.3 ];
+                  };
+              }
+          in
+          expect_code "huge exploration times out" "timeout"
+            (Client.rpc c big_explore);
+          let t0 = Unix.gettimeofday () in
+          let again = payload_string (Client.rpc c run_request) in
+          let elapsed = Unix.gettimeofday () -. t0 in
+          Alcotest.(check string) "follow-up run answered correctly" warm again;
+          Alcotest.(check bool)
+            (Printf.sprintf "worker freed (follow-up took %.2f s)" elapsed)
+            true (elapsed < 10.0)))
+
 let test_shutdown_request () =
   let socket = fresh_path ".sock" in
   let config =
@@ -375,6 +470,10 @@ let () =
             test_concurrent_clients;
           Alcotest.test_case "overloaded" `Quick test_overloaded;
           Alcotest.test_case "timeout" `Quick test_timeout;
+          Alcotest.test_case "error codes" `Quick test_error_codes;
+          Alcotest.test_case "stats stages" `Quick test_stats_stages;
+          Alcotest.test_case "timeout frees the worker" `Quick
+            test_timeout_frees_worker;
         ] );
       ( "resilience",
         [
