@@ -553,27 +553,80 @@ let stage_timings () =
       time_stage ~reps (fun () -> Flow.run ~name:"digs16" digs_small) );
   ]
 
+(* Long-trace micro-workload for the raw ISS throughput figure. The
+   application suite's kernels run only a few thousand instructions at
+   the bench width, short enough that create/load overhead pollutes a
+   MIPS measurement; this seeded arithmetic mixer executes a trace in
+   the tens of thousands of instructions. The loop body is unrolled
+   [unroll] times with per-copy constants, so the compiled code is a
+   long straight-line region — exactly the shape the basic-block engine
+   compiles into multi-line superops. Division- and branch-free inside
+   the body; fully deterministic from [seed]. *)
+let iss_workload_name = "mixer-unroll32"
+
+let iss_workload ?(seed = 0x2F6E2B1) () =
+  let unroll = 32 in
+  let iters = 64 in
+  let body k =
+    let addend = 12345 + k and sh = 1 + (k mod 13) in
+    let open Lp_ir.Builder in
+    [
+      "a" := (var "a" * int 1103515245) + int addend;
+      "b" := var "b" ^^^ (var "a" >>> int sh);
+      "acc" := (var "acc" + (var "a" &&& int 0xFFFF)) ^^^ (var "b" <<< int 1);
+    ]
+  in
+  let open Lp_ir.Builder in
+  program
+    ~arrays:[ array "scratch" 64 ]
+    [
+      func "main" ~params:[] ~locals:[ "a"; "b"; "acc"; "i" ]
+        [
+          "a" := int seed;
+          "b" := int 0x1E3779B9;
+          "acc" := int 0;
+          for_ "i" (int 0) (int iters)
+            (List.concat (List.init unroll body)
+            @ [ store "scratch" (var "i" &&& int 63) (var "acc") ]);
+          print (var "acc");
+        ];
+    ]
+
+type sim_metrics = {
+  sm_workload : string;  (** what iss_mips is measured on *)
+  sm_instrs : int;  (** dynamic trace length of that workload *)
+  sm_blocks : int;  (** static superops compiled for it *)
+  sm_block_entries : int;  (** dynamic superop executions *)
+  sm_iss_mips : float;
+  sm_cold_ms : float;  (** initial ("I") system sim, memo-cold *)
+  sm_warm_ms : float;  (** same, through the Memo initial-report tier *)
+}
+
 (* Raw co-simulation speed: ISS throughput (no memory system, null
-   hooks) and the latency of the initial ("I") system simulation cold
-   vs warm through the Memo initial-report tier. *)
+   hooks) on the long-trace micro-workload, and the latency of the
+   initial ("I") system simulation of digs16 cold vs warm through the
+   Memo initial-report tier. *)
 let sim_metrics () =
-  let digs_small = Lp_apps.Digs.program ~width:16 () in
-  let prog, layout = Lp_compiler.Compiler.compile digs_small in
-  let data = Lp_compiler.Compiler.initial_data digs_small layout in
+  let workload = iss_workload () in
+  let prog, layout = Lp_compiler.Compiler.compile workload in
+  let data = Lp_compiler.Compiler.initial_data workload layout in
   let iss_run () =
     let m = Lp_iss.Iss.create prog Lp_iss.Iss.null_hooks in
     List.iter (fun (base, img) -> Lp_iss.Iss.load_data m base img) data;
     Lp_iss.Iss.run m;
-    Lp_iss.Iss.result m
+    m
   in
-  let r = iss_run () in
+  let m = iss_run () in
+  let r = Lp_iss.Iss.result m in
+  let blocks, entries = Lp_iss.Iss.block_stats m in
   let reps = 9 in
   let samples =
-    List.init reps (fun _ -> snd (wall (fun () -> iss_run ())))
+    List.init reps (fun _ -> snd (wall (fun () -> ignore (iss_run ()))))
     |> List.sort compare
   in
   let dt = List.nth samples (reps / 2) in
   let iss_mips = float_of_int r.Lp_iss.Iss.instr_count /. dt /. 1e6 in
+  let digs_small = Lp_apps.Digs.program ~width:16 () in
   let config = System.default_config in
   let key = Memo.initial_fingerprint ~config digs_small in
   let initial_once () =
@@ -588,16 +641,60 @@ let sim_metrics () =
   let _, cold_s = wall initial_once in
   let warm_ms = time_stage ~reps initial_once in
   Memo.reset ();
-  (iss_mips, 1e3 *. cold_s, warm_ms)
+  {
+    sm_workload = iss_workload_name;
+    sm_instrs = r.Lp_iss.Iss.instr_count;
+    sm_blocks = blocks;
+    sm_block_entries = entries;
+    sm_iss_mips = iss_mips;
+    sm_cold_ms = 1e3 *. cold_s;
+    sm_warm_ms = warm_ms;
+  }
+
+(* Per-app candidate fan-out width: the (cluster x resource set) pair
+   count each flow evaluates, read back from the [flow.candidates.pairs]
+   trace counter. This decides whether the parallel full-flow figure is
+   meaningful: below [Flow.pool_threshold] pairs the flow never
+   dispatches candidate evaluation to the pool, so a "parallel" run
+   measures pool bookkeeping, not speedup, and the JSON says so. *)
+let candidate_pairs_per_app () =
+  List.map
+    (fun (e : Apps.entry) ->
+      let sink, events = Lp_trace.memory_sink () in
+      Lp_trace.set_sink (Some sink);
+      ignore (Flow.run ~options:seq_options ~name:e.name (e.build ()));
+      Lp_trace.set_sink None;
+      let pairs =
+        List.fold_left
+          (fun acc (ev : Lp_trace.event) ->
+            if String.equal ev.Lp_trace.name "flow.candidates.pairs" then
+              max acc ev.Lp_trace.value
+            else acc)
+          0 (events ())
+      in
+      (e.name, pairs))
+    Apps.all
 
 let rec speed ?(smoke = false) () =
   section "B7: evaluation-engine performance (BENCH_flow.json)";
   let stages = stage_timings () in
   List.iter (fun (name, ms) -> Printf.printf "  %-16s %8.3f ms/run\n" name ms) stages;
-  let iss_mips, initial_cold_ms, initial_warm_ms = sim_metrics () in
+  let app_pairs = candidate_pairs_per_app () in
+  let max_pairs = List.fold_left (fun a (_, n) -> max a n) 0 app_pairs in
+  let below_pool = max_pairs < Flow.pool_threshold in
+  if below_pool then
+    Printf.printf
+      "  note: candidate fan-out per app (max %d pairs) is below the pool \
+       threshold (%d);\n\
+      \  full-flow-par and parallel_speedup measure pool bookkeeping, not \
+       speedup.\n"
+      max_pairs Flow.pool_threshold;
+  let sm = sim_metrics () in
   Printf.printf
-    "  co-sim: ISS %.1f MIPS; initial sim cold %.3f ms, memo-warm %.3f ms\n"
-    iss_mips initial_cold_ms initial_warm_ms;
+    "  co-sim: ISS %.1f MIPS on %s (%d instrs, %d superops, %d entries);\n\
+    \  initial sim cold %.3f ms, memo-warm %.3f ms\n"
+    sm.sm_iss_mips sm.sm_workload sm.sm_instrs sm.sm_blocks sm.sm_block_entries
+    sm.sm_cold_ms sm.sm_warm_ms;
   let seq_s, par_s, warm_s, seq_stats, warm_rate = flow_timing () in
   Printf.printf
     "  full suite: sequential %.3fs, parallel (jobs=%d) %.3fs (%.2fx), \
@@ -644,14 +741,23 @@ let rec speed ?(smoke = false) () =
           j_arr
             (List.map
                (fun (name, ms) ->
-                 j_obj [ ("name", j_str name); ("ms_per_run", j_float ms) ])
+                 j_obj
+                   ([ ("name", j_str name); ("ms_per_run", j_float ms) ]
+                   @
+                   if String.equal name "full-flow-par" && below_pool then
+                     [ ("below_pool_threshold", "true") ]
+                   else []))
                stages) );
         ( "sim",
           j_obj
             [
-              ("iss_mips", j_float iss_mips);
-              ("initial_cold_ms", j_float initial_cold_ms);
-              ("initial_warm_ms", j_float initial_warm_ms);
+              ("iss_mips", j_float sm.sm_iss_mips);
+              ("iss_workload", j_str sm.sm_workload);
+              ("iss_trace_instrs", string_of_int sm.sm_instrs);
+              ("iss_superops", string_of_int sm.sm_blocks);
+              ("iss_superop_entries", string_of_int sm.sm_block_entries);
+              ("initial_cold_ms", j_float sm.sm_cold_ms);
+              ("initial_warm_ms", j_float sm.sm_warm_ms);
             ] );
         ( "flow",
           j_obj
@@ -660,6 +766,9 @@ let rec speed ?(smoke = false) () =
               ("parallel_s", j_float par_s);
               ("memo_warm_s", j_float warm_s);
               ("parallel_speedup", j_float (seq_s /. par_s));
+              ("below_pool_threshold", if below_pool then "true" else "false");
+              ( "max_candidate_pairs",
+                string_of_int max_pairs );
               ("memo_warm_speedup", j_float (seq_s /. warm_s));
               ( "stages",
                 j_obj
@@ -697,6 +806,44 @@ let rec speed ?(smoke = false) () =
   output_char oc '\n';
   close_out oc;
   Printf.printf "  wrote BENCH_flow.json\n%!";
+  if smoke then begin
+    (* Tier-1 guards ([dune runtest] runs speed --smoke). The block
+       engine must leave the memo tier untouched — a warm initial
+       report is a hash-table lookup, so its median must stay at ~0 ms
+       — and must actually be exercised, amortizing per-block work over
+       long superops: on at least one app the dynamic trace must run
+       more than 4 instructions per block entry. *)
+    if sm.sm_warm_ms > 0.05 then
+      failwith
+        (Printf.sprintf
+           "smoke: warm initial sim took %.3f ms (memo tier regressed; \
+            expected ~0)"
+           sm.sm_warm_ms);
+    let amortized (m : Lp_iss.Iss.t) =
+      let _, entries = Lp_iss.Iss.block_stats m in
+      let instrs = (Lp_iss.Iss.result m).Lp_iss.Iss.instr_count in
+      entries > 0 && instrs > 4 * entries
+    in
+    let digs =
+      let p = Lp_apps.Digs.program ~width:16 () in
+      let prog, layout = Lp_compiler.Compiler.compile p in
+      let data = Lp_compiler.Compiler.initial_data p layout in
+      let m = Lp_iss.Iss.create prog Lp_iss.Iss.null_hooks in
+      List.iter (fun (base, img) -> Lp_iss.Iss.load_data m base img) data;
+      Lp_iss.Iss.run m;
+      m
+    in
+    let workload_ok =
+      sm.sm_block_entries > 0 && sm.sm_instrs > 4 * sm.sm_block_entries
+    in
+    if not (workload_ok || amortized digs) then
+      failwith
+        (Printf.sprintf
+           "smoke: block engine underused (%d instrs over %d superop \
+            entries on %s)"
+           sm.sm_instrs sm.sm_block_entries sm.sm_workload);
+    Printf.printf "  smoke assertions: memo-warm ~0 ms, block engine engaged\n"
+  end;
   if not smoke then speed_bechamel ()
 
 (* --- Bechamel micro-benchmarks of the flow's stages --- *)

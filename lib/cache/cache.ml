@@ -25,9 +25,6 @@ let config_valid cfg =
   && cfg.size_bytes >= cfg.line_bytes * cfg.assoc
   && sets cfg * cfg.line_bytes * cfg.assoc = cfg.size_bytes
 
-(* One way of one set. *)
-type line = { mutable tag : int; mutable valid : bool; mutable dirty : bool }
-
 type stats = {
   reads : int;
   writes : int;
@@ -37,10 +34,18 @@ type stats = {
   energy_j : float;
 }
 
+(* Directory state lives in flat arrays indexed by [set * assoc + way]:
+   the probe/touch path is the innermost loop of the whole co-simulation
+   (one probe per fetched cache line, one per data-access run), and flat
+   int arrays with in-range-by-construction unsafe accesses beat a
+   record-per-line layout by a wide margin. A line's validity is folded
+   into its tag: real tags are non-negative, [-1] means invalid. *)
 type t = {
   cfg : config;
-  lines : line array array;  (** [set].[way] *)
-  lru : int array array;  (** higher = more recently used *)
+  assoc : int;
+  tags : int array;  (** [set * assoc + way]; -1 = invalid *)
+  dirty : bool array;
+  lru : int array;  (** higher = more recently used *)
   (* Geometry is power-of-two-validated at [create], so address
      decomposition reduces to shifts and masks precomputed here;
      per-access array energies are likewise computed once (the analytic
@@ -56,7 +61,15 @@ type t = {
   mutable s_read_misses : int;
   mutable s_write_misses : int;
   mutable s_writebacks : int;
-  mutable s_energy : float;
+  scratch : run_scratch;
+}
+
+and run_scratch = {
+  mutable run_misses : int;
+  mutable run_fill_words : int;
+  mutable run_writeback_words : int;
+  mutable run_through_words : int;
+  mutable run_miss_words : int;
 }
 
 type event = {
@@ -64,6 +77,22 @@ type event = {
   fill_words : int;
   writeback_words : int;
   through_words : int;
+}
+
+(* Aggregate of a *run* of accesses settled with one tag probe per
+   line. The block-compiled ISS batches same-line accesses, so the
+   per-access event record would allocate on every run; instead each
+   cache owns one mutable scratch record that the bulk entry points
+   refill and return. [run_miss_words] is the word traffic of the miss
+   events only — the caller reconstructs the exact per-event stall
+   penalty from ([run_misses], [run_miss_words]) because the penalty is
+   linear in both (see [Lp_mem.Memory.miss_penalty_run]). *)
+type run_event = run_scratch = {
+  mutable run_misses : int;
+  mutable run_fill_words : int;
+  mutable run_writeback_words : int;
+  mutable run_through_words : int;
+  mutable run_miss_words : int;
 }
 
 (* Analytic per-access array energy from the geometry. The row that is
@@ -92,13 +121,13 @@ let log2_exact n =
 let create cfg =
   if not (config_valid cfg) then invalid_arg "Cache.create: invalid geometry";
   let n = sets cfg in
+  let ways_total = n * cfg.assoc in
   {
     cfg;
-    lines =
-      Array.init n (fun _ ->
-          Array.init cfg.assoc (fun _ ->
-              { tag = 0; valid = false; dirty = false }));
-    lru = Array.make_matrix n cfg.assoc 0;
+    assoc = cfg.assoc;
+    tags = Array.make ways_total (-1);
+    dirty = Array.make ways_total false;
+    lru = Array.make ways_total 0;
     line_shift = log2_exact cfg.line_bytes;
     set_mask = n - 1;
     set_shift = log2_exact n;
@@ -110,7 +139,14 @@ let create cfg =
     s_read_misses = 0;
     s_write_misses = 0;
     s_writebacks = 0;
-    s_energy = 0.0;
+    scratch =
+      {
+        run_misses = 0;
+        run_fill_words = 0;
+        run_writeback_words = 0;
+        run_through_words = 0;
+        run_miss_words = 0;
+      };
   }
 
 let config t = t.cfg
@@ -123,39 +159,39 @@ let locate t addr =
   let tag = line_no lsr t.set_shift in
   (set, tag)
 
-(* -1 = no way holds the tag. The option-returning probe of the seed
-   allocated on every hit; the hot path wants a bare int. *)
-let find_way_int t set tag =
-  let ways = t.lines.(set) in
-  let n = Array.length ways in
+(* -1 = no way holds the tag; otherwise the flat index [set*assoc+way].
+   [set] comes masked and [tag] is non-negative, so the unsafe reads
+   stay in range and an invalid way (tag -1) can never match. *)
+let find_slot t set tag =
+  let base = set * t.assoc in
+  let last = base + t.assoc - 1 in
   let rec go i =
-    if i >= n then -1
-    else
-      let w = Array.unsafe_get ways i in
-      if w.valid && w.tag = tag then i else go (i + 1)
+    if i > last then -1
+    else if Array.unsafe_get t.tags i = tag then i
+    else go (i + 1)
   in
-  go 0
+  go base
 
-let touch t set way =
+let touch t slot =
   t.clock <- t.clock + 1;
-  t.lru.(set).(way) <- t.clock
+  Array.unsafe_set t.lru slot t.clock
 
-let victim t set =
+let victim_slot t set =
   (* Invalid way first, else least recently used. *)
-  let ways = t.lines.(set) in
+  let base = set * t.assoc in
+  let last = base + t.assoc - 1 in
   let rec invalid i =
-    if i >= Array.length ways then None
-    else if not ways.(i).valid then Some i
-    else invalid (i + 1)
+    if i > last then -1 else if t.tags.(i) < 0 then i else invalid (i + 1)
   in
-  match invalid 0 with
-  | Some i -> i
-  | None ->
-      let best = ref 0 in
-      Array.iteri
-        (fun i v -> if v < t.lru.(set).(!best) then best := i)
-        t.lru.(set);
-      !best
+  let inv = invalid base in
+  if inv >= 0 then inv
+  else begin
+    let best = ref base in
+    for i = base + 1 to last do
+      if t.lru.(i) < t.lru.(!best) then best := i
+    done;
+    !best
+  end
 
 (* Hits that move no words (clean read hits, write-back write hits) and
    write-through events have constant event payloads; sharing one
@@ -171,21 +207,15 @@ let ev_miss_through =
 
 let access t addr ~write =
   let set, tag = locate t addr in
-  if write then begin
-    t.s_writes <- t.s_writes + 1;
-    t.s_energy <- t.s_energy +. t.write_e
-  end
-  else begin
-    t.s_reads <- t.s_reads + 1;
-    t.s_energy <- t.s_energy +. t.read_e
-  end;
-  let way = find_way_int t set tag in
-  if way >= 0 then begin
-    touch t set way;
+  if write then t.s_writes <- t.s_writes + 1
+  else t.s_reads <- t.s_reads + 1;
+  let slot = find_slot t set tag in
+  if slot >= 0 then begin
+    touch t slot;
     if write then begin
       match t.cfg.policy with
       | Write_back ->
-          t.lines.(set).(way).dirty <- true;
+          Array.unsafe_set t.dirty slot true;
           ev_hit
       | Write_through -> ev_hit_through
     end
@@ -198,14 +228,12 @@ let access t addr ~write =
       (* No-allocate: the word goes straight to memory. *)
       ev_miss_through
     else begin
-      let way = victim t set in
-      let line = t.lines.(set).(way) in
-      let wb = if line.valid && line.dirty then line_words t else 0 in
+      let slot = victim_slot t set in
+      let wb = if t.tags.(slot) >= 0 && t.dirty.(slot) then line_words t else 0 in
       if wb > 0 then t.s_writebacks <- t.s_writebacks + 1;
-      line.valid <- true;
-      line.tag <- tag;
-      line.dirty <- write;
-      touch t set way;
+      t.tags.(slot) <- tag;
+      t.dirty.(slot) <- write;
+      touch t slot;
       {
         hit = false;
         fill_words = line_words t;
@@ -228,12 +256,11 @@ let write t addr = access t addr ~write:true
 let read_hit t addr =
   let line_no = addr lsr t.line_shift in
   let set = line_no land t.set_mask in
-  let way = find_way_int t set (line_no lsr t.set_shift) in
-  way >= 0
+  let slot = find_slot t set (line_no lsr t.set_shift) in
+  slot >= 0
   && begin
        t.s_reads <- t.s_reads + 1;
-       t.s_energy <- t.s_energy +. t.read_e;
-       touch t set way;
+       touch t slot;
        true
      end
 
@@ -244,31 +271,108 @@ let write_hit t addr =
   &&
   let line_no = addr lsr t.line_shift in
   let set = line_no land t.set_mask in
-  let way = find_way_int t set (line_no lsr t.set_shift) in
-  way >= 0
+  let slot = find_slot t set (line_no lsr t.set_shift) in
+  slot >= 0
   && begin
        t.s_writes <- t.s_writes + 1;
-       t.s_energy <- t.s_energy +. t.write_e;
-       t.lines.(set).(way).dirty <- true;
-       touch t set way;
+       Array.unsafe_set t.dirty slot true;
+       touch t slot;
        true
      end
 
+(* --- bulk runs ----------------------------------------------------- *)
+
+let line_of t addr = addr lsr t.line_shift
+
+let reset_run r =
+  r.run_misses <- 0;
+  r.run_fill_words <- 0;
+  r.run_writeback_words <- 0;
+  r.run_through_words <- 0;
+  r.run_miss_words <- 0
+
+(* [k] same-kind accesses to the line holding [addr], settled with a
+   single probe. Nothing else touches the cache between the accesses of
+   a run, so the first access decides residency and the remaining k-1
+   are hits on the same way; k touches of one way advance the LRU clock
+   by k and leave the way stamped with the final clock, exactly as k
+   individual [access] calls would. The one non-uniform case is a
+   write-through write miss: no-allocate means the line never becomes
+   resident, so all k accesses miss independently, each moving its own
+   word (and paying its own miss penalty, hence k miss events). *)
+let run_line t addr ~write k acc =
+  let line_no = addr lsr t.line_shift in
+  let set = line_no land t.set_mask in
+  let tag = line_no lsr t.set_shift in
+  if write then t.s_writes <- t.s_writes + k
+  else t.s_reads <- t.s_reads + k;
+  let slot = find_slot t set tag in
+  if slot >= 0 then begin
+    t.clock <- t.clock + k;
+    Array.unsafe_set t.lru slot t.clock;
+    if write then
+      match t.cfg.policy with
+      | Write_back -> Array.unsafe_set t.dirty slot true
+      | Write_through -> acc.run_through_words <- acc.run_through_words + k
+  end
+  else if write && t.cfg.policy = Write_through then begin
+    t.s_write_misses <- t.s_write_misses + k;
+    acc.run_misses <- acc.run_misses + k;
+    acc.run_through_words <- acc.run_through_words + k;
+    acc.run_miss_words <- acc.run_miss_words + k
+  end
+  else begin
+    if write then t.s_write_misses <- t.s_write_misses + 1
+    else t.s_read_misses <- t.s_read_misses + 1;
+    let slot = victim_slot t set in
+    let wb = if t.tags.(slot) >= 0 && t.dirty.(slot) then line_words t else 0 in
+    if wb > 0 then t.s_writebacks <- t.s_writebacks + 1;
+    t.tags.(slot) <- tag;
+    t.dirty.(slot) <- write;
+    t.clock <- t.clock + k;
+    Array.unsafe_set t.lru slot t.clock;
+    let fill = line_words t in
+    acc.run_misses <- acc.run_misses + 1;
+    acc.run_fill_words <- acc.run_fill_words + fill;
+    acc.run_writeback_words <- acc.run_writeback_words + wb;
+    acc.run_miss_words <- acc.run_miss_words + fill + wb
+  end
+
+let access_run t addr ~write k =
+  let acc = t.scratch in
+  reset_run acc;
+  run_line t addr ~write k acc;
+  acc
+
+(* [n] sequential word reads starting at byte address [addr]; the run
+   may span any number of lines but pays one probe per line. This is
+   the instruction-fetch path of a basic block. *)
+let read_run t addr n =
+  let acc = t.scratch in
+  reset_run acc;
+  let i = ref 0 in
+  let a = ref addr in
+  while !i < n do
+    let line_end = (((!a lsr t.line_shift) + 1) lsl t.line_shift) in
+    let k = min (n - !i) ((line_end - !a) lsr 2) in
+    run_line t !a ~write:false k acc;
+    i := !i + k;
+    a := !a + (k * 4)
+  done;
+  acc
+
 let flush t =
   let words = ref 0 in
-  Array.iteri
-    (fun set ways ->
-      Array.iteri
-        (fun way line ->
-          if line.valid && line.dirty then begin
-            words := !words + line_words t;
-            t.s_writebacks <- t.s_writebacks + 1
-          end;
-          line.valid <- false;
-          line.dirty <- false;
-          t.lru.(set).(way) <- 0)
-        ways)
-    t.lines;
+  let ways_total = Array.length t.tags in
+  for i = 0 to ways_total - 1 do
+    if t.tags.(i) >= 0 && t.dirty.(i) then begin
+      words := !words + line_words t;
+      t.s_writebacks <- t.s_writebacks + 1
+    end;
+    t.tags.(i) <- -1;
+    t.dirty.(i) <- false;
+    t.lru.(i) <- 0
+  done;
   !words
 
 let stats t =
@@ -278,7 +382,13 @@ let stats t =
     read_misses = t.s_read_misses;
     write_misses = t.s_write_misses;
     writebacks = t.s_writebacks;
-    energy_j = t.s_energy;
+    (* Array energy is strictly per access (reads and writes each have a
+       fixed cost), so it is a product of the counters, not a field kept
+       in the hot path — a mutable float in this mixed record would box
+       and allocate on every single access. *)
+    energy_j =
+      (float_of_int t.s_reads *. t.read_e)
+      +. (float_of_int t.s_writes *. t.write_e);
   }
 
 let pp_config ppf cfg =

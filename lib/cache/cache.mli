@@ -63,6 +63,37 @@ val write_hit : t -> int -> bool
     on any write-through cache): a write-through hit still moves a word
     to memory, which the caller charges from the {!write} event. *)
 
+type run_event = {
+  mutable run_misses : int;  (** miss {e events} in the run *)
+  mutable run_fill_words : int;  (** words fetched for line fills *)
+  mutable run_writeback_words : int;  (** dirty words evicted *)
+  mutable run_through_words : int;  (** words written through *)
+  mutable run_miss_words : int;
+      (** words moved by the miss events alone (fills + their evictions
+          + through words of missing writes) — with [run_misses] this
+          reconstructs the exact sum of per-event stall penalties, see
+          [Lp_mem.Memory.miss_penalty_run] *)
+}
+(** Aggregate of a run of accesses settled with one tag probe per line.
+    The returned record is a per-cache scratch buffer: it is only valid
+    until the next bulk call on the same cache, and must not be
+    mutated. Stats, energy and LRU effects are identical to performing
+    the accesses one at a time through {!read}/{!write}. *)
+
+val access_run : t -> int -> write:bool -> int -> run_event
+(** [access_run c byte_addr ~write k] performs [k] same-kind accesses
+    to the single line holding [byte_addr] with one probe. *)
+
+val read_run : t -> int -> int -> run_event
+(** [read_run c byte_addr n] reads [n] sequential words starting at
+    [byte_addr] (word-aligned); the run may span lines and pays one
+    probe per line — the instruction-fetch path of a basic block. *)
+
+val line_of : t -> int -> int
+(** Line number of a byte address ([addr / line_bytes]) — exposed so
+    callers batching accesses can detect same-line runs without
+    recomputing geometry. *)
+
 val locate : t -> int -> int * int
 (** [(set, tag)] of a byte address — exposed so tests can check the
     shift/mask decomposition against the div/mod definition

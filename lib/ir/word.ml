@@ -2,9 +2,14 @@ let mask = 0xFFFFFFFF
 let min_int32 = -0x80000000
 let max_int32 = 0x7FFFFFFF
 
+(* Branchless sign extension from bit 31: the xor moves the sign bit so
+   the subtraction re-extends it. Equivalent to
+   [if y land 0x80000000 <> 0 then y - 0x100000000 else y] but without
+   the data-dependent branch, which the simulator's hot loop would
+   mispredict about half the time on sign-varying values. *)
 let norm x =
   let y = x land mask in
-  if y land 0x80000000 <> 0 then y - 0x100000000 else y
+  (y lxor 0x80000000) - 0x80000000
 
 let add a b = norm (a + b)
 let sub a b = norm (a - b)

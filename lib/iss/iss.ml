@@ -1,228 +1,38 @@
-module Isa = Lp_isa.Isa
-module Word = Lp_ir.Word
+(* Public face of the simulator. The machine itself — state, the lazy
+   basic-block compiler, the direct-threaded dispatcher, and the
+   per-instruction reference engine — lives in [Block]; this module
+   re-exports it and adds the result/energy conversion, which turns the
+   integer event counters into joules exactly once per run. *)
 
-exception Runtime_error of string
+include Block
 
-let fail fmt = Format.kasprintf (fun s -> raise (Runtime_error s)) fmt
-
-(* The executed program is pre-decoded at [create]: everything the
-   per-instruction accounting needs — the opclass tag and the base cycle
-   cost — is computed once per static instruction and stored in flat int
-   arrays indexed by pc. The step loop then touches only int arrays and
-   int fields; energy stays in integer event counters (per-class
-   executions, class transitions, taken branches, stall cycles) and is
-   converted to joules exactly once, in [result]. *)
-
-type t = {
-  code : Isa.instr array;
-  code_len : int;
-  cls_of_pc : int array;  (** opclass tag of each static instruction *)
-  cyc_of_pc : int array;  (** base cycle cost of each static instruction *)
-  regs : int array;
-  mem : int array;
-  mutable pc : int;
-  mutable halted : bool;
-  mutable fuel : int;
-  mutable out : int list;
-  mutable instr_count : int;
-  mutable up_cycles : int;
-  mutable stall_cycles : int;
-  mutable asic_cycles : int;
-  mutable taken_branches : int;
-  mutable class_transitions : int;
-  mutable last_tag : int;  (** -1 before the first instruction *)
-  class_counts : int array;  (** indexed by opclass tag *)
-  hooks : hooks;
-}
-
-and hooks = {
-  ifetch : int -> int;
-  dread : int -> int;
-  dwrite : int -> int;
-  acall : t -> int -> unit;
-}
-
-let null_hooks =
+(* Adapt per-word callbacks to the bulk hook interface: expand each
+   fetch run into per-word calls and unpack the D-access buffer into
+   dread/dwrite calls in program order. Used by tests and the trace
+   tool, which want to observe individual accesses; production callers
+   (the system simulator) implement the bulk hooks directly. *)
+let word_hooks ?(ifetch = fun _ -> 0) ?(dread = fun _ -> 0)
+    ?(dwrite = fun _ -> 0)
+    ?(acall = fun _ _ -> raise (Runtime_error "acall with null hooks")) () =
   {
-    ifetch = (fun _ -> 0);
-    dread = (fun _ -> 0);
-    dwrite = (fun _ -> 0);
-    acall = (fun _ _ -> fail "acall with null hooks");
+    ifetch_run =
+      (fun addr n ->
+        let st = ref 0 in
+        for i = 0 to n - 1 do
+          st := !st + ifetch (addr + (i * 4))
+        done;
+        !st);
+    daccess_run =
+      (fun buf n ->
+        let st = ref 0 in
+        for i = 0 to n - 1 do
+          let e = buf.(i) in
+          if e land 1 = 1 then st := !st + dwrite (e lxor 1)
+          else st := !st + dread e
+        done;
+        !st);
+    acall;
   }
-
-let create ?(fuel = 500_000_000) (prog : Isa.program) hooks =
-  let n = Array.length prog.Isa.code in
-  let cls_of_pc = Array.make n 0 in
-  let cyc_of_pc = Array.make n 0 in
-  Array.iteri
-    (fun i instr ->
-      let cls = Isa.opclass instr in
-      cls_of_pc.(i) <- Isa.opclass_tag cls;
-      cyc_of_pc.(i) <- Energy_model.base_cycles cls)
-    prog.Isa.code;
-  {
-    code = prog.Isa.code;
-    code_len = n;
-    cls_of_pc;
-    cyc_of_pc;
-    regs = Array.make Isa.reg_count 0;
-    mem = Array.make prog.Isa.data_words 0;
-    pc = prog.Isa.entry_pc;
-    halted = false;
-    fuel;
-    out = [];
-    instr_count = 0;
-    up_cycles = 0;
-    stall_cycles = 0;
-    asic_cycles = 0;
-    taken_branches = 0;
-    class_transitions = 0;
-    last_tag = -1;
-    class_counts = Array.make Isa.opclass_count 0;
-    hooks;
-  }
-
-let load_data t base img =
-  if base < 0 || base + Array.length img > Array.length t.mem then
-    fail "load_data out of range";
-  Array.blit img 0 t.mem base (Array.length img)
-
-let read_mem t a =
-  if a < 0 || a >= Array.length t.mem then fail "read at bad address %d" a;
-  t.mem.(a)
-
-let write_mem t a v =
-  if a < 0 || a >= Array.length t.mem then fail "write at bad address %d" a;
-  t.mem.(a) <- Word.norm v
-
-(* Block transfers for the system simulator's ASIC model: one bounds
-   check per block instead of one per word. *)
-let read_mem_block t base dst =
-  let n = Array.length dst in
-  if base < 0 || base + n > Array.length t.mem then
-    fail "block read out of range at %d (+%d)" base n;
-  Array.blit t.mem base dst 0 n
-
-let write_mem_block t base src =
-  let n = Array.length src in
-  if base < 0 || base + n > Array.length t.mem then
-    fail "block write out of range at %d (+%d)" base n;
-  for i = 0 to n - 1 do
-    t.mem.(base + i) <- Word.norm src.(i)
-  done
-
-let mem_size t = Array.length t.mem
-
-let push_output t v = t.out <- v :: t.out
-
-let add_asic_cycles t c = t.asic_cycles <- t.asic_cycles + c
-
-let get t r = if r = Isa.zero_reg then 0 else t.regs.(r)
-
-let set t r v = if r <> Isa.zero_reg then t.regs.(r) <- Word.norm v
-
-let stall t cycles = t.stall_cycles <- t.stall_cycles + cycles
-
-let taken_branch t =
-  t.up_cycles <- t.up_cycles + Energy_model.taken_branch_cycles;
-  t.taken_branches <- t.taken_branches + 1
-
-let eval_cmp c a b =
-  match (c : Isa.cmp) with
-  | Isa.Clt -> a < b
-  | Isa.Cle -> a <= b
-  | Isa.Cgt -> a > b
-  | Isa.Cge -> a >= b
-  | Isa.Ceq -> a = b
-  | Isa.Cne -> a <> b
-
-let data_byte_addr word_addr = Isa.data_base_byte + (word_addr * 4)
-
-let step t =
-  if t.fuel <= 0 then fail "instruction fuel exhausted at pc %d" t.pc;
-  t.fuel <- t.fuel - 1;
-  let pc = t.pc in
-  if pc < 0 || pc >= t.code_len then fail "pc %d out of code range" pc;
-  stall t (t.hooks.ifetch (pc * 4));
-  let i = Array.unsafe_get t.code pc in
-  (* charge: pure int accounting against the pre-decoded tables *)
-  t.instr_count <- t.instr_count + 1;
-  t.up_cycles <- t.up_cycles + Array.unsafe_get t.cyc_of_pc pc;
-  let tag = Array.unsafe_get t.cls_of_pc pc in
-  if t.last_tag >= 0 && t.last_tag <> tag then
-    t.class_transitions <- t.class_transitions + 1;
-  t.last_tag <- tag;
-  t.class_counts.(tag) <- t.class_counts.(tag) + 1;
-  let next = pc + 1 in
-  let dload a =
-    stall t (t.hooks.dread (data_byte_addr a));
-    read_mem t a
-  in
-  let dstore a v =
-    stall t (t.hooks.dwrite (data_byte_addr a));
-    write_mem t a v
-  in
-  (match i with
-  | Isa.Add (d, a, b) -> set t d (Word.add (get t a) (get t b))
-  | Isa.Addi (d, a, n) -> set t d (Word.add (get t a) n)
-  | Isa.Sub (d, a, b) -> set t d (Word.sub (get t a) (get t b))
-  | Isa.Mul (d, a, b) -> set t d (Word.mul (get t a) (get t b))
-  | Isa.Div (d, a, b) ->
-      let bv = get t b in
-      if bv = 0 then fail "division by zero at pc %d" pc;
-      set t d (Word.div (get t a) bv)
-  | Isa.Rem (d, a, b) ->
-      let bv = get t b in
-      if bv = 0 then fail "modulo by zero at pc %d" pc;
-      set t d (Word.rem (get t a) bv)
-  | Isa.And (d, a, b) -> set t d (Word.logand (get t a) (get t b))
-  | Isa.Or (d, a, b) -> set t d (Word.logor (get t a) (get t b))
-  | Isa.Xor (d, a, b) -> set t d (Word.logxor (get t a) (get t b))
-  | Isa.Andi (d, a, n) -> set t d (Word.logand (get t a) n)
-  | Isa.Ori (d, a, n) -> set t d (Word.logor (get t a) n)
-  | Isa.Xori (d, a, n) -> set t d (Word.logxor (get t a) n)
-  | Isa.Sll (d, a, b) -> set t d (Word.shl (get t a) (get t b))
-  | Isa.Sra (d, a, b) -> set t d (Word.shr (get t a) (get t b))
-  | Isa.Srl (d, a, b) -> set t d (Word.lshr (get t a) (get t b))
-  | Isa.Slli (d, a, n) -> set t d (Word.shl (get t a) n)
-  | Isa.Srai (d, a, n) -> set t d (Word.shr (get t a) n)
-  | Isa.Srli (d, a, n) -> set t d (Word.lshr (get t a) n)
-  | Isa.Set (c, d, a, b) ->
-      set t d (Word.of_bool (eval_cmp c (get t a) (get t b)))
-  | Isa.Li (d, n) -> set t d n
-  | Isa.Mov (d, a) -> set t d (get t a)
-  | Isa.Ld (d, a, off) -> set t d (dload (get t a + off))
-  | Isa.St (v, a, off) -> dstore (get t a + off) (get t v)
-  | Isa.Bnez (r, target) ->
-      if get t r <> 0 then begin
-        taken_branch t;
-        t.pc <- target
-      end
-      else t.pc <- next
-  | Isa.Beqz (r, target) ->
-      if get t r = 0 then begin
-        taken_branch t;
-        t.pc <- target
-      end
-      else t.pc <- next
-  | Isa.Jmp target -> t.pc <- target
-  | Isa.Jal target ->
-      set t Isa.ra_reg next;
-      t.pc <- target
-  | Isa.Jr r -> t.pc <- get t r
-  | Isa.Print r -> t.out <- get t r :: t.out
-  | Isa.Acall k -> t.hooks.acall t k
-  | Isa.Halt -> t.halted <- true
-  | Isa.Nop -> ());
-  (match i with
-  | Isa.Bnez _ | Isa.Beqz _ | Isa.Jmp _ | Isa.Jal _ | Isa.Jr _ -> ()
-  | Isa.Halt -> ()
-  | _ -> t.pc <- next)
-
-let run t =
-  while not t.halted do
-    step t
-  done
 
 type result = {
   outputs : int list;
@@ -237,8 +47,8 @@ type result = {
 (* Joules from the integer event counters: per-class executions at the
    class base energy, plus the circuit-state overhead per class
    transition, the refill energy per taken branch, and the stall energy
-   per stalled cycle. Equal to the seed's per-instruction accumulation
-   up to float summation order (well within 1e-9 relative). *)
+   per stalled cycle. Equal to a per-instruction accumulation up to
+   float summation order (well within 1e-9 relative). *)
 let up_energy_of (t : t) =
   let e = ref 0.0 in
   Array.iteri

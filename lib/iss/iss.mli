@@ -9,26 +9,55 @@
     system simulator, which charges their energy on its own books; the
     hooks return the stall cycles the uP observes. This keeps the
     per-core energy split of Table 1 honest: uP energy here, everything
-    else where it physically happens. *)
+    else where it physically happens.
+
+    Execution is block-compiled: straight-line regions are lazily
+    decoded into basic-block superops (pre-aggregated cycle/class
+    accounting plus a direct-threaded closure chain) and the memory
+    hooks are invoked once per block with whole access runs — one
+    I-cache probe per block line, one D-access drain per block. The
+    per-instruction reference interpreter ({!run_stepwise}) remains as
+    the differential oracle; both paths produce identical integer
+    counters (energy may differ in float summation order only). *)
 
 type t
 (** A running machine. *)
 
 type hooks = {
-  ifetch : int -> int;
-      (** [ifetch byte_addr] models the instruction fetch; returns uP
-          stall cycles. *)
-  dread : int -> int;  (** data read at byte address; returns stalls *)
-  dwrite : int -> int;
+  ifetch_run : int -> int -> int;
+      (** [ifetch_run byte_addr n] models the fetch of [n] sequential
+          instruction words starting at [byte_addr] (one basic block, or
+          one instruction when the reference engine runs); returns total
+          uP stall cycles. *)
+  daccess_run : int array -> int -> int;
+      (** [daccess_run buf n]: the first [n] entries of [buf] are the
+          block's data accesses in program order, each packed as
+          [byte_addr lor write_bit] (data addresses are word-aligned, so
+          bit 0 is free); returns total uP stall cycles. The buffer is
+          owned by the machine and only valid during the call. *)
   acall : t -> int -> unit;
       (** [acall machine k]: execute ASIC cluster [k]. The callback may
           use {!read_mem}/{!write_mem}/{!push_output} and must add the
           ASIC's cycles via {!add_asic_cycles}. The uP core is shut down
-          meanwhile (no uP energy, no uP cycles). *)
+          meanwhile (no uP energy, no uP cycles). All of the machine's
+          pending data accesses are drained before the callback runs. *)
 }
 
 val null_hooks : hooks
 (** No memory system: zero stalls, failing [acall]. *)
+
+val word_hooks :
+  ?ifetch:(int -> int) ->
+  ?dread:(int -> int) ->
+  ?dwrite:(int -> int) ->
+  ?acall:(t -> int -> unit) ->
+  unit ->
+  hooks
+(** Build bulk hooks from per-word callbacks: each fetch run is expanded
+    into one [ifetch] call per instruction word and each drained data
+    access into one [dread]/[dwrite] call, in program order. For tests
+    and tracing; omitted callbacks return zero stalls ([acall] fails
+    like {!null_hooks}). *)
 
 exception Runtime_error of string
 
@@ -39,7 +68,17 @@ val load_data : t -> int -> int array -> unit
 (** Preload a data-memory image at a word address. *)
 
 val run : t -> unit
-(** Execute until [Halt]. @raise Runtime_error on a dynamic error. *)
+(** Execute until [Halt] on the block-compiled path.
+    @raise Runtime_error on a dynamic error. *)
+
+val run_stepwise : t -> unit
+(** Execute until [Halt] one instruction at a time — the reference
+    engine the block path is differentially tested against. Hooks see
+    runs of length 1. *)
+
+val block_stats : t -> int * int
+(** [(blocks_decoded, block_entries)]: static superops compiled so far
+    and dynamic block executions. [run_stepwise] leaves both at 0. *)
 
 (** {2 State access (also for [acall] callbacks)} *)
 

@@ -45,7 +45,18 @@ let mem_energy_j t ~runtime_s =
 
 (* 4-cycle first-word latency, then one word per cycle (page-mode
    burst). *)
-let miss_penalty_cycles ~words = if words <= 0 then 0 else 4 + words
+let first_word_latency = 4
+
+let miss_penalty_cycles ~words =
+  if words <= 0 then 0 else first_word_latency + words
+
+(* Sum of [miss_penalty_cycles] over [misses] events that together
+   moved [words] words: the penalty is linear in both, so the batched
+   cache paths can charge a whole run of misses at once without
+   replaying the individual events. Exact as long as every event moved
+   at least one word, which every cache miss does. *)
+let miss_penalty_run ~misses ~words =
+  if misses <= 0 then 0 else (first_word_latency * misses) + words
 
 let pp_totals ppf t =
   Format.fprintf ppf

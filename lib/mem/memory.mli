@@ -44,4 +44,10 @@ val miss_penalty_cycles : words:int -> int
 (** Stall cycles the uP pays for a line transfer of [words] (first-word
     latency + per-word streaming). *)
 
+val miss_penalty_run : misses:int -> words:int -> int
+(** Exact sum of {!miss_penalty_cycles} over [misses] miss events that
+    together moved [words] words (each event moving at least one word):
+    the penalty is linear in both, so batched cache runs charge a whole
+    run in one call. *)
+
 val pp_totals : Format.formatter -> totals -> unit

@@ -204,6 +204,87 @@ type accounting = {
   mutable asic_invocations : int;
 }
 
+(* The uP-side memory system as bulk ISS hooks. The block engine hands
+   over whole access runs — one I-fetch run per basic block, one
+   D-access drain per block — and the hooks settle each run with as few
+   cache probes as possible: sequential fetches go through
+   [Cache.read_run] (one probe per line), and the D-access buffer is
+   walked once, coalescing maximal runs of same-kind accesses that stay
+   on one cache line (or inside the uncached mailbox window) into a
+   single [Cache.access_run] / mailbox charge. Accounting is identical
+   to per-access hooks: runs are consecutive subsequences of the
+   per-stream access order, and the I- and D-streams touch disjoint
+   caches, so batching never reorders what a cache observes.
+
+   Exposed (with the mailbox window defaulting to empty) so the
+   differential tests can wire the production memory system to both the
+   block engine and the per-instruction reference engine. *)
+let memory_hooks ~icache ~dcache ~mem ?(mailbox_lo = 0) ?(mailbox_hi = 0)
+    ~acall () =
+  let charge_run (re : Cache.run_event) =
+    if re.Cache.run_misses = 0 && re.Cache.run_through_words = 0 then 0
+    else begin
+      Memory.mem_read_words mem re.Cache.run_fill_words;
+      Memory.bus_read_words mem re.Cache.run_fill_words;
+      let wr = re.Cache.run_writeback_words + re.Cache.run_through_words in
+      Memory.mem_write_words mem wr;
+      Memory.bus_write_words mem wr;
+      Memory.miss_penalty_run ~misses:re.Cache.run_misses
+        ~words:re.Cache.run_miss_words
+    end
+  in
+  let ifetch_run addr n = charge_run (Cache.read_run icache addr n) in
+  let in_mailbox w = w >= mailbox_lo && w < mailbox_hi in
+  let word_of e = ((e - (e land 1)) - Isa.data_base_byte) lsr 2 in
+  let daccess_run buf n =
+    let stalls = ref 0 in
+    let i = ref 0 in
+    while !i < n do
+      let e = Array.unsafe_get buf !i in
+      let wbit = e land 1 in
+      let addr = e - wbit in
+      let j = ref (!i + 1) in
+      let stop = ref false in
+      if in_mailbox ((addr - Isa.data_base_byte) lsr 2) then begin
+        (* Uncached handover words: straight over the bus, one
+           single-word transaction each. *)
+        while (not !stop) && !j < n do
+          let e' = Array.unsafe_get buf !j in
+          if e' land 1 = wbit && in_mailbox (word_of e') then incr j
+          else stop := true
+        done;
+        let k = !j - !i in
+        if wbit = 1 then begin
+          Memory.mem_write_words mem k;
+          Memory.bus_write_words mem k
+        end
+        else begin
+          Memory.mem_read_words mem k;
+          Memory.bus_read_words mem k
+        end;
+        stalls := !stalls + (k * Memory.miss_penalty_cycles ~words:1)
+      end
+      else begin
+        let line = Cache.line_of dcache addr in
+        while (not !stop) && !j < n do
+          let e' = Array.unsafe_get buf !j in
+          if
+            e' land 1 = wbit
+            && Cache.line_of dcache (e' - wbit) = line
+            && not (in_mailbox (word_of e'))
+          then incr j
+          else stop := true
+        done;
+        let k = !j - !i in
+        stalls :=
+          !stalls + charge_run (Cache.access_run dcache addr ~write:(wbit = 1) k)
+      end;
+      i := !j
+    done;
+    !stalls
+  in
+  { Iss.ifetch_run; daccess_run; acall }
+
 let run ?(config = default_config) ?(tasks = []) (p : program) =
   let stubs =
     List.map
@@ -224,49 +305,6 @@ let run ?(config = default_config) ?(tasks = []) (p : program) =
   (* Word-address window of the uncached mailbox region. *)
   let mailbox_lo = layout.Compiler.mailbox_base in
   let mailbox_hi = layout.Compiler.stack_top - Compiler.stack_words in
-  let data_word_of_byte a = (a - Isa.data_base_byte) / 4 in
-  let charge_line_traffic ev =
-    Memory.mem_read_words mem ev.Cache.fill_words;
-    Memory.bus_read_words mem ev.Cache.fill_words;
-    Memory.mem_write_words mem ev.Cache.writeback_words;
-    Memory.bus_write_words mem ev.Cache.writeback_words;
-    Memory.mem_write_words mem ev.Cache.through_words;
-    Memory.bus_write_words mem ev.Cache.through_words;
-    let words =
-      ev.Cache.fill_words + ev.Cache.writeback_words + ev.Cache.through_words
-    in
-    if ev.Cache.hit then 0 else Memory.miss_penalty_cycles ~words
-  in
-  (* Hooks: a cache hit that moves no words stalls the uP for zero
-     cycles and touches neither memory nor bus, so the allocation-free
-     [Cache.read_hit]/[write_hit] probe settles the common case without
-     building an event. [false] means nothing was accounted — fall
-     through to the event path. *)
-  let ifetch addr =
-    if Cache.read_hit icache addr then 0
-    else charge_line_traffic (Cache.read icache addr)
-  in
-  let dread addr =
-    let w = data_word_of_byte addr in
-    if w >= mailbox_lo && w < mailbox_hi then begin
-      (* Uncached handover word: straight over the bus. *)
-      Memory.mem_read_word mem;
-      Memory.bus_read_words mem 1;
-      Memory.miss_penalty_cycles ~words:1
-    end
-    else if Cache.read_hit dcache addr then 0
-    else charge_line_traffic (Cache.read dcache addr)
-  in
-  let dwrite addr =
-    let w = data_word_of_byte addr in
-    if w >= mailbox_lo && w < mailbox_hi then begin
-      Memory.mem_write_word mem;
-      Memory.bus_write_words mem 1;
-      Memory.miss_penalty_cycles ~words:1
-    end
-    else if Cache.write_hit dcache addr then 0
-    else charge_line_traffic (Cache.write dcache addr)
-  in
   (* Per-task invariants (mailbox geometry, mini program, scratch
      images, burst counts) are prepared once; acall dispatch is a
      hashtable probe instead of the seed's [List.find_opt] +
@@ -356,7 +394,7 @@ let run ?(config = default_config) ?(tasks = []) (p : program) =
       acc.asic_energy
       +. (task.power_w *. float_of_int total_cycles *. Cmos6.clock_period_s)
   in
-  let hooks = { Iss.ifetch; dread; dwrite; acall } in
+  let hooks = memory_hooks ~icache ~dcache ~mem ~mailbox_lo ~mailbox_hi ~acall () in
   let machine = Iss.create ~fuel:config.fuel prog hooks in
   List.iter
     (fun (base, img) -> Iss.load_data machine base img)

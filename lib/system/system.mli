@@ -89,6 +89,24 @@ val total_energy_j : report -> float
 val total_cycles : report -> int
 val runtime_s : report -> float
 
+val memory_hooks :
+  icache:Lp_cache.Cache.t ->
+  dcache:Lp_cache.Cache.t ->
+  mem:Lp_mem.Memory.t ->
+  ?mailbox_lo:int ->
+  ?mailbox_hi:int ->
+  acall:(Lp_iss.Iss.t -> int -> unit) ->
+  unit ->
+  Lp_iss.Iss.hooks
+(** The uP-side memory system as bulk ISS hooks: sequential instruction
+    fetches settle with one cache probe per line, and the D-access
+    buffer is coalesced into maximal same-line same-kind runs (accesses
+    inside the uncached mailbox word-address window
+    [\[mailbox_lo, mailbox_hi)], default empty, go straight over the
+    bus). Accounting is access-for-access identical to per-word hooks;
+    exposed so the differential tests can wire the production memory
+    system to both ISS engines. *)
+
 val run : ?config:config -> ?tasks:asic_task list -> Lp_ir.Ast.program -> report
 (** [run p] compiles and simulates [p]. With [tasks], the corresponding
     clusters execute on ASIC cores ([Acall] handshake); without, the

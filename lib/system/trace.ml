@@ -13,13 +13,17 @@ let capture ?(fuel = 200_000_000) p =
     Lp_graph.Vec.push trace.events e;
     0 (* no stalls: the trace tool has no memory system *)
   in
+  (* Per-word hooks over the block engine's bulk interface: runs are
+     expanded back into one event per access, in program order, so the
+     captured stream is identical to per-instruction execution. *)
   let hooks =
-    {
-      Iss.ifetch = (fun a -> push (Ifetch a));
-      dread = (fun a -> push (Dread a));
-      dwrite = (fun a -> push (Dwrite a));
-      acall = (fun _ _ -> raise (Iss.Runtime_error "trace capture is software-only"));
-    }
+    Iss.word_hooks
+      ~ifetch:(fun a -> push (Ifetch a))
+      ~dread:(fun a -> push (Dread a))
+      ~dwrite:(fun a -> push (Dwrite a))
+      ~acall:(fun _ _ ->
+        raise (Iss.Runtime_error "trace capture is software-only"))
+      ()
   in
   let m = Iss.create ~fuel prog hooks in
   List.iter

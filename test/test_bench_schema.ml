@@ -67,9 +67,27 @@ let test_schema () =
       if not (List.mem required stage_names) then
         Alcotest.failf "stages is missing %S" required)
     [ "system-sim"; "full-flow-seq"; "full-flow-par"; "full-flow-warm" ];
-  (* sim: co-simulation metrics. *)
+  (* sim: co-simulation metrics. The MIPS floor is a perf regression
+     gate, not just a shape check: the block-compiled engine holds the
+     committed figure above [mips_floor] on the long-trace workload, and
+     a re-benchmarked BENCH_flow.json that falls under it fails tier-1
+     until either the regression is fixed or the floor is consciously
+     renegotiated here. *)
+  let mips_floor = 200.0 in
   let sim = obj doc "sim" in
-  Alcotest.(check bool) "iss_mips > 0" true (num sim "iss_mips" > 0.0);
+  Alcotest.(check bool)
+    (Printf.sprintf "iss_mips >= %.0f (got %.1f)" mips_floor
+       (num sim "iss_mips"))
+    true
+    (num sim "iss_mips" >= mips_floor);
+  ignore (str sim "iss_workload");
+  Alcotest.(check bool)
+    "iss_trace_instrs > 1000 (long trace)" true
+    (int_ sim "iss_trace_instrs" > 1000);
+  Alcotest.(check bool) "iss_superops > 0" true (int_ sim "iss_superops" > 0);
+  Alcotest.(check bool)
+    "superops amortize (> 4 instrs per dynamic entry)" true
+    (int_ sim "iss_trace_instrs" > 4 * int_ sim "iss_superop_entries");
   Alcotest.(check bool)
     "initial_cold_ms > 0" true
     (num sim "initial_cold_ms" > 0.0);
@@ -88,6 +106,23 @@ let test_schema () =
       "parallel_speedup";
       "memo_warm_speedup";
     ];
+  (* The parallel figure is only meaningful when some app's candidate
+     fan-out reaches the pool threshold; below it the flow never
+     dispatches to the pool and the file must say so rather than
+     advertise a bogus speedup (or get flagged for an honest ~1.0x). *)
+  Alcotest.(check bool)
+    "max_candidate_pairs counted" true
+    (int_ flow "max_candidate_pairs" >= 0);
+  (match Option.bind
+           (Json.member "below_pool_threshold" flow)
+           Json.to_bool_opt
+   with
+  | None -> Alcotest.fail "flow.below_pool_threshold missing or not a bool"
+  | Some true -> ()
+  | Some false ->
+      Alcotest.(check bool)
+        "parallel speedup must be real when above pool threshold" true
+        (num flow "parallel_speedup" > 1.0));
   (* flow.stages: one cold run's per-pipeline-stage wall seconds, one
      key per Flow stage in pipeline order. *)
   let flow_stages = obj flow "stages" in

@@ -70,7 +70,7 @@ let test_branch_costs () =
 let test_stall_hooks () =
   (* dread returns 3 stall cycles per access: they must show up in
      stall_cycles, not uP cycles. *)
-  let hooks = { Iss.null_hooks with Iss.dread = (fun _ -> 3) } in
+  let hooks = Iss.word_hooks ~dread:(fun _ -> 3) () in
   let _, r =
     machine ~hooks
       [
@@ -86,9 +86,7 @@ let test_stall_hooks () =
 
 let test_ifetch_hook_counts () =
   let fetches = ref 0 in
-  let hooks =
-    { Iss.null_hooks with Iss.ifetch = (fun _ -> incr fetches; 0) }
-  in
+  let hooks = Iss.word_hooks ~ifetch:(fun _ -> incr fetches; 0) () in
   let _, r = machine ~hooks [ Asm.Instr Isa.Nop; Asm.Instr Isa.Halt ] in
   Alcotest.(check int) "one fetch per instruction" r.Iss.instr_count !fetches
 
@@ -119,15 +117,13 @@ let test_inter_instruction_overhead () =
 let test_acall_callback () =
   let invoked = ref [] in
   let hooks =
-    {
-      Iss.null_hooks with
-      Iss.acall =
-        (fun m k ->
-          invoked := k :: !invoked;
-          Iss.write_mem m 5 77;
-          Iss.push_output m 1000;
-          Iss.add_asic_cycles m 42);
-    }
+    Iss.word_hooks
+      ~acall:(fun m k ->
+        invoked := k :: !invoked;
+        Iss.write_mem m 5 77;
+        Iss.push_output m 1000;
+        Iss.add_asic_cycles m 42)
+      ()
   in
   let _, r =
     machine ~hooks
