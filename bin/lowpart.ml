@@ -38,24 +38,50 @@ let resolve_apps names =
       let rec go acc = function
         | [] -> Ok (List.rev acc)
         | n :: rest -> (
-            match Lp_apps.Apps.find n with
-            | Some e -> go (e :: acc) rest
-            | None ->
-                Error
-                  (Printf.sprintf "unknown application %S (try: %s)" n
-                     (String.concat ", " Lp_apps.Apps.names)))
+            match Lp_apps.Apps.resolve n with
+            | Ok e -> go (e :: acc) rest
+            | Error msg -> Error msg)
       in
       go [] names
 
 let list_cmd =
   let doc = "List the benchmark applications." in
-  let run () =
-    List.iter
-      (fun (e : Lp_apps.Apps.entry) ->
-        Printf.printf "%-8s %s\n" e.name e.description)
-      Lp_apps.Apps.all
+  let corpus_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "bench/corpus.json") (some string) None
+      & info [ "corpus" ] ~docv:"FILE"
+          ~doc:
+            "Instead of the built-in applications, list the tracked \
+             generator corpus from $(docv) (default bench/corpus.json): \
+             spec, fingerprint, size and trace length of every pinned \
+             workload.")
   in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+  let run corpus =
+    match corpus with
+    | None ->
+        List.iter
+          (fun (e : Lp_apps.Apps.entry) ->
+            Printf.printf "%-8s %s\n" e.name e.description)
+          Lp_apps.Apps.all;
+        Printf.printf
+          "\ngenerated apps: gen:<class>:<seed> with class one of %s\n"
+          (String.concat ", " Lp_gen.Gen.class_names)
+    | Some path -> (
+        match Lp_bench.Corpus.load path with
+        | Error msg ->
+            Printf.eprintf "lowpart list --corpus: %s: %s\n" path msg;
+            exit 1
+        | Ok entries ->
+            Printf.printf "%-16s %-32s %8s %12s\n" "spec" "fingerprint"
+              "stmts" "trace";
+            List.iter
+              (fun (e : Lp_bench.Corpus.entry) ->
+                Printf.printf "%-16s %-32s %8d %12d\n" e.spec e.fingerprint
+                  e.stmts e.trace_instrs)
+              entries)
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ corpus_arg)
 
 let apps_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Applications to run (default: all).")
@@ -196,11 +222,11 @@ let simulate_cmd =
   let doc = "Simulate the unpartitioned design of one application." in
   let run verbose name =
     setup_logs verbose;
-    match Lp_apps.Apps.find name with
-    | None ->
-        prerr_endline ("unknown application " ^ name);
+    match Lp_apps.Apps.resolve name with
+    | Error msg ->
+        prerr_endline msg;
         exit 2
-    | Some e ->
+    | Ok e ->
         let report = Lp_system.System.run (e.build ()) in
         Format.printf "%a@." Lp_system.System.pp_report report;
         print_newline ();
@@ -215,11 +241,11 @@ let asm_arg =
 let dump_cmd =
   let doc = "Print an application's IR or compiled assembly." in
   let run name asm =
-    match Lp_apps.Apps.find name with
-    | None ->
-        prerr_endline ("unknown application " ^ name);
+    match Lp_apps.Apps.resolve name with
+    | Error msg ->
+        prerr_endline msg;
         exit 2
-    | Some e ->
+    | Ok e ->
         let p = e.build () in
         if asm then begin
           let prog, _layout = Lp_compiler.Compiler.compile p in
@@ -233,11 +259,11 @@ let synth_cmd =
   let doc = "Run the flow and emit structural Verilog for every synthesised core." in
   let run verbose name =
     setup_logs verbose;
-    match Lp_apps.Apps.find name with
-    | None ->
-        prerr_endline ("unknown application " ^ name);
+    match Lp_apps.Apps.resolve name with
+    | Error msg ->
+        prerr_endline msg;
         exit 2
-    | Some e -> (
+    | Ok e -> (
         let r = Lp_core.Flow.run ~name:e.Lp_apps.Apps.name (e.build ()) in
         match r.Lp_core.Flow.cores with
         | [] -> print_endline "// no clusters selected: nothing to synthesise"
@@ -285,11 +311,11 @@ let file_cmd =
 let graph_cmd =
   let doc = "Emit graphviz (dot) for an application's cluster chain and              its kernels' dataflow graphs." in
   let run name =
-    match Lp_apps.Apps.find name with
-    | None ->
-        prerr_endline ("unknown application " ^ name);
+    match Lp_apps.Apps.resolve name with
+    | Error msg ->
+        prerr_endline msg;
         exit 2
-    | Some e ->
+    | Ok e ->
         let p = e.build () in
         let chain = Lp_cluster.Cluster.decompose p in
         print_endline (Lp_report.Export.chain_dot chain);

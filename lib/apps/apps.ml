@@ -44,8 +44,36 @@ let extended =
       };
     ]
 
-let find name =
-  let lower = String.lowercase_ascii name in
-  List.find_opt (fun e -> String.lowercase_ascii e.name = lower) extended
+let gen_entry spec seed =
+  let name = Lp_gen.Gen.name spec ~seed in
+  {
+    name;
+    description =
+      Printf.sprintf "generated (%s): %s" spec.Lp_gen.Gen.class_name
+        spec.Lp_gen.Gen.description;
+    build = (fun () -> Lp_gen.Gen.generate spec ~seed);
+  }
+
+let resolve name =
+  if Lp_gen.Gen.is_gen_name name then
+    match Lp_gen.Gen.parse_name name with
+    | Ok (spec, seed) -> Ok (gen_entry spec seed)
+    | Error msg -> Error msg
+  else
+    let lower = String.lowercase_ascii name in
+    match
+      List.find_opt (fun e -> String.lowercase_ascii e.name = lower) extended
+    with
+    | Some e -> Ok e
+    | None ->
+        Error
+          (Printf.sprintf
+             "unknown application %S (apps: %s; or gen:<class>:<seed> with \
+              classes: %s)"
+             name
+             (String.concat ", " (List.map (fun e -> e.name) extended))
+             (String.concat ", " Lp_gen.Gen.class_names))
+
+let find name = Result.to_option (resolve name)
 
 let names = List.map (fun e -> e.name) all

@@ -18,7 +18,15 @@ val extended : entry list
     {e why} it is future work: the utilisation-driven partitioner finds
     almost nothing to move. Not part of the Table 1 reproduction. *)
 
+val resolve : string -> (entry, string) result
+(** Resolve any accepted application name: the paper apps (plus
+    "protocol") by case-insensitive lookup, and generated workloads as
+    [gen:<class>:<seed>] specs (see {!Lp_gen.Gen.parse_name}). [Error]
+    carries a human-readable explanation — unknown app, unknown
+    generator class, malformed spec — listing what would have been
+    accepted. *)
+
 val find : string -> entry option
-(** Lookup by name (case-insensitive). *)
+(** [resolve] with the error collapsed to [None]. *)
 
 val names : string list

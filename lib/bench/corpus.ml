@@ -1,0 +1,121 @@
+module Gen = Lp_gen.Gen
+module J = Lp_json
+
+type entry = {
+  spec : string;
+  class_name : string;
+  seed : int;
+  fingerprint : string;
+  stmts : int;
+  trace_instrs : int;
+}
+
+let default_pairs =
+  [
+    ("paper", 1);
+    ("paper", 2);
+    ("wide", 1);
+    ("deep", 1);
+    ("large", 1);
+    ("stress", 1);
+  ]
+
+let trace_instrs program =
+  let prog, layout = Lp_compiler.Compiler.compile program in
+  let data = Lp_compiler.Compiler.initial_data program layout in
+  let m = Lp_iss.Iss.create prog Lp_iss.Iss.null_hooks in
+  List.iter (fun (base, img) -> Lp_iss.Iss.load_data m base img) data;
+  Lp_iss.Iss.run m;
+  (Lp_iss.Iss.result m).Lp_iss.Iss.instr_count
+
+let measure (spec : Gen.spec) ~seed =
+  let program = Gen.generate spec ~seed in
+  {
+    spec = Gen.name spec ~seed;
+    class_name = spec.Gen.class_name;
+    seed;
+    fingerprint = Gen.fingerprint program;
+    stmts = Lp_ir.Ast.stmt_count program;
+    trace_instrs = trace_instrs program;
+  }
+
+let entry_json e =
+  J.Assoc
+    [
+      ("spec", J.String e.spec);
+      ("class", J.String e.class_name);
+      ("seed", J.Int e.seed);
+      ("fingerprint", J.String e.fingerprint);
+      ("stmts", J.Int e.stmts);
+      ("trace_instrs", J.Int e.trace_instrs);
+    ]
+
+let manifest_json entries =
+  J.Assoc
+    [
+      ("schema", J.String "lowpart-corpus/1");
+      ("entries", J.List (List.map entry_json entries));
+    ]
+
+let entry_of_json j =
+  match
+    ( J.string_field j "spec",
+      J.string_field j "class",
+      J.int_field j "seed",
+      J.string_field j "fingerprint",
+      J.int_field j "stmts",
+      J.int_field j "trace_instrs" )
+  with
+  | Some spec, Some class_name, Some seed, Some fingerprint, Some stmts,
+    Some trace_instrs ->
+      Ok { spec; class_name; seed; fingerprint; stmts; trace_instrs }
+  | _ -> Error "corpus entry: missing or ill-typed field"
+
+let of_json j =
+  match (J.string_field j "schema", J.member "entries" j) with
+  | Some "lowpart-corpus/1", Some (J.List es) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | e :: rest -> (
+            match entry_of_json e with
+            | Ok entry -> go (entry :: acc) rest
+            | Error _ as err -> err)
+      in
+      go [] es
+  | Some "lowpart-corpus/1", _ -> Error "corpus manifest: missing entries"
+  | Some other, _ ->
+      Error (Printf.sprintf "corpus manifest: unknown schema %S" other)
+  | None, _ -> Error "corpus manifest: missing schema"
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text -> (
+      match J.parse text with Ok j -> of_json j | Error msg -> Error msg)
+
+let save path entries =
+  Out_channel.with_open_bin path (fun oc ->
+      J.to_channel oc (manifest_json entries);
+      Out_channel.output_char oc '\n')
+
+let verify entries =
+  List.filter_map
+    (fun e ->
+      match Gen.parse_name e.spec with
+      | Error msg -> Some (Printf.sprintf "%s: bad spec (%s)" e.spec msg)
+      | Ok (spec, seed) ->
+          let fresh = measure spec ~seed in
+          if not (String.equal fresh.fingerprint e.fingerprint) then
+            Some
+              (Printf.sprintf "%s: fingerprint drift (manifest %s, got %s)"
+                 e.spec e.fingerprint fresh.fingerprint)
+          else if fresh.trace_instrs <> e.trace_instrs then
+            Some
+              (Printf.sprintf "%s: trace length drift (manifest %d, got %d)"
+                 e.spec e.trace_instrs fresh.trace_instrs)
+          else if fresh.stmts <> e.stmts then
+            Some
+              (Printf.sprintf "%s: statement count drift (manifest %d, got %d)"
+                 e.spec e.stmts fresh.stmts)
+          else None)
+    entries

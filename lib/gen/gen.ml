@@ -1,0 +1,597 @@
+(* Seeded synthetic workload generator. See gen.mli for the
+   determinism contract; the short version is that everything below is
+   a pure function of (spec, seed) through an explicit splitmix64
+   stream — no global state, no [Random], no dependence on sids (the
+   builder renumbers densely at the end). *)
+
+module Ast = Lp_ir.Ast
+
+(* --- explicit PRNG ------------------------------------------------ *)
+
+module Rng = struct
+  type t = { mutable s : int64 }
+
+  let create seed = { s = Int64.of_int seed }
+
+  let next t =
+    t.s <- Int64.add t.s 0x9E3779B97F4A7C15L;
+    let z = t.s in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+        0xBF58476D1CE4E5B9L
+    in
+    let z =
+      Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+        0x94D049BB133111EBL
+    in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let float t =
+    Int64.to_float (Int64.shift_right_logical (next t) 11) *. 0x1p-53
+
+  let int t n = min (n - 1) (int_of_float (float t *. float_of_int n))
+  let range t lo hi = lo + int t (hi - lo + 1)
+  let pick t l = List.nth l (int t (List.length l))
+end
+
+(* --- size classes ------------------------------------------------- *)
+
+type spec = {
+  class_name : string;
+  description : string;
+  clusters : int;
+  body_min : int;
+  body_max : int;
+  iters_min : int;
+  iters_max : int;
+  nest_prob : float;
+  branch_prob : float;
+  call_prob : float;
+  mem_prob : float;
+  load_prob : float;
+  arrays : int;
+  array_words : int;
+  hot_prob : float;
+  hot_boost : int;
+  expr_depth : int;
+}
+
+(* Per-cluster operator palette. The default resource sets differ in
+   which operations they can execute at all (e.g. [tiny] has no
+   multiplier, logic unit or memory port), so giving each cluster a
+   palette — instead of one uniform op distribution — is what makes the
+   (cluster x resource set) evaluation matrix non-trivial: a [Plain]
+   cluster schedules on every set, a [Logic] cluster on everything but
+   [tiny], a [Dsp] cluster only on the multiplier-bearing sets. *)
+type palette = Plain | Logic | Dsp
+
+let classes =
+  [
+    {
+      class_name = "paper";
+      description =
+        "paper-scale: ~10 clusters, trace in the tens of thousands of \
+         instructions, a couple of hot kernels";
+      clusters = 10;
+      body_min = 3;
+      body_max = 8;
+      iters_min = 4;
+      iters_max = 12;
+      nest_prob = 0.2;
+      branch_prob = 0.25;
+      call_prob = 0.2;
+      mem_prob = 0.25;
+      load_prob = 0.3;
+      arrays = 2;
+      array_words = 1024;
+      hot_prob = 0.25;
+      hot_boost = 32;
+      expr_depth = 3;
+    };
+    {
+      class_name = "wide";
+      description =
+        "wide candidate fan-out: 48 mid-sized clusters, exceeds the flow's \
+         pool threshold at n_max >= clusters";
+      clusters = 48;
+      body_min = 6;
+      body_max = 14;
+      iters_min = 3;
+      iters_max = 8;
+      nest_prob = 0.1;
+      branch_prob = 0.2;
+      call_prob = 0.1;
+      mem_prob = 0.25;
+      load_prob = 0.3;
+      arrays = 4;
+      array_words = 1024;
+      hot_prob = 0.08;
+      hot_boost = 24;
+      expr_depth = 3;
+    };
+    {
+      class_name = "deep";
+      description =
+        "few clusters with very large straight-line bodies: candidate \
+         evaluation (scheduling + binding big DFGs) dominates the flow";
+      clusters = 16;
+      body_min = 20;
+      body_max = 40;
+      iters_min = 2;
+      iters_max = 5;
+      nest_prob = 0.0;
+      branch_prob = 0.0;
+      call_prob = 0.08;
+      mem_prob = 0.2;
+      load_prob = 0.25;
+      arrays = 2;
+      array_words = 512;
+      hot_prob = 0.15;
+      hot_boost = 12;
+      expr_depth = 4;
+    };
+    {
+      class_name = "large";
+      description = "hundreds of clusters, ~million-instruction traces";
+      clusters = 320;
+      body_min = 4;
+      body_max = 12;
+      iters_min = 4;
+      iters_max = 12;
+      nest_prob = 0.1;
+      branch_prob = 0.2;
+      call_prob = 0.15;
+      mem_prob = 0.25;
+      load_prob = 0.3;
+      arrays = 8;
+      array_words = 2048;
+      hot_prob = 0.06;
+      hot_boost = 24;
+      expr_depth = 3;
+    };
+    {
+      class_name = "stress";
+      description =
+        "thousands of clusters: scale-limit workloads for generation, \
+         compilation and trace benchmarks (a full flow at this cluster \
+         count is minutes, not milliseconds)";
+      clusters = 2048;
+      body_min = 3;
+      body_max = 8;
+      iters_min = 2;
+      iters_max = 6;
+      nest_prob = 0.05;
+      branch_prob = 0.2;
+      call_prob = 0.15;
+      mem_prob = 0.25;
+      load_prob = 0.3;
+      arrays = 8;
+      array_words = 4096;
+      hot_prob = 0.03;
+      hot_boost = 16;
+      expr_depth = 2;
+    };
+  ]
+
+let find_class name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun s -> String.equal s.class_name lower) classes
+
+let class_names = List.map (fun s -> s.class_name) classes
+
+(* --- spec names --------------------------------------------------- *)
+
+let name spec ~seed = Printf.sprintf "gen:%s:%d" spec.class_name seed
+
+let is_gen_name s =
+  String.length s >= 4 && String.lowercase_ascii (String.sub s 0 4) = "gen:"
+
+let parse_name s =
+  let classes_hint = String.concat ", " class_names in
+  match String.split_on_char ':' (String.lowercase_ascii s) with
+  | [ "gen"; cls; seed ] -> (
+      match find_class cls with
+      | None ->
+          Error
+            (Printf.sprintf "unknown generator class %S (classes: %s)" cls
+               classes_hint)
+      | Some spec -> (
+          match int_of_string_opt seed with
+          | Some n when n >= 0 -> Ok (spec, n)
+          | Some _ -> Error "generator seed must be non-negative"
+          | None ->
+              Error
+                (Printf.sprintf
+                   "bad generator seed %S (want a decimal integer)" seed)))
+  | "gen" :: _ ->
+      Error
+        (Printf.sprintf
+           "malformed generator spec %S (want gen:<class>:<seed>, classes: %s)"
+           s classes_hint)
+  | _ ->
+      Error
+        (Printf.sprintf "not a generator spec %S (want gen:<class>:<seed>)" s)
+
+(* --- program generation ------------------------------------------- *)
+
+(* Helper functions included in every generated program. Clusters that
+   call one of them are pinned to software (a cluster containing a call
+   is never an ASIC candidate), which keeps the partitioner's rejection
+   path exercised on every workload. *)
+let helper_mix = "h_mix"
+let helper_step = "h_step"
+
+let helpers =
+  let open Lp_ir.Builder in
+  [
+    func helper_mix ~params:[ "a"; "v" ] ~locals:[]
+      [ return (((var "a" * int 31) + var "v") &&& int 0xFFFFFF) ];
+    (* The one division in any generated program lives here, behind a
+       structural [>= 1] guard. Generated cluster bodies never divide:
+       no default resource set carries a divider, so a division would
+       make its cluster unschedulable on every set. *)
+    func helper_step ~params:[ "x" ] ~locals:[]
+      [
+        return
+          ((var "x" / ((var "x" &&& int 15) + int 1))
+           + ((var "x" * int 1103515245) + int 12345)
+          &&& int 0x3FFFFFFF);
+      ];
+  ]
+
+let scalars = [ "s"; "t"; "u"; "acc" ]
+
+let array_name i = Printf.sprintf "g%d" i
+
+(* Expression generator. Leaves are immediates, scalars (plus any
+   in-scope loop indices) and — with [load_prob], in palettes whose
+   resource sets have a memory port — masked array loads; interior
+   nodes are binops drawn from the cluster's palette. Shift amounts
+   are small constants (well-defined on every backend). *)
+(* The Builder DSL shadows the stdlib arithmetic and comparison
+   operators, so everything below computes its random decisions in
+   plain OCaml first and only then drops into a [B.( ... )] scope to
+   assemble IR. *)
+module B = Lp_ir.Builder
+
+(* [List.init]/[Array.init] do not promise an application order for the
+   element function; these do (increasing index), which the PRNG stream
+   depends on. *)
+let init_list n f =
+  let rec go acc i = if i >= n then List.rev acc else go (f i :: acc) (i + 1) in
+  go [] 0
+
+let init_array n f =
+  if n = 0 then [||]
+  else begin
+    let a = Array.make n (f 0) in
+    for i = 1 to n - 1 do
+      a.(i) <- f i
+    done;
+    a
+  end
+
+(* [Plain] avoids loads entirely (the [tiny] set has no memory port);
+   the other palettes load with the spec's probability. *)
+let palette_load_prob (spec : spec) = function
+  | Plain -> 0.0
+  | Logic | Dsp -> spec.load_prob
+
+let gen_expr rng (spec : spec) ~palette ~vars depth =
+  let mask = spec.array_words - 1 in
+  let load_prob = palette_load_prob spec palette in
+  let rec leaf () =
+    let r = Rng.float rng in
+    if r < load_prob then B.load (array_name (Rng.int rng spec.arrays)) (idx 0)
+    else if r < load_prob +. 0.35 then B.int (Rng.range rng 0 0xFFFF)
+    else B.var (Rng.pick rng vars)
+  and idx d = B.(go d &&& int mask)
+  and go d =
+    if d <= 0 then leaf ()
+    else
+      let d' = d - 1 in
+      (* Subtrees are sequenced with explicit lets: OCaml does not
+         specify argument evaluation order, and the PRNG stream (hence
+         the fingerprint) must not depend on it. *)
+      let binop mk =
+        let l = go d' in
+        let r = go d' in
+        mk l r
+      in
+      let shift mk =
+        let e = go d' in
+        let sh = Rng.range rng 1 8 in
+        mk e sh
+      in
+      match palette with
+      | Plain -> (
+          (* adders and comparators only: schedulable even on [tiny] *)
+          match Rng.int rng 4 with
+          | 0 | 1 -> binop (fun l r -> B.(l + r))
+          | 2 -> binop (fun l r -> B.(l - r))
+          | _ -> leaf ())
+      | Logic -> (
+          match Rng.int rng 8 with
+          | 0 -> binop (fun l r -> B.(l + r))
+          | 1 -> binop (fun l r -> B.(l ^^^ r))
+          | 2 -> binop (fun l r -> B.(l &&& r))
+          | 3 -> binop (fun l r -> B.(l ||| r))
+          | 4 -> shift (fun e sh -> B.(e <<< int sh))
+          | 5 -> shift (fun e sh -> B.(e >>> int sh))
+          | 6 -> binop (fun l r -> B.(l - r))
+          | _ -> leaf ())
+      | Dsp -> (
+          match Rng.int rng 8 with
+          | 0 | 1 -> binop (fun l r -> B.(l * r))
+          | 2 | 3 -> binop (fun l r -> B.(l + r))
+          | 4 -> binop (fun l r -> B.(l - r))
+          | 5 -> shift (fun e sh -> B.(e >>> int sh))
+          | _ -> leaf ())
+  in
+  go depth
+
+let gen_cond rng spec ~palette ~vars depth =
+  let a = gen_expr rng spec ~palette ~vars (depth - 1) in
+  let b = gen_expr rng spec ~palette ~vars (depth - 1) in
+  match Rng.int rng 4 with
+  | 0 -> B.(a < b)
+  | 1 -> B.(a >= b)
+  | 2 ->
+      let bit = 1 lsl Rng.range rng 0 7 in
+      B.((a &&& int bit) == int 0)
+  | _ -> B.(a != b)
+
+(* One straight-line statement: either an array store (probability
+   [mem_prob], never in [Plain] palettes) or an assignment to a
+   rotating scalar target. *)
+let gen_stmt rng (spec : spec) ~palette ~vars () =
+  let mask = spec.array_words - 1 in
+  let mem_prob = if palette = Plain then 0.0 else spec.mem_prob in
+  if Rng.float rng < mem_prob then
+    let arr = array_name (Rng.int rng spec.arrays) in
+    let ix = gen_expr rng spec ~palette ~vars (spec.expr_depth - 1) in
+    let v = gen_expr rng spec ~palette ~vars spec.expr_depth in
+    B.(store arr (ix &&& int mask) v)
+  else
+    let target = Rng.pick rng scalars in
+    let e = gen_expr rng spec ~palette ~vars spec.expr_depth in
+    B.(target := e)
+
+let gen_body rng spec ~palette ~vars n =
+  init_list n (fun _ -> gen_stmt rng spec ~palette ~vars ())
+
+(* One top-level cluster — a counted loop (constant trip counts: every
+   generated program terminates).
+
+   Hot clusters ([hot_prob]) are the partitioner's prey, shaped like
+   the hot kernels of the paper's applications: a small straight-line
+   body over a hardware-friendly palette, no calls, no branches, and
+   [hot_boost]x the trip count. High execution count x small datapath
+   = exactly the energy/cells ratio the objective function rewards, so
+   generated programs give the greedy selection real work instead of a
+   wall of unprofitable candidates.
+
+   Cold clusters carry the structural diversity: a random palette,
+   optional if/else split ([branch_prob]), optional inner loop
+   ([nest_prob]) and optional helper call ([call_prob] — such clusters
+   are pinned to software, keeping the reject path exercised). *)
+let gen_cluster rng (spec : spec) =
+  let hot = Rng.float rng < spec.hot_prob in
+  if hot then begin
+    let iters = Rng.range rng spec.iters_min spec.iters_max * spec.hot_boost in
+    let palette = if Rng.float rng < 0.6 then Dsp else Plain in
+    let n = max 2 (min 5 spec.body_min) in
+    let depth = min 2 spec.expr_depth in
+    let vars = "k" :: scalars in
+    let body =
+      init_list n (fun _ ->
+          let target = Rng.pick rng scalars in
+          let e = gen_expr rng spec ~palette ~vars depth in
+          B.(target := e))
+    in
+    let body =
+      body @ [ B.("acc" := (var "acc" <<< int 1) + var "s" &&& int 0xFFFFFF) ]
+    in
+    B.(for_ "k" (int 0) (int iters) body)
+  end
+  else begin
+    let iters = Rng.range rng spec.iters_min spec.iters_max in
+    let palette =
+      match Rng.int rng 3 with 0 -> Plain | 1 -> Logic | _ -> Dsp
+    in
+    let n = Rng.range rng spec.body_min spec.body_max in
+    let vars = "k" :: scalars in
+    let body =
+      if Rng.float rng < spec.branch_prob && n >= 2 then begin
+        let n_then = max 1 (n / 2) in
+        let n_else = max 1 (n - n_then) in
+        let c = gen_cond rng spec ~palette ~vars spec.expr_depth in
+        let th = gen_body rng spec ~palette ~vars n_then in
+        let el = gen_body rng spec ~palette ~vars n_else in
+        [ B.if_ c th el ]
+      end
+      else if Rng.float rng < spec.nest_prob && n >= 3 then begin
+        let n_inner = max 1 (n / 2) in
+        let inner_iters = Rng.range rng 2 4 in
+        let inner_body =
+          gen_body rng spec ~palette ~vars:("l" :: vars) n_inner
+        in
+        let inner = B.(for_ "l" (int 0) (int inner_iters) inner_body) in
+        inner :: gen_body rng spec ~palette ~vars (n - n_inner)
+      end
+      else gen_body rng spec ~palette ~vars n
+    in
+    let body =
+      if Rng.float rng < spec.call_prob then
+        let callee = if Rng.float rng < 0.5 then helper_mix else helper_step in
+        let args =
+          if String.equal callee helper_mix then B.[ var "acc"; var "k" ]
+          else [ B.var "acc" ]
+        in
+        body @ [ B.("acc" := call callee args) ]
+      else body
+    in
+    let body =
+      (* Every iteration feeds the accumulator, so cluster work is
+         observable through the final prints whatever the partitioner
+         decides. *)
+      body @ [ B.("acc" := (var "acc" <<< int 1) + var "s" &&& int 0xFFFFFF) ]
+    in
+    B.(for_ "k" (int 0) (int iters) body)
+  end
+
+let generate (spec : spec) ~seed =
+  let rng =
+    Rng.create ((seed * 2654435761) lxor Hashtbl.hash spec.class_name)
+  in
+  let arrays =
+    init_list spec.arrays (fun i ->
+        if i = 0 then
+          (* One array ships a seeded init image, so initial data layout
+             and compiler data sections are exercised too. *)
+          B.array_init (array_name i)
+            (init_array spec.array_words (fun _ ->
+                 Int64.to_int (Int64.logand (Rng.next rng) 0xFFFFL)))
+        else B.array (array_name i) spec.array_words)
+  in
+  let s0 = Rng.range rng 1 0xFFFF in
+  let t0 = Rng.range rng 1 0xFFFF in
+  let u0 = Rng.range rng 1 0xFFFF in
+  let prologue =
+    [
+      B.("s" := int s0);
+      B.("t" := int t0);
+      B.("u" := int u0);
+      B.("acc" := int 0);
+    ]
+  in
+  let body =
+    List.concat
+      (init_list spec.clusters (fun _ ->
+           let cluster = gen_cluster rng spec in
+           (* Occasional straight statements between loops become
+              "straight" clusters in the decomposition, mirroring the
+              inter-loop glue of real applications. *)
+           if Rng.float rng < 0.3 then
+             [ cluster; gen_stmt rng spec ~palette:Logic ~vars:scalars () ]
+           else [ cluster ]))
+  in
+  let epilogue =
+    B.[ print (var "acc"); print (var "s"); print (var "t"); print (var "u") ]
+  in
+  B.program ~arrays
+    (B.func "main" ~params:[] ~locals:scalars (prologue @ body @ epilogue)
+    :: helpers)
+
+(* --- canonical fingerprint ---------------------------------------- *)
+
+(* Structural serialization in the style of [Lp_core.Memo]'s candidate
+   fingerprints, but over the whole program and with no profile: one
+   tagged token per node, lengths before variable-length payloads.
+   Dense renumbering already normalises sids, and they are omitted
+   anyway, so the digest depends on program structure alone. *)
+
+let add_int buf n =
+  Buffer.add_char buf 'i';
+  Buffer.add_string buf (string_of_int n);
+  Buffer.add_char buf ';'
+
+let add_str buf s =
+  Buffer.add_char buf 's';
+  add_int buf (String.length s);
+  Buffer.add_string buf s
+
+let rec add_expr buf (e : Ast.expr) =
+  match e with
+  | Ast.Int n ->
+      Buffer.add_char buf 'I';
+      add_int buf n
+  | Ast.Var v ->
+      Buffer.add_char buf 'V';
+      add_str buf v
+  | Ast.Load (a, i) ->
+      Buffer.add_char buf 'L';
+      add_str buf a;
+      add_expr buf i
+  | Ast.Binop (op, l, r) ->
+      Buffer.add_char buf 'B';
+      add_str buf (Ast.binop_to_string op);
+      add_expr buf l;
+      add_expr buf r
+  | Ast.Unop (op, e) ->
+      Buffer.add_char buf 'U';
+      add_str buf (Ast.unop_to_string op);
+      add_expr buf e
+  | Ast.Call (f, args) ->
+      Buffer.add_char buf 'C';
+      add_str buf f;
+      add_int buf (List.length args);
+      List.iter (add_expr buf) args
+
+let rec add_stmt buf (s : Ast.stmt) =
+  match s.Ast.node with
+  | Ast.Assign (v, e) ->
+      Buffer.add_char buf 'a';
+      add_str buf v;
+      add_expr buf e
+  | Ast.Store (a, i, v) ->
+      Buffer.add_char buf 't';
+      add_str buf a;
+      add_expr buf i;
+      add_expr buf v
+  | Ast.If (c, th, el) ->
+      Buffer.add_char buf 'f';
+      add_expr buf c;
+      add_stmts buf th;
+      add_stmts buf el
+  | Ast.While (c, body) ->
+      Buffer.add_char buf 'w';
+      add_expr buf c;
+      add_stmts buf body
+  | Ast.For (v, lo, hi, body) ->
+      Buffer.add_char buf 'o';
+      add_str buf v;
+      add_expr buf lo;
+      add_expr buf hi;
+      add_stmts buf body
+  | Ast.Print e ->
+      Buffer.add_char buf 'p';
+      add_expr buf e
+  | Ast.Return None -> Buffer.add_char buf 'r'
+  | Ast.Return (Some e) ->
+      Buffer.add_char buf 'R';
+      add_expr buf e
+  | Ast.Expr e ->
+      Buffer.add_char buf 'e';
+      add_expr buf e
+
+and add_stmts buf stmts =
+  add_int buf (List.length stmts);
+  List.iter (add_stmt buf) stmts
+
+let fingerprint (p : Ast.program) =
+  let buf = Buffer.create 4096 in
+  add_str buf p.Ast.entry;
+  add_int buf (List.length p.Ast.arrays);
+  List.iter
+    (fun (a : Ast.array_decl) ->
+      add_str buf a.Ast.aname;
+      add_int buf a.Ast.size;
+      match a.Ast.init with
+      | None -> Buffer.add_char buf 'n'
+      | Some img ->
+          Buffer.add_char buf 'y';
+          add_int buf (Array.length img);
+          Array.iter (add_int buf) img)
+    p.Ast.arrays;
+  add_int buf (List.length p.Ast.funcs);
+  List.iter
+    (fun (f : Ast.func) ->
+      add_str buf f.Ast.fname;
+      add_int buf (List.length f.Ast.params);
+      List.iter (add_str buf) f.Ast.params;
+      add_int buf (List.length f.Ast.locals);
+      List.iter (add_str buf) f.Ast.locals;
+      add_stmts buf f.Ast.body)
+    p.Ast.funcs;
+  Digest.to_hex (Digest.string (Buffer.contents buf))

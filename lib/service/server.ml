@@ -93,14 +93,13 @@ let listen_tcp port =
 
 (* --- request execution -------------------------------------------- *)
 
+(* [Apps.resolve] also accepts generated [gen:<class>:<seed>] specs; a
+   malformed spec surfaces its parse error under the same [unknown_app]
+   protocol code as a bad built-in name. *)
 let find_app name =
-  match Apps.find name with
-  | Some e -> Ok e
-  | None ->
-      Error
-        ( "unknown_app",
-          Printf.sprintf "unknown application %S (try: %s)" name
-            (String.concat ", " Apps.names) )
+  match Apps.resolve name with
+  | Ok e -> Ok e
+  | Error msg -> Error ("unknown_app", msg)
 
 (* Stage-time accounting: every completed [run] folds its
    [Flow.stage_times] into the server-wide totals surfaced by

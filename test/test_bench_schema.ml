@@ -3,9 +3,9 @@
    part of the repo's contract. Parses the committed file with Lp_json
    and asserts the keys and types the speed suite promises — including
    the "sim" co-simulation block and the "system-sim" stage row the
-   acceptance criteria reference. The "service" and "explore" blocks
-   are optional (the serve and explore suites merge them in
-   separately). *)
+   acceptance criteria reference. The "service", "explore" and "corpus"
+   blocks are optional (the serve, explore and corpus suites merge them
+   in separately). *)
 
 module Json = Lp_json
 
@@ -69,11 +69,12 @@ let test_schema () =
     [ "system-sim"; "full-flow-seq"; "full-flow-par"; "full-flow-warm" ];
   (* sim: co-simulation metrics. The MIPS floor is a perf regression
      gate, not just a shape check: the block-compiled engine holds the
-     committed figure above [mips_floor] on the long-trace workload, and
-     a re-benchmarked BENCH_flow.json that falls under it fails tier-1
+     committed figure above the floor on the long-trace workload, and a
+     re-benchmarked BENCH_flow.json that falls under it fails tier-1
      until either the regression is fixed or the floor is consciously
-     renegotiated here. *)
-  let mips_floor = 200.0 in
+     renegotiated. The number itself lives in {!Lp_bench.Gates} so this
+     test and the A/B comparator can never disagree about it. *)
+  let mips_floor = Lp_bench.Gates.iss_mips_floor in
   let sim = obj doc "sim" in
   Alcotest.(check bool)
     (Printf.sprintf "iss_mips >= %.0f (got %.1f)" mips_floor
@@ -103,13 +104,14 @@ let test_schema () =
       "sequential_s";
       "parallel_s";
       "memo_warm_s";
-      "parallel_speedup";
+      "parallel_speedup_paper";
       "memo_warm_speedup";
     ];
-  (* The parallel figure is only meaningful when some app's candidate
-     fan-out reaches the pool threshold; below it the flow never
-     dispatches to the pool and the file must say so rather than
-     advertise a bogus speedup (or get flagged for an honest ~1.0x). *)
+  (* The paper-app parallel figure is only meaningful when some app's
+     candidate fan-out reaches the pool threshold; below it the flow
+     never dispatches to the pool and the file must say so rather than
+     advertise a bogus speedup (or get flagged for an honest ~1.0x).
+     The above-threshold measurement lives in the corpus block. *)
   Alcotest.(check bool)
     "max_candidate_pairs counted" true
     (int_ flow "max_candidate_pairs" >= 0);
@@ -121,8 +123,8 @@ let test_schema () =
   | Some true -> ()
   | Some false ->
       Alcotest.(check bool)
-        "parallel speedup must be real when above pool threshold" true
-        (num flow "parallel_speedup" > 1.0));
+        "paper parallel speedup must be real when above pool threshold" true
+        (num flow "parallel_speedup_paper" > 1.0));
   (* flow.stages: one cold run's per-pipeline-stage wall seconds, one
      key per Flow stage in pipeline order. *)
   let flow_stages = obj flow "stages" in
@@ -151,6 +153,46 @@ let test_schema () =
   | Some service ->
       Alcotest.(check string)
         "service schema tag" "lowpart-bench-service/1" (str service "schema"));
+  (* corpus is merged in by the corpus suite; when present it carries
+     the generated-workload flow benches, with the host-shape fields the
+     comparator's conditional speedup floor keys off. *)
+  (match Json.member "corpus" doc with
+  | None -> ()
+  | Some corpus ->
+      Alcotest.(check string)
+        "corpus schema tag" "lowpart-bench-corpus/1" (str corpus "schema");
+      let jobs = int_ corpus "jobs" in
+      Alcotest.(check bool) "corpus jobs >= 1" true (jobs >= 1);
+      Alcotest.(check bool) "corpus host_cpus >= 1" true
+        (int_ corpus "host_cpus" >= 1);
+      Alcotest.(check bool)
+        "corpus manifest tracks >= 4 size classes" true
+        (int_ corpus "manifest_entries" >= 4);
+      let tasks = arr corpus "tasks" in
+      Alcotest.(check bool) "corpus tasks non-empty" true (tasks <> []);
+      let any_above =
+        List.exists
+          (fun t ->
+            ignore (str t "spec");
+            Alcotest.(check bool)
+              (str t "spec" ^ " pairs counted")
+              true
+              (int_ t "pairs" >= 0);
+            Option.bind (Json.member "above_pool_threshold" t) Json.to_bool_opt
+            = Some true)
+          tasks
+      in
+      Alcotest.(check bool)
+        "at least one corpus task is above the pool threshold" true any_above;
+      let speedup = num corpus "parallel_speedup" in
+      (* The same conditional floor the comparator enforces: a real
+         speedup when the flow actually fans out, sanity otherwise. *)
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "corpus parallel_speedup %.3f respects the jobs=%d floor" speedup
+           jobs)
+        true
+        (speedup >= Lp_bench.Gates.corpus_speedup_floor ~jobs));
   (* explore is merged in by the explorer suite; when present it carries
      per-app sweep latencies and strategy-efficiency counters. *)
   match Json.member "explore" doc with

@@ -151,6 +151,34 @@ let test_protocol_errors () =
             "errors counted" true
             (stats_int stats "requests" "errors" >= 4)))
 
+let test_gen_specs () =
+  (* Generated [gen:<class>:<seed>] specs go through the same protocol
+     paths as built-in names: a valid spec runs the flow, a malformed
+     one comes back as a clean [unknown_app] with the parse error —
+     never a crash or a generic failure. *)
+  with_server (fun socket ->
+      with_client socket (fun c ->
+          (match
+             (Client.rpc c
+                (Protocol.Run
+                   { app = "gen:paper:1"; options = Protocol.no_options }))
+               .Protocol.payload
+           with
+          | Ok v ->
+              Alcotest.(check (option string))
+                "result names the spec" (Some "gen:paper:1")
+                (J.string_field v "app")
+          | Error (code, msg) ->
+              Alcotest.failf "gen:paper:1 should run: %s: %s" code msg);
+          List.iter
+            (fun bad ->
+              expect_code (Printf.sprintf "malformed spec %S" bad)
+                "unknown_app"
+                (Client.rpc c
+                   (Protocol.Run { app = bad; options = Protocol.no_options })))
+            [ "gen:bogus:1"; "gen:paper:"; "gen:paper:12junk"; "gen:paper:-3" ]));
+  Lp_core.Memo.reset ()
+
 let test_run_byte_identical () =
   (* Force first: the lazy resets the memo after computing, which must
      not happen between the daemon's two runs below. *)
@@ -465,6 +493,8 @@ let () =
         [
           Alcotest.test_case "run byte-identical" `Quick
             test_run_byte_identical;
+          Alcotest.test_case "generated specs over the wire" `Quick
+            test_gen_specs;
           Alcotest.test_case "explore request" `Quick test_explore_request;
           Alcotest.test_case "concurrent clients" `Quick
             test_concurrent_clients;
