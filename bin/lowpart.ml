@@ -565,6 +565,81 @@ let serve_cmd =
       const run $ verbose_arg $ socket_arg $ tcp_arg $ workers_arg $ queue_arg
       $ timeout_arg $ cache_dir_arg $ no_persist_arg)
 
+let fleet_cmd =
+  let doc =
+    "Run the partitioning service as a sharded multi-process fleet: a \
+     router process owning the sockets plus one worker process per shard, \
+     requests routed by consistent-hashing the program fingerprint so \
+     repeat requests hit a hot in-memory cache. All shards share the \
+     persistent disk cache."
+  in
+  let shards_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "shards" ] ~docv:"N" ~doc:"Worker processes to spawn.")
+  in
+  let workers_arg =
+    Arg.(
+      value
+      & opt int Lp_core.Flow.default_jobs
+      & info [ "workers" ] ~docv:"N"
+          ~doc:"Worker domains per shard answering compute requests.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Per-shard bound on in-flight compute requests; past it the \
+             router answers a structured $(i,overloaded) error carrying \
+             $(i,retry_after_ms) and the chosen $(i,shard).")
+  in
+  let timeout_arg =
+    Arg.(
+      value & opt float 300.0
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-request compute deadline (0 disables it).")
+  in
+  let cache_dir_arg =
+    Arg.(
+      value
+      & opt string ".lowpart-cache"
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:"Persistent candidate cache shared by all shards.")
+  in
+  let no_persist_arg =
+    Arg.(
+      value & flag
+      & info [ "no-persist" ]
+          ~doc:"Keep the candidate caches in memory only (per shard).")
+  in
+  let run verbose socket tcp shards workers queue timeout cache_dir
+      no_persist =
+    setup_logs verbose;
+    let config =
+      {
+        Lp_service.Fleet.socket_path = Some socket;
+        tcp_port = tcp;
+        shards;
+        workers;
+        queue_bound = queue;
+        timeout_s = timeout;
+        cache_dir = (if no_persist then None else Some cache_dir);
+        handle_signals = true;
+      }
+    in
+    match Lp_service.Fleet.serve config with
+    | () -> ()
+    | exception Unix.Unix_error (err, fn, arg) ->
+        Printf.eprintf "fleet: %s (%s %s)\n" (Unix.error_message err) fn arg;
+        exit 1
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const run $ verbose_arg $ socket_arg $ tcp_arg $ shards_arg
+      $ workers_arg $ queue_arg $ timeout_arg $ cache_dir_arg
+      $ no_persist_arg)
+
 let endpoint socket tcp =
   match tcp with
   | Some port -> Lp_service.Client.Tcp ("127.0.0.1", port)
@@ -590,7 +665,17 @@ let print_payload (resp : Lp_service.Protocol.response) =
 
 let client_run_cmd =
   let doc = "Ask the daemon to run the flow (same payload as run --json)." in
-  let run socket tcp names f n_max jobs optimize unroll peephole =
+  let stream_arg =
+    Arg.(
+      value & flag
+      & info [ "stream" ]
+          ~doc:
+            "Stream per-stage progress: the daemon interleaves one \
+             {\"event\":\"stage\",...} JSON line per completed flow stage \
+             before the result (printed as they arrive), and the run \
+             payloads carry a trailing \"stages\" object.")
+  in
+  let run socket tcp names f n_max jobs optimize unroll peephole stream =
     let names =
       match names with [] -> Lp_apps.Apps.names | names -> names
     in
@@ -612,8 +697,9 @@ let client_run_cmd =
           List.map
             (fun app ->
               let resp =
-                Lp_service.Client.rpc c
-                  (Lp_service.Protocol.Run { app; options })
+                Lp_service.Client.rpc_stream c
+                  ~on_event:(fun ev -> print_endline (Lp_json.to_string ev))
+                  (Lp_service.Protocol.Run { app; options; stream })
               in
               match resp.Lp_service.Protocol.payload with
               | Ok payload -> Lp_json.to_string payload
@@ -628,7 +714,7 @@ let client_run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ apps_arg $ f_arg $ nmax_arg
-      $ jobs_arg $ optimize_arg $ unroll_arg $ peephole_arg)
+      $ jobs_arg $ optimize_arg $ unroll_arg $ peephole_arg $ stream_arg)
 
 let client_simulate_cmd =
   let doc = "Ask the daemon to simulate the unpartitioned design." in
@@ -695,6 +781,11 @@ let client_cmd =
       client_plain_cmd "stats"
         "Server counters and candidate-cache statistics."
         Lp_service.Protocol.Stats;
+      client_plain_cmd "metrics"
+        "Scrape-ready metrics: outcomes, latency histogram with \
+         percentiles, queue high-water, per-stage totals (per shard plus \
+         merged totals under a fleet)."
+        Lp_service.Protocol.Metrics;
       client_plain_cmd "shutdown" "Stop the daemon gracefully."
         Lp_service.Protocol.Shutdown;
     ]
@@ -713,7 +804,12 @@ let main_cmd =
       file_cmd;
       explore_cmd;
       serve_cmd;
+      fleet_cmd;
       client_cmd;
     ]
 
-let () = exit (Cmd.eval main_cmd)
+let () =
+  (* Fleet workers are re-execs of this binary; this is a no-op in
+     every other invocation. *)
+  Lp_service.Fleet.maybe_exec_worker ();
+  exit (Cmd.eval main_cmd)

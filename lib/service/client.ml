@@ -33,14 +33,29 @@ let send_line t line =
 
 let recv_line t = try Some (input_line t.ic) with End_of_file -> None
 
+(* Streamed stage events arrive on the same connection before the
+   response line; plain RPCs hand them to [on_event] (dropping them by
+   default) and return the first real response. *)
+let rec recv_response t ~on_event =
+  match recv_line t with
+  | None -> failwith "service closed the connection"
+  | Some line ->
+      let json = Lp_json.of_string line in
+      if Protocol.is_event json then begin
+        on_event json;
+        recv_response t ~on_event
+      end
+      else json
+
 let rpc_json t json =
   send_line t (Lp_json.to_string json);
-  match recv_line t with
-  | Some line -> Lp_json.of_string line
-  | None -> failwith "service closed the connection"
+  recv_response t ~on_event:ignore
 
-let rpc t ?id request =
-  let resp = rpc_json t (Protocol.request_to_json ?id request) in
+let rpc_stream t ?id ~on_event request =
+  send_line t (Lp_json.to_string (Protocol.request_to_json ?id request));
+  let resp = recv_response t ~on_event in
   match Protocol.parse_response resp with
   | Ok r -> r
   | Error msg -> failwith ("unintelligible response: " ^ msg)
+
+let rpc t ?id request = rpc_stream t ?id ~on_event:ignore request

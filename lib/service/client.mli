@@ -19,10 +19,20 @@ val recv_line : t -> string option
 (** Next response line; [None] on EOF. *)
 
 val rpc : t -> ?id:Lp_json.t -> Protocol.request -> Protocol.response
-(** Encode, send, and wait for the matching response line.
+(** Encode, send, and wait for the matching response line. Streamed
+    event lines arriving first are silently discarded.
     @raise Failure on EOF or an unparseable response (a broken daemon,
     not a failing request — those come back as [Error] payloads). *)
 
+val rpc_stream :
+  t ->
+  ?id:Lp_json.t ->
+  on_event:(Lp_json.t -> unit) ->
+  Protocol.request ->
+  Protocol.response
+(** {!rpc}, but hand each interleaved {!Protocol.stage_event} line to
+    [on_event] as it arrives (use with [Run {stream = true; _}]). *)
+
 val rpc_json : t -> Lp_json.t -> Lp_json.t
 (** Raw variant: send any value as the request line, return the parsed
-    response line. @raise Failure on EOF. *)
+    response line (skipping event lines). @raise Failure on EOF. *)

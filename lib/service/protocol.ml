@@ -56,7 +56,7 @@ let no_explore_options =
   }
 
 type request =
-  | Run of { app : string; options : run_options }
+  | Run of { app : string; options : run_options; stream : bool }
   | Simulate of { app : string; options : run_options }
   | Explore of {
       app : string;
@@ -65,6 +65,7 @@ type request =
     }
   | List_apps
   | Stats
+  | Metrics
   | Shutdown
 
 let cmd_name = function
@@ -73,6 +74,7 @@ let cmd_name = function
   | Explore _ -> "explore"
   | List_apps -> "list"
   | Stats -> "stats"
+  | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
 (* Daemon-side default: requests are sequential inside ([jobs = 1]) —
@@ -251,7 +253,11 @@ let parse_request json =
                 | Ok options -> Ok (k app options))
           in
           match cmd with
-          | "run" -> with_app (fun app options -> Run { app; options })
+          | "run" ->
+              let stream =
+                Option.value (J.bool_field json "stream") ~default:false
+              in
+              with_app (fun app options -> Run { app; options; stream })
           | "simulate" -> with_app (fun app options -> Simulate { app; options })
           | "explore" -> (
               match explore_options_of_json (J.member "explore" json) with
@@ -261,6 +267,7 @@ let parse_request json =
               )
           | "list" -> Ok List_apps
           | "stats" -> Ok Stats
+          | "metrics" -> Ok Metrics
           | "shutdown" -> Ok Shutdown
           | other ->
               Error ("unknown_cmd", Printf.sprintf "unknown cmd %S" other)))
@@ -314,8 +321,9 @@ let request_to_json ?(id = J.Null) req =
   let id_field = match id with J.Null -> [] | v -> [ ("id", v) ] in
   let body =
     match req with
-    | Run { app; options } ->
+    | Run { app; options; stream } ->
         [ ("app", J.String app); ("options", options_to_json options) ]
+        @ if stream then [ ("stream", J.Bool true) ] else []
     | Simulate { app; options } ->
         [ ("app", J.String app); ("options", options_to_json options) ]
     | Explore { app; options; explore } ->
@@ -324,7 +332,7 @@ let request_to_json ?(id = J.Null) req =
           ("options", options_to_json options);
           ("explore", explore_options_to_json explore);
         ]
-    | List_apps | Stats | Shutdown -> []
+    | List_apps | Stats | Metrics | Shutdown -> []
   in
   J.Assoc (id_field @ [ ("cmd", J.String (cmd_name req)) ] @ body)
 
@@ -332,18 +340,42 @@ let ok_response ~id ~cmd payload =
   J.Assoc
     [ ("id", id); ("ok", J.Bool true); ("cmd", J.String cmd); ("result", payload) ]
 
-let error_response ~id ~code ~message =
+let error_response_data ~id ~code ~message ~data =
   J.Assoc
     [
       ("id", id);
       ("ok", J.Bool false);
       ( "error",
-        J.Assoc [ ("code", J.String code); ("message", J.String message) ] );
+        J.Assoc
+          ([ ("code", J.String code); ("message", J.String message) ] @ data)
+      );
     ]
+
+let error_response ~id ~code ~message =
+  error_response_data ~id ~code ~message ~data:[]
+
+(* --- streamed events ----------------------------------------------- *)
+
+let stage_event ~id ~seq ~stage ~dt_s =
+  J.Assoc
+    [
+      ("id", id);
+      ("event", J.String "stage");
+      ("stage", J.String stage);
+      ("seq", J.Int seq);
+      ("s", J.Float dt_s);
+    ]
+
+(* An event line carries "event" and no "ok"; a response always
+   carries "ok". Clients use this to interleave the two on one
+   connection. *)
+let is_event json =
+  J.member "event" json <> None && J.bool_field json "ok" = None
 
 type response = {
   resp_id : Lp_json.t;
   payload : (Lp_json.t, string * string) result;
+  resp_error : Lp_json.t option;
 }
 
 let parse_response json =
@@ -351,7 +383,7 @@ let parse_response json =
   match J.bool_field json "ok" with
   | Some true -> (
       match J.member "result" json with
-      | Some payload -> Ok { resp_id; payload = Ok payload }
+      | Some payload -> Ok { resp_id; payload = Ok payload; resp_error = None }
       | None -> Error "ok response without \"result\"")
   | Some false -> (
       match J.member "error" json with
@@ -360,6 +392,6 @@ let parse_response json =
           let message =
             Option.value (J.string_field err "message") ~default:""
           in
-          Ok { resp_id; payload = Error (code, message) }
+          Ok { resp_id; payload = Error (code, message); resp_error = Some err }
       | None -> Error "error response without \"error\"")
   | None -> Error "response must carry a boolean \"ok\""

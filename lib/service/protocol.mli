@@ -10,7 +10,9 @@
 
     [id] is optional and echoed verbatim in the response (clients use
     it to correlate). [cmd] is one of [run], [simulate], [list],
-    [stats], [shutdown]; [run] and [simulate] name an [app]. [options]
+    [stats], [metrics], [shutdown]; [run] and [simulate] name an
+    [app], and [run] may set ["stream": true] to receive interleaved
+    {!stage_event} progress lines. [options]
     (optional, [run]/[simulate]) carries the {!Lp_core.Flow.options}
     surface:
 
@@ -56,13 +58,20 @@
     {!Lp_explore.Explore.to_json} — one element of
     [lowpart explore --json]; [list] an array of
     [{"name", "description"}]; [stats] server counters plus the memo
-    tiers and cumulative per-stage flow times; [shutdown]
+    tiers and cumulative per-stage flow times; [metrics] the
+    scrape-ready counters of {!Metrics} (per-shard payloads plus
+    merged totals under a fleet); [shutdown]
     [{"stopping": true}]. Error codes: [parse], [bad_request],
-    [unknown_cmd], [unknown_app], [overloaded], [timeout] (the
+    [unknown_cmd], [unknown_app], [overloaded] (past the admission
+    bound; under a fleet the error object carries [retry_after_ms] and
+    [shard]), [timeout] (the
     deadline fired — the request was cancelled and its worker freed),
     [cancelled] (the flow was cancelled mid-run; the message names the
     active stage when known), [verification_failed] (the partitioned
-    design's outputs diverged from the reference), [failed]. A failing
+    design's outputs diverged from the reference), [shard_lost] (fleet
+    only: the worker process owning the request died mid-flight; the
+    router respawns the shard, so retrying is reasonable), [failed]. A
+    failing
     request always produces an [ok: false] envelope — never a dropped
     connection, never a dead daemon. *)
 
@@ -98,7 +107,12 @@ type explore_options = {
 val no_explore_options : explore_options
 
 type request =
-  | Run of { app : string; options : run_options }
+  | Run of { app : string; options : run_options; stream : bool }
+      (** [stream = true] asks the daemon to interleave per-stage
+          progress events (see {!stage_event}) before the final
+          response, and makes the [run] payload carry a trailing
+          ["stages"] object (so the streamed durations can be checked
+          against the result's own stage times). *)
   | Simulate of { app : string; options : run_options }
   | Explore of {
       app : string;
@@ -107,6 +121,11 @@ type request =
     }
   | List_apps
   | Stats
+  | Metrics
+      (** Scrape-ready counters: outcomes, latency histogram, queue
+          high-water, per-stage totals, memo hit rates. Answered by a
+          single daemon for itself; a fleet router broadcasts it and
+          answers the per-shard payloads plus merged totals. *)
   | Shutdown
 
 val cmd_name : request -> string
@@ -146,10 +165,41 @@ val request_to_json : ?id:Lp_json.t -> request -> Lp_json.t
 val ok_response : id:Lp_json.t -> cmd:string -> Lp_json.t -> Lp_json.t
 val error_response : id:Lp_json.t -> code:string -> message:string -> Lp_json.t
 
+val error_response_data :
+  id:Lp_json.t ->
+  code:string ->
+  message:string ->
+  data:(string * Lp_json.t) list ->
+  Lp_json.t
+(** {!error_response} with extra structured fields inside the [error]
+    object — the fleet's [overloaded] rejections carry
+    [retry_after_ms] (an EWMA-based backoff hint) and [shard] (the
+    chosen shard) this way; [shard_lost] carries [shard]. *)
+
+val stage_event :
+  id:Lp_json.t -> seq:int -> stage:string -> dt_s:float -> Lp_json.t
+(** One streamed progress line for a [stream: true] run:
+
+    {[ {"id": <echo>, "event": "stage", "stage": "profile",
+        "seq": 0, "s": 0.00213} ]}
+
+    Events arrive in pipeline-stage order ([seq] increments from 0)
+    {e before} the final response, interleaved with other requests'
+    lines on a shared connection (correlate by [id]). [s] is the
+    stage's wall seconds, measured from the same clock samples as the
+    result's [stages] object — the two agree byte-for-byte. *)
+
+val is_event : Lp_json.t -> bool
+(** Whether a received line is a streamed event (carries ["event"],
+    no ["ok"]) rather than a response. *)
+
 type response = {
   resp_id : Lp_json.t;
   payload : (Lp_json.t, string * string) result;
       (** [Ok payload] or [Error (code, message)] *)
+  resp_error : Lp_json.t option;
+      (** the raw [error] object of a failing response, for structured
+          fields beyond code/message ([retry_after_ms], [shard]) *)
 }
 
 val parse_response : Lp_json.t -> (response, string) result

@@ -1,0 +1,74 @@
+(* Consistent-hash ring for the fleet router.
+
+   Shard choice must be a pure function of the routing key — identical
+   in the router, in a restarted router, and in any tool reasoning
+   about placement offline — so the hash is spelled out here (FNV-1a
+   over the raw bytes, folded to 63 bits) instead of leaning on
+   [Hashtbl.hash], whose value is not part of any compatibility
+   promise. Each shard owns [replicas] virtual points on the ring;
+   a key maps to the shard owning the first point at or clockwise
+   after the key's hash. Adding shard N+1 therefore only steals the
+   arc segments its own new points land in: every remapped key moves
+   {e to} the new shard, and the expected remapped fraction is
+   1/(N+1) of the keyspace (the qcheck laws in test_fleet pin both
+   properties). *)
+
+type t = {
+  shards : int;
+  replicas : int;
+  points : (int * int) array;  (* (hash, shard), sorted by hash *)
+}
+
+(* FNV-1a, 64-bit constants, computed in Int64 so the result is
+   identical on every host, then pushed through murmur3's fmix64
+   finalizer and folded to a non-negative OCaml int. The finalizer is
+   load-bearing: raw FNV-1a leaves the high bits of short, similar
+   strings (exactly what the ["shard-%d/%d"] vnode labels are) badly
+   clustered — without it the vnode points bunch up and a 2-shard ring
+   splits the keyspace 71/29 instead of ~50/50. *)
+let hash key =
+  let h = ref 0xcbf29ce484222325L in
+  String.iter
+    (fun c ->
+      h :=
+        Int64.mul
+          (Int64.logxor !h (Int64.of_int (Char.code c)))
+          0x100000001b3L)
+    key;
+  let h = !h in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xff51afd7ed558ccdL in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+  let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+  Int64.to_int (Int64.shift_right_logical h 1)
+
+let default_replicas = 128
+
+let create ?(replicas = default_replicas) ~shards () =
+  if shards < 1 then invalid_arg "Ring.create: shards must be >= 1";
+  if replicas < 1 then invalid_arg "Ring.create: replicas must be >= 1";
+  let points =
+    Array.init (shards * replicas) (fun i ->
+        let s = i / replicas and r = i mod replicas in
+        (hash (Printf.sprintf "shard-%d/%d" s r), s))
+  in
+  Array.sort compare points;
+  { shards; replicas; points }
+
+let shards t = t.shards
+let replicas t = t.replicas
+
+(* First point with hash >= h, wrapping to points.(0) past the end. *)
+let shard_of t key =
+  if t.shards = 1 then 0
+  else begin
+    let h = hash key in
+    let n = Array.length t.points in
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst t.points.(mid) < h then lo := mid + 1 else hi := mid
+    done;
+    snd t.points.(if !lo = n then 0 else !lo)
+  end

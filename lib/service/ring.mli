@@ -1,0 +1,31 @@
+(** Consistent-hash ring: the fleet router's shard placement.
+
+    [shard_of] is a pure function of the key and the ring shape
+    [(shards, replicas)] — deterministic across processes and hosts
+    (the hash is a spelled-out FNV-1a + murmur3 finalizer, not
+    [Hashtbl.hash]), so a
+    restarted router sends every program back to the shard whose
+    in-memory memo already knows it. With the default replica count
+    the load is balanced within a small factor of ideal, and growing
+    the fleet from N to N+1 shards remaps an expected 1/(N+1) of the
+    keyspace, every remapped key landing on the new shard. These laws
+    are pinned by qcheck in [test_fleet]. *)
+
+type t
+
+val default_replicas : int
+(** 128 virtual points per shard. *)
+
+val create : ?replicas:int -> shards:int -> unit -> t
+(** @raise Invalid_argument when [shards < 1] or [replicas < 1]. *)
+
+val shards : t -> int
+val replicas : t -> int
+
+val shard_of : t -> string -> int
+(** The shard owning [key]; in [\[0, shards)]. *)
+
+val hash : string -> int
+(** The ring's key hash (FNV-1a 64 through murmur3's fmix64
+    finalizer, folded to a non-negative int). Exposed for the
+    determinism law. *)

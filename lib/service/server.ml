@@ -1,9 +1,8 @@
-module J = Lp_json
-module Pool = Lp_parallel.Pool
-module Flow = Lp_core.Flow
-module Memo = Lp_core.Memo
-module Apps = Lp_apps.Apps
-module System = Lp_system.System
+(* The single-process daemon: socket frontend over {!Engine}. All
+   request semantics (dispatch, admission, deadlines, streamed stage
+   events, stats/metrics payloads) live in the engine; this module
+   only owns listeners, per-connection reader threads and the
+   shutdown flag. *)
 
 let log = Logs.Src.create "lp.serve" ~doc:"partitioning service daemon"
 
@@ -23,343 +22,40 @@ let default_config =
   {
     socket_path = Some "lowpart.sock";
     tcp_port = None;
-    workers = Flow.default_jobs;
+    workers = Lp_core.Flow.default_jobs;
     queue_bound = 64;
     timeout_s = 300.0;
     cache_dir = Some ".lowpart-cache";
     handle_signals = true;
   }
 
-type counters = {
-  mutable run : int;
-  mutable simulate : int;
-  mutable explore : int;
-  mutable list : int;
-  mutable stats : int;
-  mutable shutdown : int;
-  mutable errors : int;
-  mutable pending : int;  (** compute requests queued or running *)
-  mutable connections : int;  (** accepted over the lifetime *)
-  mutable active : int;  (** currently-open connections *)
-}
-
 type t = {
   cfg : config;
+  engine : Engine.t;
   listeners : Unix.file_descr list;
-  pool : Pool.t;
   stop : bool Atomic.t;
-  started_at : float;
-  m : Mutex.t;  (** guards [c], [threads] and [stage_totals] *)
-  c : counters;
-  stage_totals : float array;
-      (** cumulative wall seconds per flow stage (by [Flow.stage_rank]
-          order of {!Flow.all_stages}) over completed [run] requests *)
+  m : Mutex.t;  (** guards [threads] *)
   mutable threads : Thread.t list;
 }
 
-let counted t f =
-  Mutex.lock t.m;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.m) (fun () -> f t.c)
-
-(* --- low-level socket helpers ------------------------------------- *)
-
-let rec write_all fd s off =
-  if off < String.length s then
-    let n =
-      try Unix.write_substring fd s off (String.length s - off)
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd s (off + n)
-
-let unlink_quiet path = try Unix.unlink path with Unix.Unix_error _ -> ()
-
-let listen_unix path =
-  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  (* A previous daemon that died uncleanly leaves the socket file
-     behind; binding over it needs the unlink. A live daemon is not
-     protected against — last bind wins, as with any pidfile-less
-     service. *)
-  unlink_quiet path;
-  Unix.bind fd (Unix.ADDR_UNIX path);
-  Unix.listen fd 64;
-  fd
-
-let listen_tcp port =
-  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
-  Unix.setsockopt fd Unix.SO_REUSEADDR true;
-  Unix.bind fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
-  Unix.listen fd 64;
-  fd
-
-(* --- request execution -------------------------------------------- *)
-
-(* [Apps.resolve] also accepts generated [gen:<class>:<seed>] specs; a
-   malformed spec surfaces its parse error under the same [unknown_app]
-   protocol code as a bad built-in name. *)
-let find_app name =
-  match Apps.resolve name with
-  | Ok e -> Ok e
-  | Error msg -> Error ("unknown_app", msg)
-
-(* Stage-time accounting: every completed [run] folds its
-   [Flow.stage_times] into the server-wide totals surfaced by
-   [stats]. *)
-let record_stages t stage_times =
-  Mutex.lock t.m;
-  List.iteri
-    (fun i (_, dt) -> t.stage_totals.(i) <- t.stage_totals.(i) +. dt)
-    stage_times;
-  Mutex.unlock t.m
-
-(* The compute body of a [run]/[simulate] request; runs on a pool
-   worker domain. Returns the response payload as JSON. [cancel] is
-   the request's own token — fired by the waiter at the deadline — and
-   reaches every stage/chunk/point boundary of the flow underneath. *)
-let compute t ~cancel request =
-  match request with
-  | Protocol.Run { app; options } -> (
-      match find_app app with
-      | Error e -> Error e
-      | Ok e ->
-          let opts = Protocol.flow_options options in
-          let program = Protocol.prepare_program options (e.Apps.build ()) in
-          let r = Flow.run ~options:opts ~cancel ~name:e.Apps.name program in
-          record_stages t r.Flow.stage_times;
-          (* Parsing our own export keeps the response payload
-             byte-identical to `lowpart run --json` after the client
-             re-prints it (Lp_json round-trip stability). *)
-          Ok (J.of_string (Lp_report.Export.result_json r)))
-  | Protocol.Simulate { app; options } -> (
-      match find_app app with
-      | Error e -> Error e
-      | Ok e ->
-          let opts = Protocol.flow_options options in
-          let program = Protocol.prepare_program options (e.Apps.build ()) in
-          let report = System.run ~config:opts.Flow.config program in
-          Ok (J.of_string (Lp_report.Export.report_json report)))
-  | Protocol.Explore { app; options; explore } -> (
-      match find_app app with
-      | Error e -> Error e
-      | Ok e -> (
-          match Protocol.explore_strategy explore with
-          | Error msg -> Error ("bad_request", msg)
-          | Ok strategy ->
-              let base = Protocol.flow_options options in
-              let space = Protocol.explore_space options explore in
-              let program =
-                Protocol.prepare_program options (e.Apps.build ())
-              in
-              (* Checkpoints land next to the candidate cache, so a
-                 daemon restart resumes half-done explorations the same
-                 way it keeps its memoized candidates. Points evaluate
-                 sequentially inside the request ([jobs = 1], like
-                 [run]); the pool's width is spent across requests. *)
-              let journal_dir =
-                Option.map
-                  (fun d -> Filename.concat d "explore")
-                  (Memo.persist_dir ())
-              in
-              let r =
-                Lp_explore.Explore.run ~strategy
-                  ~seed:(Option.value explore.Protocol.seed ~default:0)
-                  ~jobs:1 ~cancel ?journal_dir ~base ~space
-                  ~name:e.Apps.name program
-              in
-              (* Printed by the same Lp_json printer the CLI uses, so
-                 the payload is byte-identical to one element of
-                 `lowpart explore --json`. *)
-              Ok (Lp_explore.Explore.to_json r)))
-  | Protocol.List_apps | Protocol.Stats | Protocol.Shutdown ->
-      (* Cheap requests never reach the pool. *)
-      assert false
-
-let list_payload () =
-  J.List
-    (List.map
-       (fun (e : Apps.entry) ->
-         J.Assoc
-           [
-             ("name", J.String e.Apps.name);
-             ("description", J.String e.Apps.description);
-           ])
-       Apps.all)
-
-let stats_payload t =
-  let ms = Memo.stats () in
-  let reqs =
-    counted t (fun c ->
-        [
-          ("run", J.Int c.run);
-          ("simulate", J.Int c.simulate);
-          ("explore", J.Int c.explore);
-          ("list", J.Int c.list);
-          ("stats", J.Int c.stats);
-          ("shutdown", J.Int c.shutdown);
-          ("errors", J.Int c.errors);
-          ("pending", J.Int c.pending);
-        ])
-  in
-  let conns =
-    counted t (fun c ->
-        [ ("accepted", J.Int c.connections); ("active", J.Int c.active) ])
-  in
-  J.Assoc
-    [
-      ("uptime_s", J.Float (Unix.gettimeofday () -. t.started_at));
-      ("workers", J.Int t.cfg.workers);
-      ("queue_bound", J.Int t.cfg.queue_bound);
-      ("requests", J.Assoc reqs);
-      ("connections", J.Assoc conns);
-      ( "memo",
-        J.Assoc
-          [
-            ("hits", J.Int ms.Memo.hits);
-            ("misses", J.Int ms.Memo.misses);
-            ("entries", J.Int ms.Memo.entries);
-            ("disk_hits", J.Int ms.Memo.disk_hits);
-            ("disk_entries", J.Int (Memo.disk_entries ()));
-          ] );
-      ( "cache_dir",
-        match Memo.persist_dir () with
-        | Some d -> J.String d
-        | None -> J.Null );
-      ( "stages",
-        J.Assoc
-          (Mutex.protect t.m (fun () ->
-               List.mapi
-                 (fun i st ->
-                   (Flow.stage_name st, J.Float t.stage_totals.(i)))
-                 Flow.all_stages)) );
-    ]
-
-(* Exception → structured error envelope. Cancellation and output
-   verification get their own codes (with the active flow stage echoed
-   when known) so clients can tell "your deadline fired" and "the
-   partition is wrong" from a generic failure. *)
-let error_of_exn ~cmd e =
-  match e with
-  | Flow.Cancelled stage ->
-      ( "cancelled",
-        Printf.sprintf "%s: cancelled during stage %S" cmd stage )
-  | Lp_parallel.Cancel.Cancelled ->
-      ("cancelled", Printf.sprintf "%s: cancelled" cmd)
-  | Flow.Verification_failed msg ->
-      ("verification_failed", Printf.sprintf "%s: %s" cmd msg)
-  | e -> ("failed", Printf.sprintf "%s: %s" cmd (Printexc.to_string e))
-
-(* Submit to the pool and wait under the request deadline with
-   [Pool.await_until] (a real condition-variable wait: resolution wakes
-   us immediately). Each request carries its own [Cancel] token; when
-   the deadline passes, the token is fired before answering [timeout],
-   so the flow aborts at its next stage/chunk/point boundary and the
-   worker domain is actually freed — a blown deadline no longer burns
-   a domain to the end of the run. *)
-let submit_and_wait t request =
-  let admitted =
-    counted t (fun c ->
-        if c.pending >= t.cfg.queue_bound then false
-        else begin
-          c.pending <- c.pending + 1;
-          true
-        end)
-  in
-  if not admitted then
-    Error
-      ( "overloaded",
-        Printf.sprintf "request queue is full (%d in flight)"
-          t.cfg.queue_bound )
-  else begin
-    let cancel = Lp_parallel.Cancel.create () in
-    let fut =
-      Pool.submit t.pool (fun () ->
-          Fun.protect
-            ~finally:(fun () -> counted t (fun c -> c.pending <- c.pending - 1))
-            (fun () ->
-              (* A request whose token fired while still queued never
-                 starts computing (the admission slot is still released
-                 by the [finally] above). *)
-              Lp_parallel.Cancel.check cancel;
-              compute t ~cancel request))
-    in
-    let deadline =
-      if t.cfg.timeout_s > 0.0 then Unix.gettimeofday () +. t.cfg.timeout_s
-      else infinity
-    in
-    match
-      if deadline = infinity then Some (Pool.await fut)
-      else Pool.await_until fut ~deadline
-    with
-    | Some payload -> payload
-    | None ->
-        Lp_parallel.Cancel.fire cancel;
-        Error
-          ( "timeout",
-            Printf.sprintf
-              "no result within %.0f s (the request was cancelled and its \
-               worker freed; completed work stayed in the cache)"
-              t.cfg.timeout_s )
-    | exception e -> Error (error_of_exn ~cmd:(Protocol.cmd_name request) e)
-  end
-
-let handle_request t request =
-  match request with
-  | Protocol.List_apps ->
-      counted t (fun c -> c.list <- c.list + 1);
-      Ok (list_payload ())
-  | Protocol.Stats ->
-      counted t (fun c -> c.stats <- c.stats + 1);
-      Ok (stats_payload t)
-  | Protocol.Shutdown ->
-      counted t (fun c -> c.shutdown <- c.shutdown + 1);
-      Atomic.set t.stop true;
-      Ok (J.Assoc [ ("stopping", J.Bool true) ])
-  | Protocol.Run _ ->
-      counted t (fun c -> c.run <- c.run + 1);
-      submit_and_wait t request
-  | Protocol.Simulate _ ->
-      counted t (fun c -> c.simulate <- c.simulate + 1);
-      submit_and_wait t request
-  | Protocol.Explore _ ->
-      counted t (fun c -> c.explore <- c.explore + 1);
-      submit_and_wait t request
-
-let response_for t line =
-  match J.of_string line with
-  | exception J.Parse_error msg ->
-      Error (J.Null, "parse", "malformed JSON: " ^ msg)
-  | json -> (
-      let id = Protocol.request_id json in
-      match Protocol.parse_request json with
-      | Error (code, message) -> Error (id, code, message)
-      | Ok request -> (
-          match handle_request t request with
-          | Ok payload -> Ok (id, Protocol.cmd_name request, payload)
-          | Error (code, message) -> Error (id, code, message)))
-
-let handle_line t fd line =
-  if String.trim line <> "" then begin
-    let response =
-      (* Nothing a request does may kill the daemon: even a bug in
-         dispatch itself degrades to an error envelope. *)
-      match response_for t line with
-      | r -> r
-      | exception e ->
-          Error (J.Null, "failed", "internal error: " ^ Printexc.to_string e)
-    in
-    let json =
-      match response with
-      | Ok (id, cmd, payload) -> Protocol.ok_response ~id ~cmd payload
-      | Error (id, code, message) ->
-          counted t (fun c -> c.errors <- c.errors + 1);
-          Protocol.error_response ~id ~code ~message
-    in
-    write_all fd (J.to_string json ^ "\n") 0
-  end
+let error_of_exn = Engine.error_of_exn
 
 (* Per-connection reader thread: accumulate bytes, dispatch complete
    lines in order. The 0.2 s select timeout doubles as the shutdown
-   poll, so a silent client cannot pin the join at teardown. *)
+   poll, so a silent client cannot pin the join at teardown. Response
+   and streamed-event lines share the socket under one write mutex —
+   the engine emits events from pool domains while this thread waits
+   on the response. *)
 let handle_conn t fd =
+  let wm = Mutex.create () in
+  let emit line =
+    Mutex.protect wm (fun () -> Netio.write_all fd (line ^ "\n") 0)
+  in
+  let handle_line line =
+    Engine.handle_line t.engine ~emit
+      ~on_shutdown:(fun () -> Atomic.set t.stop true)
+      line
+  in
   let buf = Buffer.create 1024 in
   let bytes = Bytes.create 4096 in
   let rec drain_lines () =
@@ -369,7 +65,7 @@ let handle_conn t fd =
     | Some i ->
         Buffer.clear buf;
         Buffer.add_substring buf s (i + 1) (String.length s - i - 1);
-        handle_line t fd (String.sub s 0 i);
+        handle_line (String.sub s 0 i);
         drain_lines ()
   in
   let rec loop () =
@@ -392,7 +88,7 @@ let handle_conn t fd =
          keep the daemon. *)
       Log.debug (fun m -> m "connection dropped"));
   (try Unix.close fd with Unix.Unix_error _ -> ());
-  counted t (fun c -> c.active <- c.active - 1)
+  Engine.conn_closed t.engine
 
 (* --- lifecycle ---------------------------------------------------- *)
 
@@ -400,12 +96,21 @@ let start cfg =
   if cfg.workers < 1 then invalid_arg "Server.start: workers must be >= 1";
   if cfg.socket_path = None && cfg.tcp_port = None then
     invalid_arg "Server.start: no endpoint (need a socket path or TCP port)";
-  Memo.set_persist_dir cfg.cache_dir;
+  let engine =
+    Engine.create
+      {
+        Engine.workers = cfg.workers;
+        queue_bound = cfg.queue_bound;
+        timeout_s = cfg.timeout_s;
+        cache_dir = cfg.cache_dir;
+        shard = None;
+      }
+  in
   let listeners =
     List.filter_map Fun.id
       [
-        Option.map listen_unix cfg.socket_path;
-        Option.map listen_tcp cfg.tcp_port;
+        Option.map Netio.listen_unix cfg.socket_path;
+        Option.map Netio.listen_tcp cfg.tcp_port;
       ]
   in
   Log.info (fun m ->
@@ -418,25 +123,10 @@ let start cfg =
         (match cfg.cache_dir with Some d -> d | None -> "(memory only)"));
   {
     cfg;
+    engine;
     listeners;
-    pool = Pool.create ~domains:cfg.workers ();
     stop = Atomic.make false;
-    started_at = Unix.gettimeofday ();
     m = Mutex.create ();
-    c =
-      {
-        run = 0;
-        simulate = 0;
-        explore = 0;
-        list = 0;
-        stats = 0;
-        shutdown = 0;
-        errors = 0;
-        pending = 0;
-        connections = 0;
-        active = 0;
-      };
-    stage_totals = Array.make (List.length Flow.all_stages) 0.0;
     threads = [];
   }
 
@@ -449,18 +139,17 @@ let run t =
     Sys.set_signal Sys.sigterm (Sys.Signal_handle on_signal)
   end;
   (* A client closing mid-write must surface as EPIPE, not kill us. *)
-  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let rec accept_loop () =
     if not (Atomic.get t.stop) then begin
       (match Unix.select t.listeners [] [] 0.2 with
       | readable, _, _ ->
           List.iter
             (fun lfd ->
-              match Unix.accept lfd with
+              match Unix.accept ~cloexec:true lfd with
               | fd, _ ->
-                  counted t (fun c ->
-                      c.connections <- c.connections + 1;
-                      c.active <- c.active + 1);
+                  Engine.conn_opened t.engine;
                   let th = Thread.create (fun () -> handle_conn t fd) () in
                   Mutex.lock t.m;
                   t.threads <- th :: t.threads;
@@ -474,10 +163,12 @@ let run t =
   in
   accept_loop ();
   Log.info (fun m -> m "shutting down");
-  List.iter (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ()) t.listeners;
-  Option.iter unlink_quiet t.cfg.socket_path;
+  List.iter
+    (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+    t.listeners;
+  Option.iter Netio.unlink_quiet t.cfg.socket_path;
   let threads = Mutex.protect t.m (fun () -> t.threads) in
   List.iter Thread.join threads;
-  Pool.shutdown t.pool
+  Engine.shutdown t.engine
 
 let serve cfg = run (start cfg)

@@ -24,7 +24,13 @@
     exploration-point boundary and the worker domain goes back to
     serving live requests. [stats] additionally reports cumulative
     per-stage flow wall times (the ["stages"] object, one entry per
-    {!Lp_core.Flow.all_stages} member). *)
+    {!Lp_core.Flow.all_stages} member).
+
+    Request semantics live in {!Engine} (shared with {!Fleet} worker
+    processes); this module owns only the sockets, the per-connection
+    reader threads and the shutdown flag. A [stream: true] run
+    interleaves {!Protocol.stage_event} lines on the connection before
+    the response; the multi-process sharded frontend is {!Fleet}. *)
 
 type config = {
   socket_path : string option;  (** Unix-domain listening socket *)

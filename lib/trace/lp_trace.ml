@@ -89,6 +89,31 @@ let memory_sink () =
   in
   ({ emit; close = ignore }, events)
 
+(* A routed sink demultiplexes by emitting domain: each domain may
+   register a private handler, and events from domains with no handler
+   are dropped. This is what lets one process-wide sink serve many
+   concurrent consumers — the service engine registers a handler on the
+   domain computing a streamed request, re-emits its stage spans to the
+   client, and unregisters, without ever seeing another request's
+   events. The handler table is tiny (one entry per in-flight streamed
+   request), so the per-event cost is one mutex'd hash lookup. *)
+let routed_sink () =
+  let m = Mutex.create () in
+  let handlers : (int, event -> unit) Hashtbl.t = Hashtbl.create 8 in
+  let emit e =
+    let h = Mutex.protect m (fun () -> Hashtbl.find_opt handlers e.dom) in
+    (* Call outside the lock: handlers do I/O. *)
+    match h with None -> () | Some f -> f e
+  in
+  let set_handler h =
+    let dom = (Domain.self () :> int) in
+    Mutex.protect m (fun () ->
+        match h with
+        | None -> Hashtbl.remove handlers dom
+        | Some f -> Hashtbl.replace handlers dom f)
+  in
+  ({ emit; close = ignore }, set_handler)
+
 (* The installed sink. An [Atomic] keeps the disabled fast path to a
    single load; sinks serialise internally so no further locking is
    needed on emission. *)

@@ -71,6 +71,18 @@ val memory_sink : unit -> sink * (unit -> event list)
 (** An in-memory collector for tests: the second component returns the
     events recorded so far, in emission order. *)
 
+val routed_sink : unit -> sink * ((event -> unit) option -> unit)
+(** A per-domain demultiplexer: [routed_sink ()] returns a sink plus a
+    [set_handler] function. [set_handler (Some f)] registers [f] as the
+    consumer of every event emitted {e by the calling domain};
+    [set_handler None] unregisters it. Events from domains with no
+    registered handler are dropped. This is how the service streams one
+    request's stage spans to its client while other domains trace into
+    the void: the domain computing the request registers a handler for
+    itself around the flow run. Handlers are called outside the
+    registry lock and may do I/O; a handler must not itself emit trace
+    events (that would recurse). *)
+
 val set_sink : sink option -> unit
 (** Install ([Some s]) or remove ([None]) the process-wide sink. The
     previous sink, if any, is {e not} closed — the installer owns its

@@ -3,9 +3,9 @@
    part of the repo's contract. Parses the committed file with Lp_json
    and asserts the keys and types the speed suite promises — including
    the "sim" co-simulation block and the "system-sim" stage row the
-   acceptance criteria reference. The "service", "explore" and "corpus"
-   blocks are optional (the serve, explore and corpus suites merge them
-   in separately). *)
+   acceptance criteria reference. The "service", "explore", "corpus"
+   and "fleet" blocks are optional (the serve, explore, corpus and
+   fleet suites merge them in separately). *)
 
 module Json = Lp_json
 
@@ -195,7 +195,7 @@ let test_schema () =
         (speedup >= Lp_bench.Gates.corpus_speedup_floor ~jobs));
   (* explore is merged in by the explorer suite; when present it carries
      per-app sweep latencies and strategy-efficiency counters. *)
-  match Json.member "explore" doc with
+  (match Json.member "explore" doc with
   | None -> ()
   | Some explore ->
       Alcotest.(check string)
@@ -224,7 +224,65 @@ let test_schema () =
       let totals = obj explore "totals" in
       List.iter
         (fun k -> ignore (num totals k))
-        [ "cold_s"; "warm_s"; "warm_speedup" ]
+        [ "cold_s"; "warm_s"; "warm_speedup" ]);
+  (* fleet is merged in by the fleet suite; when present it carries the
+     sharded-daemon probe (the gated throughput figure), the overhead
+     comparison against the single-process daemon, and the host-shape
+     fields that arm or disarm the 2x multicore floor — the same
+     convention as corpus.single_cpu_host. *)
+  match Json.member "fleet" doc with
+  | None -> ()
+  | Some fleet ->
+      Alcotest.(check string)
+        "fleet schema tag" "lowpart-bench-fleet/1" (str fleet "schema");
+      Alcotest.(check bool) "fleet host_cpus >= 1" true
+        (int_ fleet "host_cpus" >= 1);
+      let bool_ name =
+        match Option.bind (Json.member name fleet) Json.to_bool_opt with
+        | Some b -> b
+        | None -> Alcotest.failf "fleet.%s missing or not a bool" name
+      in
+      let single_cpu = bool_ "single_cpu_host" in
+      Alcotest.(check bool)
+        "two_x_gate_armed is the multicore complement" (not single_cpu)
+        (bool_ "two_x_gate_armed");
+      let probe = obj fleet "probe" in
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("fleet.probe." ^ k ^ " >= 1") true
+            (int_ probe k >= 1))
+        [ "shards"; "workers_per_shard"; "clients"; "requests" ];
+      List.iter
+        (fun k ->
+          Alcotest.(check bool) ("fleet.probe." ^ k ^ " >= 0") true
+            (num probe k >= 0.0))
+        [ "elapsed_s"; "p50_ms"; "p95_ms"; "p99_ms" ];
+      (* The probe drives only three distinct programs, so its balance
+         figure is recorded for the report, not gated — the 2x balance
+         law over a real corpus of fingerprints is pinned by the ring
+         tests in test_fleet. *)
+      Alcotest.(check bool)
+        "probe shard balance recorded (>= 1x ideal by construction)" true
+        (num probe "balance_max_over_ideal" >= 0.99);
+      (* The same conditional floor the comparator enforces. *)
+      let floor = Lp_bench.Gates.fleet_reqs_per_s_floor ~single_cpu in
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "fleet reqs_per_s %.1f respects the single_cpu=%b floor %.1f"
+           (num fleet "reqs_per_s") single_cpu floor)
+        true
+        (num fleet "reqs_per_s" >= floor);
+      Alcotest.(check bool)
+        "direct daemon comparison recorded" true
+        (num fleet "direct_reqs_per_s" > 0.0);
+      ignore (num fleet "overhead_vs_direct_pct");
+      List.iter
+        (fun r ->
+          Alcotest.(check bool) "fleet.runs shards >= 1" true
+            (int_ r "shards" >= 1);
+          Alcotest.(check bool) "fleet.runs reqs_per_s > 0" true
+            (num r "reqs_per_s" > 0.0))
+        (arr fleet "runs")
 
 let () =
   Alcotest.run "bench_schema"

@@ -80,7 +80,7 @@ let expected_run_payload =
      Lp_core.Memo.reset ();
      s)
 
-let run_request = Protocol.Run { app; options = Protocol.no_options }
+let run_request = Protocol.Run { app; options = Protocol.no_options; stream = false }
 
 let payload_string = function
   | { Protocol.payload = Ok v; _ } -> J.to_string v
@@ -129,7 +129,7 @@ let test_protocol_errors () =
           expect_code "unknown app" "unknown_app"
             (Client.rpc c
                (Protocol.Run
-                  { app = "no-such-app"; options = Protocol.no_options }));
+                  { app = "no-such-app"; options = Protocol.no_options; stream = false }));
           (* id echo *)
           let resp =
             Client.rpc c ~id:(J.Int 7) Protocol.List_apps
@@ -161,7 +161,7 @@ let test_gen_specs () =
           (match
              (Client.rpc c
                 (Protocol.Run
-                   { app = "gen:paper:1"; options = Protocol.no_options }))
+                   { app = "gen:paper:1"; options = Protocol.no_options; stream = false }))
                .Protocol.payload
            with
           | Ok v ->
@@ -175,7 +175,7 @@ let test_gen_specs () =
               expect_code (Printf.sprintf "malformed spec %S" bad)
                 "unknown_app"
                 (Client.rpc c
-                   (Protocol.Run { app = bad; options = Protocol.no_options })))
+                   (Protocol.Run { app = bad; options = Protocol.no_options; stream = false })))
             [ "gen:bogus:1"; "gen:paper:"; "gen:paper:12junk"; "gen:paper:-3" ]));
   Lp_core.Memo.reset ()
 
