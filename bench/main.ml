@@ -1253,6 +1253,71 @@ let explore_bench ?(smoke = false) () =
     cold_total warm_total
     (cold_total /. warm_total)
     (List.length apps) grid_size;
+  (* Joint partition x platform sweep: every named platform preset as
+     one axis alternative on one app. The headline number is the energy
+     gain of the best platform's best point over the default platform's
+     best point — the cross-platform win the explorer exists to find. *)
+  let module P = Lp_tech.Platform in
+  let psweep_app = List.hd apps in
+  let psweep_space =
+    {
+      (E.space_of_options Flow.default_options) with
+      E.f_values = [ 1.0; 8.0 ];
+      max_cells_values = [ 8_000; 16_000 ];
+      platform_choices = E.platform_axis P.presets;
+    }
+  in
+  let psweep_points = List.length (E.grid_points psweep_space) in
+  let psweep_r, psweep_s =
+    let e = Option.get (Apps.find psweep_app) in
+    let program = e.Apps.build () in
+    Memo.reset ();
+    wall (fun () -> E.run ~jobs ~space:psweep_space ~name:psweep_app program)
+  in
+  let default_name = P.default.P.name in
+  let min_energy_where pred =
+    List.fold_left
+      (fun acc (o : E.outcome) ->
+        if pred o then Float.min acc o.E.metrics.E.energy_j else acc)
+      infinity psweep_r.E.log
+  in
+  let default_energy =
+    min_energy_where (fun o -> String.equal o.E.point.E.platform default_name)
+  in
+  let best_platform, best_energy =
+    List.fold_left
+      (fun ((_, be) as acc) (o : E.outcome) ->
+        if o.E.metrics.E.energy_j < be then
+          (o.E.point.E.platform, o.E.metrics.E.energy_j)
+        else acc)
+      (default_name, infinity) psweep_r.E.log
+  in
+  let energy_gain = default_energy /. best_energy in
+  Printf.printf
+    "  platform sweep (%s, %d platforms x %d points): %.1f ms; best %s \
+     %.4g J vs default %s %.4g J (%.2fx)\n"
+    psweep_app (List.length P.presets) psweep_points (1e3 *. psweep_s)
+    best_platform best_energy default_name default_energy energy_gain;
+  let platform_sweep =
+    Json.Assoc
+      [
+        ("app", Json.String psweep_app);
+        ( "platforms",
+          Json.List (List.map (fun n -> Json.String n) P.names) );
+        ("points", Json.Int psweep_points);
+        ("sweep_s", Json.Float psweep_s);
+        ("frontier_size", Json.Int (List.length psweep_r.E.frontier));
+        ("best_platform", Json.String best_platform);
+        ("best_energy_j", Json.Float best_energy);
+        ("default_platform", Json.String default_name);
+        ("default_energy_j", Json.Float default_energy);
+        ("energy_gain", Json.Float energy_gain);
+        ( "non_default_wins",
+          Json.Bool
+            (best_energy < default_energy
+            && not (String.equal best_platform default_name)) );
+      ]
+  in
   let explore =
     Json.Assoc
       [
@@ -1261,6 +1326,7 @@ let explore_bench ?(smoke = false) () =
         ("smoke", Json.Bool smoke);
         ("points", Json.Int grid_size);
         ("apps", Json.List (List.map (fun (_, j, _) -> j) per_app));
+        ("platform_sweep", platform_sweep);
         ( "totals",
           Json.Assoc
             [

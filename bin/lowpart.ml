@@ -44,8 +44,72 @@ let resolve_apps names =
       in
       go [] names
 
+module Platform = Lp_tech.Platform
+
+(* [--platform] keeps the raw spec string on the client side (the wire
+   carries specs, the daemon resolves them); local commands resolve it
+   here with the same parser. *)
+let platform_spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "platform" ] ~docv:"NAME[:K=V,..]"
+        ~doc:
+          "Target uP platform: one of $(b,tiny), $(b,sparclite) \
+           (default), $(b,mid), $(b,large), with optional inline \
+           overrides — keys vdd, clock, peak, icache, dcache, \
+           mem_latency, mem_access_nj, mem_standby_mw (e.g. \
+           $(b,sparclite:vdd=2.7,clock=12)). See $(b,lowpart list \
+           --platforms).")
+
+let resolve_platform = function
+  | None -> None
+  | Some spec -> (
+      match Platform.of_spec spec with
+      | Ok (p, _) -> Some p
+      | Error msg ->
+          Printf.eprintf "--platform: %s\n" msg;
+          exit 2)
+
+let platform_config ?(base = Lp_system.System.default_config) platform =
+  match resolve_platform platform with
+  | None -> base
+  | Some p -> Lp_system.System.config_of_platform ~base p
+
+let geom_string (g : Platform.cache_geom) =
+  Printf.sprintf "%dB/%d/%d%s" g.Platform.geom_size_bytes
+    g.Platform.geom_line_bytes g.Platform.geom_assoc
+    (if g.Platform.geom_write_through then "/wt" else "")
+
+let print_platforms () =
+  Printf.printf "%-10s %5s %7s %7s %-12s %-12s %8s\n" "name" "Vdd"
+    "clock" "peak" "icache" "dcache" "mem lat";
+  List.iter
+    (fun (p : Platform.t) ->
+      Printf.printf "%-10s %4.1fV %4.0fMHz %4.0fMHz %-12s %-12s %5d cy%s\n"
+        p.Platform.name p.Platform.core_vdd_v p.Platform.clock_mhz
+        p.Platform.peak_clock_mhz
+        (geom_string p.Platform.icache)
+        (geom_string p.Platform.dcache)
+        p.Platform.mem_first_word_latency
+        (if Platform.equal p Platform.default then "  (default)" else ""))
+    Platform.presets;
+  Printf.printf
+    "\ninline overrides: NAME:key=value,.. with keys vdd, clock, peak, \
+     icache, dcache (SIZE/LINE/ASSOC[/wb|wt]), mem_latency, \
+     mem_access_nj, mem_standby_mw\n"
+
 let list_cmd =
   let doc = "List the benchmark applications." in
+  let platforms_arg =
+    Arg.(
+      value & flag
+      & info [ "platforms" ]
+          ~doc:
+            "Instead of applications, list the named uP platforms \
+             ($(b,--platform) presets): core Vdd, clock, cache \
+             geometries and memory latency.")
+  in
   let corpus_arg =
     Arg.(
       value
@@ -57,7 +121,9 @@ let list_cmd =
              spec, fingerprint, size and trace length of every pinned \
              workload.")
   in
-  let run corpus =
+  let run platforms corpus =
+    if platforms then print_platforms ()
+    else
     match corpus with
     | None ->
         List.iter
@@ -81,7 +147,7 @@ let list_cmd =
                   e.stmts e.trace_instrs)
               entries)
   in
-  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ corpus_arg)
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ platforms_arg $ corpus_arg)
 
 let apps_arg =
   Arg.(value & pos_all string [] & info [] ~docv:"APP" ~doc:"Applications to run (default: all).")
@@ -161,15 +227,18 @@ let with_trace trace f =
       Lp_trace.set_sink (Some sink);
       Fun.protect ~finally:Lp_trace.close f
 
-let run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole (e : Lp_apps.Apps.entry) =
-  let config = { Lp_system.System.default_config with Lp_system.System.peephole } in
+let run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole ~platform
+    (e : Lp_apps.Apps.entry) =
+  let config =
+    { (platform_config platform) with Lp_system.System.peephole }
+  in
   let options = { Lp_core.Flow.default_options with f; n_max; jobs; config } in
   Lp_core.Flow.run ~options ~name:e.name (prepare ~optimize ~unroll (e.build ()))
 
 let run_cmd =
   let doc = "Run the partitioning flow and print the paper's tables." in
   let run verbose names f n_max jobs detail json trace optimize unroll
-      peephole =
+      peephole platform =
     setup_logs verbose;
     match resolve_apps names with
     | Error msg ->
@@ -179,7 +248,8 @@ let run_cmd =
         let results =
           with_trace trace (fun () ->
               List.map
-                (run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole)
+                (run_flow ~f ~n_max ~jobs ~optimize ~unroll ~peephole
+                   ~platform)
                 entries)
         in
         (match json with
@@ -213,27 +283,29 @@ let run_cmd =
     Term.(
       const run $ verbose_arg $ apps_arg $ f_arg $ nmax_arg $ jobs_arg
       $ detail_arg $ json_arg $ trace_arg $ optimize_arg $ unroll_arg
-      $ peephole_arg)
+      $ peephole_arg $ platform_spec_arg)
 
 let app_pos =
   Arg.(required & pos 0 (some string) None & info [] ~docv:"APP")
 
 let simulate_cmd =
   let doc = "Simulate the unpartitioned design of one application." in
-  let run verbose name =
+  let run verbose name platform =
     setup_logs verbose;
     match Lp_apps.Apps.resolve name with
     | Error msg ->
         prerr_endline msg;
         exit 2
     | Ok e ->
-        let report = Lp_system.System.run (e.build ()) in
+        let config = platform_config platform in
+        let report = Lp_system.System.run ~config (e.build ()) in
         Format.printf "%a@." Lp_system.System.pp_report report;
         print_newline ();
         print_endline "uP instruction-class energy breakdown:";
         print_endline (Lp_report.Paper_tables.uproc_breakdown report)
   in
-  Cmd.v (Cmd.info "simulate" ~doc) Term.(const run $ verbose_arg $ app_pos)
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ verbose_arg $ app_pos $ platform_spec_arg)
 
 let asm_arg =
   Arg.(value & flag & info [ "asm" ] ~doc:"Dump compiled assembly instead of IR.")
@@ -401,6 +473,24 @@ let vdd_values_arg =
   axis_values_arg Arg.float "vdd-values"
     "ASIC supply-voltage axis in volts (default: just nominal)."
 
+let platform_values_arg =
+  axis_values_arg Arg.string "platform-values"
+    "uP-platform axis: comma-separated platform specs, each as in \
+     $(b,--platform) (default: just the default platform)."
+
+let resolve_platform_axis = function
+  | None -> None
+  | Some specs ->
+      Some
+        (List.map
+           (fun spec ->
+             match Platform.of_spec spec with
+             | Ok (p, _) -> (Platform.to_spec p, p)
+             | Error msg ->
+                 Printf.eprintf "--platform-values: %s\n" msg;
+                 exit 2)
+           specs)
+
 let print_explore_result (r : E.result) =
   Printf.printf
     "== Pareto frontier of %S — %s, seed %d: %d points, %d evaluated, %d \
@@ -414,6 +504,7 @@ let print_explore_result (r : E.result) =
           string_of_int o.point.n_max;
           string_of_int o.point.max_cells;
           Printf.sprintf "%.2f" o.point.asic_vdd_v;
+          o.point.platform;
           Printf.sprintf "%.4g" o.metrics.energy_j;
           string_of_int o.metrics.cells;
           Printf.sprintf "%+.0f%%" (100.0 *. o.metrics.time_change);
@@ -425,8 +516,8 @@ let print_explore_result (r : E.result) =
     (Lp_report.Table.render
        ~header:
          [
-           "F"; "N_max"; "max cells"; "Vdd"; "energy [J]"; "ASIC cells";
-           "time"; "saving";
+           "F"; "N_max"; "max cells"; "Vdd"; "platform"; "energy [J]";
+           "ASIC cells"; "time"; "saving";
          ]
        rows)
 
@@ -436,7 +527,7 @@ let explore_cmd =
      over (energy, ASIC cells, execution-time change)."
   in
   let run verbose names strategy seed jobs journal json trace fvs nvs cvs vvs
-      =
+      pvs =
     setup_logs verbose;
     match resolve_apps names with
     | Error msg ->
@@ -451,6 +542,9 @@ let explore_cmd =
             n_max_values = Option.value nvs ~default:d.E.n_max_values;
             max_cells_values = Option.value cvs ~default:d.E.max_cells_values;
             vdd_values = Option.value vvs ~default:d.E.vdd_values;
+            platform_choices =
+              Option.value (resolve_platform_axis pvs)
+                ~default:d.E.platform_choices;
           }
         in
         let explore pool (e : Lp_apps.Apps.entry) =
@@ -483,7 +577,7 @@ let explore_cmd =
     Term.(
       const run $ verbose_arg $ apps_arg $ strategy_arg $ seed_arg $ jobs_arg
       $ journal_arg $ json_arg $ trace_arg $ f_values_arg $ n_max_values_arg
-      $ max_cells_values_arg $ vdd_values_arg)
+      $ max_cells_values_arg $ vdd_values_arg $ platform_values_arg)
 
 (* --- the service: `lowpart serve` and `lowpart client` ------------- *)
 
@@ -675,7 +769,8 @@ let client_run_cmd =
              before the result (printed as they arrive), and the run \
              payloads carry a trailing \"stages\" object.")
   in
-  let run socket tcp names f n_max jobs optimize unroll peephole stream =
+  let run socket tcp names f n_max jobs optimize unroll peephole platform
+      stream =
     let names =
       match names with [] -> Lp_apps.Apps.names | names -> names
     in
@@ -686,6 +781,7 @@ let client_run_cmd =
         n_max = Some n_max;
         jobs = Some jobs;
         peephole = Some peephole;
+        platform;
         optimize = Some optimize;
         unroll = Some unroll;
       }
@@ -714,27 +810,32 @@ let client_run_cmd =
   Cmd.v (Cmd.info "run" ~doc)
     Term.(
       const run $ socket_arg $ tcp_arg $ apps_arg $ f_arg $ nmax_arg
-      $ jobs_arg $ optimize_arg $ unroll_arg $ peephole_arg $ stream_arg)
+      $ jobs_arg $ optimize_arg $ unroll_arg $ peephole_arg
+      $ platform_spec_arg $ stream_arg)
 
 let client_simulate_cmd =
   let doc = "Ask the daemon to simulate the unpartitioned design." in
-  let run socket tcp app =
+  let run socket tcp app platform =
     with_client socket tcp (fun c ->
         exit
           (print_payload
              (Lp_service.Client.rpc c
                 (Lp_service.Protocol.Simulate
-                   { app; options = Lp_service.Protocol.no_options }))))
+                   {
+                     app;
+                     options =
+                       { Lp_service.Protocol.no_options with platform };
+                   }))))
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ socket_arg $ tcp_arg $ app_pos)
+    Term.(const run $ socket_arg $ tcp_arg $ app_pos $ platform_spec_arg)
 
 let client_explore_cmd =
   let doc =
     "Ask the daemon to explore the design space (same payload as one \
      element of explore --json)."
   in
-  let run socket tcp app strategy seed fvs nvs cvs vvs =
+  let run socket tcp app strategy seed fvs nvs cvs vvs pvs =
     let explore =
       {
         Lp_service.Protocol.strategy = Some (E.Strategy.name strategy);
@@ -743,6 +844,7 @@ let client_explore_cmd =
         n_max_values = nvs;
         max_cells_values = cvs;
         vdd_values = vvs;
+        platform_values = pvs;
       }
     in
     with_client socket tcp (fun c ->
@@ -760,7 +862,7 @@ let client_explore_cmd =
     Term.(
       const run $ socket_arg $ tcp_arg $ app_pos $ strategy_arg $ seed_arg
       $ f_values_arg $ n_max_values_arg $ max_cells_values_arg
-      $ vdd_values_arg)
+      $ vdd_values_arg $ platform_values_arg)
 
 let client_plain_cmd name doc request =
   let run socket tcp =

@@ -36,6 +36,8 @@ let metrics_of_doc doc =
       m "corpus_flow_ms" (path doc [ "corpus" ] "total_flow_ms");
       m "service_warm_speedup" (path doc [ "service"; "totals" ] "warm_speedup");
       m "explore_warm_speedup" (path doc [ "explore"; "totals" ] "warm_speedup");
+      m "explore_platform_gain"
+        (path doc [ "explore"; "platform_sweep" ] "energy_gain");
       m "fleet_reqs_per_s" (path doc [ "fleet" ] "reqs_per_s");
     ]
 

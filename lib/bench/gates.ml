@@ -86,6 +86,16 @@ let all =
       why = "total corpus flow-bench time";
     };
     {
+      metric = "explore_platform_gain";
+      dir = Floor;
+      limit_of = fixed 1.0;
+      max_regress = Some 0.5;
+      why =
+        "the joint partition x platform sweep must find a platform whose \
+         best point is at least as good as the default platform's \
+         (gain = default best energy / overall best energy)";
+    };
+    {
       metric = "fleet_reqs_per_s";
       dir = Floor;
       limit_of =

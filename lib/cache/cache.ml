@@ -15,6 +15,16 @@ let default_icache =
 let default_dcache =
   { size_bytes = 2048; line_bytes = 16; assoc = 2; policy = Write_back }
 
+let config_of_geom (g : Lp_tech.Platform.cache_geom) =
+  {
+    size_bytes = g.Lp_tech.Platform.geom_size_bytes;
+    line_bytes = g.Lp_tech.Platform.geom_line_bytes;
+    assoc = g.Lp_tech.Platform.geom_assoc;
+    policy =
+      (if g.Lp_tech.Platform.geom_write_through then Write_through
+       else Write_back);
+  }
+
 let is_pow2 n = n > 0 && n land (n - 1) = 0
 
 let sets cfg = cfg.size_bytes / (cfg.line_bytes * cfg.assoc)
@@ -118,8 +128,10 @@ let log2_exact n =
   let rec go k m = if m >= n then k else go (k + 1) (m * 2) in
   go 0 1
 
-let create cfg =
+let create ?(energy_scale = 1.0) cfg =
   if not (config_valid cfg) then invalid_arg "Cache.create: invalid geometry";
+  if not (energy_scale >= 0.0) then
+    invalid_arg "Cache.create: energy_scale must be >= 0";
   let n = sets cfg in
   let ways_total = n * cfg.assoc in
   {
@@ -131,8 +143,13 @@ let create cfg =
     line_shift = log2_exact cfg.line_bytes;
     set_mask = n - 1;
     set_shift = log2_exact n;
-    read_e = access_energy cfg ~write:false;
-    write_e = access_energy cfg ~write:true;
+    (* SRAM energies are characterised at the nominal Cmos6 supply; a
+       platform running its core (and caches) at a different Vdd scales
+       them by the Vdd^2 ratio, folded in once here — the hot path
+       never sees the platform. At the default scale [1.0] the floats
+       are bit-identical ([x *. 1.0 = x] in IEEE). *)
+    read_e = access_energy cfg ~write:false *. energy_scale;
+    write_e = access_energy cfg ~write:true *. energy_scale;
     clock = 0;
     s_reads = 0;
     s_writes = 0;

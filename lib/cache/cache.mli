@@ -32,6 +32,10 @@ val default_dcache : config
 val config_valid : config -> bool
 (** Sizes are powers of two and divide evenly. *)
 
+val config_of_geom : Lp_tech.Platform.cache_geom -> config
+(** The cache geometry of a {!Lp_tech.Platform} as a simulator
+    config. *)
+
 type t
 
 type event = {
@@ -41,7 +45,12 @@ type event = {
   through_words : int;  (** words written through to memory *)
 }
 
-val create : config -> t
+val create : ?energy_scale:float -> config -> t
+(** [create ?energy_scale cfg]. [energy_scale] (default [1.0]) scales
+    the per-access array energies — the Vdd^2 ratio of a platform
+    running its SRAMs below the nominal supply
+    ({!Lp_tech.Platform.energy_scale}). Functional behaviour and all
+    counters are unaffected. *)
 
 val config : t -> config
 

@@ -360,7 +360,8 @@ let run ?(options = default_options) ?pool ?cancel ~name program =
              token is also polled per evaluation on the sequential
              path (the pool polls it per chunk). *)
           check_cancel ();
-          Memo.evaluate ~scheduler:options.scheduler ~profile
+          Memo.evaluate ~platform:options.config.System.platform
+            ~scheduler:options.scheduler ~profile
             ~e_trans_j:est.Preselect.energy_j cluster rset
         in
         let evaluated =
@@ -524,7 +525,11 @@ let run ?(options = default_options) ?pool ?cancel ~name program =
         (fun acc (k, _) -> Float.max acc (Lp_tech.Resource.cycle_time_s k))
         0.0 core.core_instances
     in
-    Float.max 1.0 ((slowest +. mux_margin_s) /. Lp_tech.Cmos6.clock_period_s)
+    (* Relative to the platform's system clock: a faster uP clock makes
+       the same FSM critical path cost more system cycles. *)
+    Float.max 1.0
+      ((slowest +. mux_margin_s)
+      /. Lp_tech.Platform.clock_period_s options.config.System.platform)
   in
   let array_size name =
     match Lp_ir.Ast.find_array program name with

@@ -2,6 +2,7 @@ module Cluster = Lp_cluster.Cluster
 module Ast = Lp_ir.Ast
 module System = Lp_system.System
 module Cache = Lp_cache.Cache
+module Platform = Lp_tech.Platform
 
 (* --- structural fingerprint ------------------------------------- *)
 
@@ -99,8 +100,43 @@ let add_scheduler buf (s : Candidate.scheduler) =
       Buffer.add_string buf "fds:";
       Buffer.add_string buf (Printf.sprintf "%h" stretch)
 
-let fingerprint ~scheduler ~profile (cluster : Cluster.t) rset =
+let add_float buf x =
+  Buffer.add_char buf 'h';
+  Buffer.add_string buf (Printf.sprintf "%h" x);
+  Buffer.add_char buf ';'
+
+(* Platform serialization policy: the block is appended to a key ONLY
+   when the platform differs from sparclite (structurally, including
+   the name). Keys minted before platforms existed were implicitly
+   sparclite keys, so the identity platform must serialize to nothing —
+   that is what keeps every pre-platform on-disk cache entry (and the
+   golden fingerprint pins) valid, while any other platform yields a
+   digest no sparclite run can collide with. *)
+let add_platform buf (p : Platform.t) =
+  Buffer.add_string buf "platform/1;";
+  add_str buf p.Platform.name;
+  add_float buf p.Platform.core_vdd_v;
+  add_float buf p.Platform.clock_mhz;
+  add_float buf p.Platform.peak_clock_mhz;
+  let add_geom (g : Platform.cache_geom) =
+    add_int buf g.Platform.geom_size_bytes;
+    add_int buf g.Platform.geom_line_bytes;
+    add_int buf g.Platform.geom_assoc;
+    add_int buf (if g.Platform.geom_write_through then 1 else 0)
+  in
+  add_geom p.Platform.icache;
+  add_geom p.Platform.dcache;
+  add_int buf p.Platform.mem_first_word_latency;
+  add_float buf p.Platform.mem_access_energy_j;
+  add_float buf p.Platform.mem_standby_power_w
+
+let add_platform_unless_default buf p =
+  if not (Platform.equal p Platform.sparclite) then add_platform buf p
+
+let fingerprint ?(platform = Platform.sparclite) ~scheduler ~profile
+    (cluster : Cluster.t) rset =
   let buf = Buffer.create 512 in
+  add_platform_unless_default buf platform;
   add_scheduler buf scheduler;
   List.iter
     (fun (kind, count) ->
@@ -133,6 +169,9 @@ let initial_fingerprint ~(config : System.config) (p : Ast.program) =
   add_int buf config.System.buffer_capacity_words;
   add_int buf config.System.asic_word_cycles;
   add_int buf (if config.System.peephole then 1 else 0);
+  (* Empty at sparclite — see [add_platform_unless_default]: digests
+     minted before platforms existed stay valid. *)
+  add_platform_unless_default buf config.System.platform;
   add_str buf p.Ast.entry;
   add_int buf (List.length p.Ast.arrays);
   List.iter
@@ -318,9 +357,9 @@ let disk_entries () =
    schedule, binding or netlist) and is re-stamped per caller. The
    evaluation itself runs outside the lock so parallel workers only
    serialise on the table probe. *)
-let evaluate ?(scheduler = Candidate.List_sched) ~profile ~e_trans_j cluster
-    rset =
-  let key = fingerprint ~scheduler ~profile cluster rset in
+let evaluate ?(platform = Platform.sparclite)
+    ?(scheduler = Candidate.List_sched) ~profile ~e_trans_j cluster rset =
+  let key = fingerprint ~platform ~scheduler ~profile cluster rset in
   let restamp v = Option.map (fun c -> { c with Candidate.e_trans_j }) v in
   let cached =
     locked (fun () ->

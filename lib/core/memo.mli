@@ -53,14 +53,21 @@ type initial_stats = {
     probes. *)
 
 val fingerprint :
+  ?platform:Lp_tech.Platform.t ->
   scheduler:Candidate.scheduler ->
   profile:int array ->
   Lp_cluster.Cluster.t ->
   Lp_tech.Resource_set.t ->
   string
-(** Digest of the evaluation inputs (16 raw bytes, not printable). *)
+(** Digest of the evaluation inputs (16 raw bytes, not printable).
+    [platform] (default sparclite) keys the entry to the uP platform it
+    was evaluated under, making cross-platform hits impossible; the
+    default platform serializes to {e nothing}, so sparclite keys are
+    byte-identical to pre-platform keys and existing on-disk caches
+    stay valid. *)
 
 val evaluate :
+  ?platform:Lp_tech.Platform.t ->
   ?scheduler:Candidate.scheduler ->
   profile:int array ->
   e_trans_j:float ->
@@ -69,7 +76,10 @@ val evaluate :
   Candidate.t option
 (** Caching {!Candidate.evaluate}. Safe to call concurrently from many
     domains; two domains racing on the same cold key both compute it
-    and the results (being equal) overwrite each other harmlessly. *)
+    and the results (being equal) overwrite each other harmlessly.
+    [platform] enters the key (see {!fingerprint}), not the
+    evaluation — the ASIC datapath model is independent of the uP
+    platform. *)
 
 val stats : unit -> stats
 val hit_rate : unit -> float
@@ -90,7 +100,10 @@ val hit_rate : unit -> float
 val initial_fingerprint :
   config:Lp_system.System.config -> Lp_ir.Ast.program -> string
 (** Digest of the full program (entry, arrays with init images, all
-    functions) and every report-relevant [System.config] field. *)
+    functions) and every report-relevant [System.config] field —
+    including the platform, which (like {!fingerprint}) serializes to
+    nothing when it is sparclite so pre-platform digests are
+    unchanged. *)
 
 val find_initial : string -> Lp_system.System.report option
 (** Probe memory, then disk. A disk hit is promoted to memory. *)

@@ -3,6 +3,7 @@ module Memo = Lp_core.Memo
 module Candidate = Lp_core.Candidate
 module System = Lp_system.System
 module Cache = Lp_cache.Cache
+module Platform = Lp_tech.Platform
 module Pool = Lp_parallel.Pool
 module J = Lp_json
 
@@ -19,6 +20,7 @@ type point = {
   asic_vdd_v : float;
   rset : string;
   config : string;
+  platform : string;
 }
 
 type space = {
@@ -28,6 +30,7 @@ type space = {
   vdd_values : float list;
   rset_choices : (string * Lp_tech.Resource_set.t list) list;
   config_choices : (string * System.config) list;
+  platform_choices : (string * Platform.t) list;
 }
 
 let default_space =
@@ -38,6 +41,8 @@ let default_space =
     vdd_values = [ Flow.default_options.Flow.asic_vdd_v ];
     rset_choices = [ ("default", Flow.default_options.Flow.resource_sets) ];
     config_choices = [ ("default", Flow.default_options.Flow.config) ];
+    platform_choices =
+      [ ("default", Flow.default_options.Flow.config.System.platform) ];
   }
 
 let space_of_options (o : Flow.options) =
@@ -48,7 +53,11 @@ let space_of_options (o : Flow.options) =
     vdd_values = [ o.Flow.asic_vdd_v ];
     rset_choices = [ ("default", o.Flow.resource_sets) ];
     config_choices = [ ("default", o.Flow.config) ];
+    platform_choices = [ ("default", o.Flow.config.System.platform) ];
   }
+
+let platform_axis platforms =
+  List.map (fun (p : Platform.t) -> (p.Platform.name, p)) platforms
 
 let validate_space s =
   let nonempty what l =
@@ -59,7 +68,8 @@ let validate_space s =
   nonempty "max_cells_values" s.max_cells_values;
   nonempty "vdd_values" s.vdd_values;
   nonempty "rset_choices" (List.map fst s.rset_choices);
-  nonempty "config_choices" (List.map fst s.config_choices)
+  nonempty "config_choices" (List.map fst s.config_choices);
+  nonempty "platform_choices" (List.map fst s.platform_choices)
 
 let grid_points (s : space) =
   List.concat_map
@@ -72,9 +82,20 @@ let grid_points (s : space) =
                 (fun asic_vdd_v ->
                   List.concat_map
                     (fun (rset, _) ->
-                      List.map
+                      List.concat_map
                         (fun (config, _) ->
-                          { f; n_max; max_cells; asic_vdd_v; rset; config })
+                          List.map
+                            (fun (platform, _) ->
+                              {
+                                f;
+                                n_max;
+                                max_cells;
+                                asic_vdd_v;
+                                rset;
+                                config;
+                                platform;
+                              })
+                            s.platform_choices)
                         s.config_choices)
                     s.rset_choices)
                 s.vdd_values)
@@ -91,6 +112,16 @@ let choice what choices name =
            name)
 
 let options_of_point ~(base : Flow.options) space (p : point) =
+  let config = choice "config" space.config_choices p.config in
+  let platform = choice "platform" space.platform_choices p.platform in
+  (* A platform that already matches the chosen config is a no-op —
+     this keeps explicit cache overrides carried by the config (an
+     [icache_bytes]-style refinement) intact on the default axis.
+     A genuinely different platform re-derives the config from it. *)
+  let config =
+    if Platform.equal platform config.System.platform then config
+    else System.config_of_platform ~base:config platform
+  in
   {
     base with
     Flow.f = p.f;
@@ -98,7 +129,7 @@ let options_of_point ~(base : Flow.options) space (p : point) =
     max_cells = p.max_cells;
     asic_vdd_v = p.asic_vdd_v;
     resource_sets = choice "resource-set" space.rset_choices p.rset;
-    config = choice "config" space.config_choices p.config;
+    config;
   }
 
 (* --- metrics and the Pareto frontier ------------------------------ *)
@@ -280,6 +311,7 @@ end) : STRATEGY = struct
         asic_vdd_v = Rng.pick rng space.vdd_values;
         rset = fst (Rng.pick rng space.rset_choices);
         config = fst (Rng.pick rng space.config_choices);
+        platform = fst (Rng.pick rng space.platform_choices);
       }
     in
     let perturb t (p : point) =
@@ -309,6 +341,8 @@ end) : STRATEGY = struct
         rset = fst (hop space.rset_choices (p.rset, []));
         config =
           fst (hop space.config_choices (p.config, System.default_config));
+        platform =
+          fst (hop space.platform_choices (p.platform, Platform.sparclite));
       }
     in
     let propose () =
@@ -447,13 +481,31 @@ let add_cache_config buf (c : Cache.config) =
   add_int buf
     (match c.Cache.policy with Cache.Write_back -> 0 | Cache.Write_through -> 1)
 
+let add_platform buf (p : Platform.t) =
+  add_str buf p.Platform.name;
+  add_float buf p.Platform.core_vdd_v;
+  add_float buf p.Platform.clock_mhz;
+  add_float buf p.Platform.peak_clock_mhz;
+  let geom (g : Platform.cache_geom) =
+    add_int buf g.Platform.geom_size_bytes;
+    add_int buf g.Platform.geom_line_bytes;
+    add_int buf g.Platform.geom_assoc;
+    add_int buf (if g.Platform.geom_write_through then 1 else 0)
+  in
+  geom p.Platform.icache;
+  geom p.Platform.dcache;
+  add_int buf p.Platform.mem_first_word_latency;
+  add_float buf p.Platform.mem_access_energy_j;
+  add_float buf p.Platform.mem_standby_power_w
+
 let add_system_config buf (c : System.config) =
   add_cache_config buf c.System.icache;
   add_cache_config buf c.System.dcache;
   add_int buf c.System.fuel;
   add_int buf c.System.buffer_capacity_words;
   add_int buf c.System.asic_word_cycles;
-  add_int buf (if c.System.peephole then 1 else 0)
+  add_int buf (if c.System.peephole then 1 else 0);
+  add_platform buf c.System.platform
 
 let add_rsets buf rsets =
   add_int buf (List.length rsets);
@@ -468,13 +520,14 @@ let add_rsets buf rsets =
 
 let point_key space (p : point) =
   let buf = Buffer.create 256 in
-  Buffer.add_string buf "explore-point/1;";
+  Buffer.add_string buf "explore-point/2;";
   add_float buf p.f;
   add_int buf p.n_max;
   add_int buf p.max_cells;
   add_float buf p.asic_vdd_v;
   add_rsets buf (choice "resource-set" space.rset_choices p.rset);
   add_system_config buf (choice "config" space.config_choices p.config);
+  add_platform buf (choice "platform" space.platform_choices p.platform);
   Digest.string (Buffer.contents buf)
 
 let scope_key ~name ~(base : Flow.options) program =
@@ -503,7 +556,10 @@ let scope_key ~name ~(base : Flow.options) program =
    it — exactly the discipline of the Memo persistent tier, so a killed
    writer costs one re-evaluation, never an error. *)
 
-let journal_format_version = 1
+(* v2: the [point] record gained a [platform] field (PR 9). Marshal'd
+   v1 entries would be memory-unsafe at the new type, so the version
+   bump orphans them wholesale. *)
+let journal_format_version = 2
 
 let journal_magic =
   Printf.sprintf "lowpart-explore/%d ocaml-%s\n" journal_format_version
@@ -705,6 +761,7 @@ let outcome_to_json (o : outcome) =
       ("asic_vdd_v", J.Float o.point.asic_vdd_v);
       ("resource_sets", J.String o.point.rset);
       ("config", J.String o.point.config);
+      ("platform", J.String o.point.platform);
       ("energy_j", J.Float o.metrics.energy_j);
       ("cells", J.Int o.metrics.cells);
       ("time_change", J.Float o.metrics.time_change);
@@ -724,6 +781,9 @@ let space_to_json (s : space) =
         J.List (List.map (fun (name, _) -> J.String name) s.rset_choices) );
       ( "configs",
         J.List (List.map (fun (name, _) -> J.String name) s.config_choices) );
+      ( "platforms",
+        J.List (List.map (fun (name, _) -> J.String name) s.platform_choices)
+      );
     ]
 
 let to_json (r : result) =

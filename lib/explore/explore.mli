@@ -37,9 +37,9 @@
     search, whose proposals depend only on the PRNG and the (replayed)
     observations. *)
 
-(** One concrete assignment of every explored dimension. [rset] and
-    [config] name an alternative of the space's [rset_choices] /
-    [config_choices]. *)
+(** One concrete assignment of every explored dimension. [rset],
+    [config] and [platform] name an alternative of the space's
+    [rset_choices] / [config_choices] / [platform_choices]. *)
 type point = {
   f : float;
   n_max : int;
@@ -47,6 +47,7 @@ type point = {
   asic_vdd_v : float;
   rset : string;
   config : string;
+  platform : string;
 }
 
 type space = {
@@ -58,6 +59,12 @@ type space = {
       (** named designer resource-set menus *)
   config_choices : (string * Lp_system.System.config) list;
       (** named system (cache/memory) configurations *)
+  platform_choices : (string * Lp_tech.Platform.t) list;
+      (** named uP platforms (core Vdd/clock, cache geometry, memory
+          parameters — see {!Lp_tech.Platform}); a non-default platform
+          re-derives the point's system config from the platform, so
+          cache-geometry and core-Vdd axes are explored through this
+          one dimension *)
 }
 
 val default_space : space
@@ -71,7 +78,11 @@ val space_of_options : Lp_core.Flow.options -> space
 
 val grid_points : space -> point list
 (** The cartesian product of every axis, in deterministic (outer [f] →
-    inner [config]) order. *)
+    inner [platform]) order. *)
+
+val platform_axis : Lp_tech.Platform.t list -> (string * Lp_tech.Platform.t) list
+(** Platforms keyed by their names — the usual way to build
+    [platform_choices] (e.g. from {!Lp_tech.Platform.presets}). *)
 
 (** The three minimised objectives plus the reporting extras, read off
     one {!Lp_core.Flow.result}. *)

@@ -28,3 +28,14 @@ let stall_energy_per_cycle_j = Units.nj 8.0
 
 let busy_power_w =
   base_energy_j Isa.C_alu /. Lp_tech.Cmos6.clock_period_s
+
+(* The per-instruction energies above are characterised at the nominal
+   Cmos6 supply (the sparclite platform). A platform running its core
+   at another Vdd scales every dynamic term by the Vdd^2 ratio; the
+   system simulator applies this one factor to the ISS energy total
+   rather than re-deriving each class. Exactly 1.0 at sparclite. *)
+let core_energy_scale (p : Lp_tech.Platform.t) = Lp_tech.Platform.energy_scale p
+
+let busy_power_of (p : Lp_tech.Platform.t) =
+  base_energy_j Isa.C_alu *. core_energy_scale p
+  /. Lp_tech.Platform.clock_period_s p

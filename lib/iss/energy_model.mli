@@ -29,3 +29,11 @@ val stall_energy_per_cycle_j : float
 val busy_power_w : float
 (** Indicative average power while executing (for documentation and
     sanity checks): base energy of the ALU class over one clock. *)
+
+val core_energy_scale : Lp_tech.Platform.t -> float
+(** Multiplier taking every dynamic energy term of this model from the
+    nominal supply it was characterised at to the platform's core
+    supply (Vdd^2 ratio). Exactly [1.0] for the sparclite platform. *)
+
+val busy_power_of : Lp_tech.Platform.t -> float
+(** {!busy_power_w} rescaled to the platform's supply and clock. *)

@@ -5,9 +5,29 @@ type t = {
   mutable mem_writes : int;
   mutable bus_reads : int;
   mutable bus_writes : int;
+  (* Platform parameters of the memory core this instance accounts
+     for; the defaults are the Cmos6 constants (the sparclite
+     platform), so [create ()] behaves exactly as before platforms
+     existed. *)
+  first_word_latency : int;
+  access_energy_j : float;
+  standby_power_w : float;
 }
 
-let create () = { mem_reads = 0; mem_writes = 0; bus_reads = 0; bus_writes = 0 }
+let create ?(first_word_latency = 4)
+    ?(access_energy_j = Cmos6.dram_access_energy_j)
+    ?(standby_power_w = Cmos6.dram_standby_power_w) () =
+  if first_word_latency < 0 then
+    invalid_arg "Memory.create: first_word_latency must be >= 0";
+  {
+    mem_reads = 0;
+    mem_writes = 0;
+    bus_reads = 0;
+    bus_writes = 0;
+    first_word_latency;
+    access_energy_j;
+    standby_power_w;
+  }
 
 let mem_read_word t = t.mem_reads <- t.mem_reads + 1
 let mem_write_word t = t.mem_writes <- t.mem_writes + 1
@@ -32,7 +52,7 @@ let totals (t : t) =
     bus_reads = t.bus_reads;
     bus_writes = t.bus_writes;
     mem_access_energy_j =
-      float_of_int (t.mem_reads + t.mem_writes) *. Cmos6.dram_access_energy_j;
+      float_of_int (t.mem_reads + t.mem_writes) *. t.access_energy_j;
     bus_energy_j =
       (float_of_int t.bus_reads *. Cmos6.bus_read_energy_j)
       +. (float_of_int t.bus_writes *. Cmos6.bus_write_energy_j);
@@ -40,11 +60,14 @@ let totals (t : t) =
 
 let standby_energy_j ~runtime_s = Cmos6.dram_standby_power_w *. runtime_s
 
-let mem_energy_j t ~runtime_s =
-  (totals t).mem_access_energy_j +. standby_energy_j ~runtime_s
+let standby_energy_of t ~runtime_s = t.standby_power_w *. runtime_s
 
-(* 4-cycle first-word latency, then one word per cycle (page-mode
-   burst). *)
+let mem_energy_j t ~runtime_s =
+  (totals t).mem_access_energy_j +. standby_energy_of t ~runtime_s
+
+(* First-word latency, then one word per cycle (page-mode burst). The
+   module-level functions use the sparclite value (4 cycles); the [_of]
+   variants read the instance's platform parameter. *)
 let first_word_latency = 4
 
 let miss_penalty_cycles ~words =
@@ -57,6 +80,12 @@ let miss_penalty_cycles ~words =
    at least one word, which every cache miss does. *)
 let miss_penalty_run ~misses ~words =
   if misses <= 0 then 0 else (first_word_latency * misses) + words
+
+let miss_penalty_cycles_of t ~words =
+  if words <= 0 then 0 else t.first_word_latency + words
+
+let miss_penalty_run_of t ~misses ~words =
+  if misses <= 0 then 0 else (t.first_word_latency * misses) + words
 
 let pp_totals ppf t =
   Format.fprintf ppf

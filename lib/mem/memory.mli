@@ -9,7 +9,17 @@
 
 type t
 
-val create : unit -> t
+val create :
+  ?first_word_latency:int ->
+  ?access_energy_j:float ->
+  ?standby_power_w:float ->
+  unit ->
+  t
+(** The optional parameters are the memory side of a platform
+    ({!Lp_tech.Platform}); the defaults are the sparclite values
+    (4 cycles, {!Lp_tech.Cmos6.dram_access_energy_j},
+    {!Lp_tech.Cmos6.dram_standby_power_w}), so [create ()] is the
+    pre-platform accounting instance. *)
 
 val mem_read_word : t -> unit
 val mem_write_word : t -> unit
@@ -35,19 +45,29 @@ val totals : t -> totals
 
 val standby_energy_j : runtime_s:float -> float
 (** Refresh/standby energy of the memory core for a run of the given
-    duration. *)
+    duration, at the sparclite standby power. *)
+
+val standby_energy_of : t -> runtime_s:float -> float
+(** Like {!standby_energy_j} but at the instance's platform standby
+    power. *)
 
 val mem_energy_j : t -> runtime_s:float -> float
 (** Access + standby energy of the memory core. *)
 
 val miss_penalty_cycles : words:int -> int
 (** Stall cycles the uP pays for a line transfer of [words] (first-word
-    latency + per-word streaming). *)
+    latency + per-word streaming), at the sparclite 4-cycle latency. *)
 
 val miss_penalty_run : misses:int -> words:int -> int
 (** Exact sum of {!miss_penalty_cycles} over [misses] miss events that
     together moved [words] words (each event moving at least one word):
     the penalty is linear in both, so batched cache runs charge a whole
     run in one call. *)
+
+val miss_penalty_cycles_of : t -> words:int -> int
+(** Like {!miss_penalty_cycles} at the instance's first-word latency. *)
+
+val miss_penalty_run_of : t -> misses:int -> words:int -> int
+(** Like {!miss_penalty_run} at the instance's first-word latency. *)
 
 val pp_totals : Format.formatter -> totals -> unit

@@ -144,8 +144,10 @@ let compute t ~cancel request =
   | Protocol.Run { app; options; stream } -> (
       match find_app app with
       | Error e -> Error e
-      | Ok e ->
-          let opts = Protocol.flow_options options in
+      | Ok e -> (
+          match Protocol.flow_options options with
+          | Error msg -> Error ("bad_request", msg)
+          | Ok opts ->
           let program = Protocol.prepare_program options (e.Apps.build ()) in
           let r = Flow.run ~options:opts ~cancel ~name:e.Apps.name program in
           record_stages t r.Flow.stage_times;
@@ -155,24 +157,32 @@ let compute t ~cancel request =
              run additionally carries the trailing "stages" object so
              the client can reconcile the streamed events against the
              result. *)
-          Ok (J.of_string (Lp_report.Export.result_json ~stages:stream r)))
+          Ok (J.of_string (Lp_report.Export.result_json ~stages:stream r))))
   | Protocol.Simulate { app; options } -> (
       match find_app app with
       | Error e -> Error e
-      | Ok e ->
-          let opts = Protocol.flow_options options in
-          let program = Protocol.prepare_program options (e.Apps.build ()) in
-          let report = System.run ~config:opts.Flow.config program in
-          Ok (J.of_string (Lp_report.Export.report_json report)))
+      | Ok e -> (
+          match Protocol.flow_options options with
+          | Error msg -> Error ("bad_request", msg)
+          | Ok opts ->
+              let program =
+                Protocol.prepare_program options (e.Apps.build ())
+              in
+              let report = System.run ~config:opts.Flow.config program in
+              Ok (J.of_string (Lp_report.Export.report_json report))))
   | Protocol.Explore { app; options; explore } -> (
       match find_app app with
       | Error e -> Error e
       | Ok e -> (
-          match Protocol.explore_strategy explore with
+          match
+            let ( let* ) = Result.bind in
+            let* strategy = Protocol.explore_strategy explore in
+            let* base = Protocol.flow_options options in
+            let* space = Protocol.explore_space ~base explore in
+            Ok (strategy, base, space)
+          with
           | Error msg -> Error ("bad_request", msg)
-          | Ok strategy ->
-              let base = Protocol.flow_options options in
-              let space = Protocol.explore_space options explore in
+          | Ok (strategy, base, space) ->
               let program =
                 Protocol.prepare_program options (e.Apps.build ())
               in

@@ -2,6 +2,7 @@ module J = Lp_json
 module Flow = Lp_core.Flow
 module Candidate = Lp_core.Candidate
 module System = Lp_system.System
+module Platform = Lp_tech.Platform
 
 module Explore = Lp_explore.Explore
 
@@ -13,6 +14,7 @@ type run_options = {
   scheduler : Candidate.scheduler option;
   max_cells : int option;
   peephole : bool option;
+  platform : string option;  (** a {!Lp_tech.Platform.of_spec} spec *)
   icache_bytes : int option;
   dcache_bytes : int option;
   optimize : bool option;
@@ -29,6 +31,7 @@ let no_options =
     scheduler = None;
     max_cells = None;
     peephole = None;
+    platform = None;
     icache_bytes = None;
     dcache_bytes = None;
     optimize = None;
@@ -43,6 +46,7 @@ type explore_options = {
   n_max_values : int list option;
   max_cells_values : int list option;
   vdd_values : float list option;
+  platform_values : string list option;  (** platform specs, one axis point each *)
 }
 
 let no_explore_options =
@@ -53,6 +57,7 @@ let no_explore_options =
     n_max_values = None;
     max_cells_values = None;
     vdd_values = None;
+    platform_values = None;
   }
 
 type request =
@@ -77,56 +82,128 @@ let cmd_name = function
   | Metrics -> "metrics"
   | Shutdown -> "shutdown"
 
+(* Override precedence (documented in the README and asserted by
+   test_service): a raw request field ([icache_bytes], [dcache_bytes])
+   beats the named platform's value — the platform supplies the base
+   configuration, explicit knobs refine it. The one illegal combination
+   is a platform {e spec} that itself carries an inline override
+   ([platform: "tiny:icache=..."]) next to a raw field targeting the
+   same knob: two explicit writers for one value is a contradiction,
+   answered with a readable [bad_request] instead of silently letting
+   one shadow the other. *)
+let platform_conflicts (o : run_options) overridden =
+  List.filter_map
+    (fun (spec_key, raw_present, raw_name) ->
+      if raw_present && List.mem spec_key overridden then
+        Some (spec_key, raw_name)
+      else None)
+    [
+      ("icache", o.icache_bytes <> None, "icache_bytes");
+      ("dcache", o.dcache_bytes <> None, "dcache_bytes");
+    ]
+
 (* Daemon-side default: requests are sequential inside ([jobs = 1]) —
    the pool's parallelism is spent across concurrent requests, and a
-   request that wants an inner fan-out says so explicitly. *)
+   request that wants an inner fan-out says so explicitly. An invalid
+   or conflicting [platform] surfaces as [Error] (the engine answers
+   [bad_request]). *)
 let flow_options (o : run_options) =
   let d = { Flow.default_options with Flow.jobs = 1 } in
-  let cache_cfg (base : Lp_cache.Cache.config) bytes =
-    match bytes with
-    | None -> base
-    | Some size_bytes -> { base with Lp_cache.Cache.size_bytes }
+  let platform =
+    match o.platform with
+    | None -> Ok None
+    | Some spec -> Result.map Option.some (Platform.of_spec spec)
   in
-  let config =
-    {
-      d.Flow.config with
-      System.peephole =
-        Option.value o.peephole ~default:d.Flow.config.System.peephole;
-      icache = cache_cfg d.Flow.config.System.icache o.icache_bytes;
-      dcache = cache_cfg d.Flow.config.System.dcache o.dcache_bytes;
-    }
-  in
-  {
-    d with
-    Flow.f = Option.value o.f ~default:d.Flow.f;
-    n_max = Option.value o.n_max ~default:d.Flow.n_max;
-    jobs = Option.value o.jobs ~default:d.Flow.jobs;
-    asic_vdd_v = Option.value o.asic_vdd_v ~default:d.Flow.asic_vdd_v;
-    scheduler = Option.value o.scheduler ~default:d.Flow.scheduler;
-    max_cells = Option.value o.max_cells ~default:d.Flow.max_cells;
-    pool_threshold =
-      Option.value o.pool_threshold ~default:d.Flow.pool_threshold;
-    config;
-  }
+  match platform with
+  | Error e -> Error ("platform: " ^ e)
+  | Ok platform -> (
+      let conflicts =
+        match platform with
+        | None -> []
+        | Some (_, overridden) -> platform_conflicts o overridden
+      in
+      match conflicts with
+      | (spec_key, raw_name) :: _ ->
+          Error
+            (Printf.sprintf
+               "platform spec overrides %S and the request also sets %S: \
+                drop one of the two (a raw field beats a plain platform \
+                name, but both beating each other is ambiguous)"
+               spec_key raw_name)
+      | [] ->
+          let base_config =
+            match platform with
+            | None -> d.Flow.config
+            | Some (p, _) -> System.config_of_platform ~base:d.Flow.config p
+          in
+          let cache_cfg (base : Lp_cache.Cache.config) bytes =
+            match bytes with
+            | None -> base
+            | Some size_bytes -> { base with Lp_cache.Cache.size_bytes }
+          in
+          let config =
+            {
+              base_config with
+              System.peephole =
+                Option.value o.peephole
+                  ~default:d.Flow.config.System.peephole;
+              icache = cache_cfg base_config.System.icache o.icache_bytes;
+              dcache = cache_cfg base_config.System.dcache o.dcache_bytes;
+            }
+          in
+          Ok
+            {
+              d with
+              Flow.f = Option.value o.f ~default:d.Flow.f;
+              n_max = Option.value o.n_max ~default:d.Flow.n_max;
+              jobs = Option.value o.jobs ~default:d.Flow.jobs;
+              asic_vdd_v =
+                Option.value o.asic_vdd_v ~default:d.Flow.asic_vdd_v;
+              scheduler = Option.value o.scheduler ~default:d.Flow.scheduler;
+              max_cells = Option.value o.max_cells ~default:d.Flow.max_cells;
+              pool_threshold =
+                Option.value o.pool_threshold ~default:d.Flow.pool_threshold;
+              config;
+            })
 
 (* The space an [explore] request walks: the [f] and [max_cells] axes
    default to the explorer's standard sweep (exactly what a local
    `lowpart explore` covers), every other axis to the request's base
    option value, so overrides like [icache_bytes] or [asic_vdd_v]
-   apply to every point. *)
-let explore_space (o : run_options) (eo : explore_options) =
-  let base = flow_options o in
+   apply to every point. [base] is the request's resolved
+   [flow_options] — resolving it here too would hide a platform error
+   behind a pure interface. A [platform_values] axis resolves each spec
+   and keys the choice by its canonical name. *)
+let explore_space ~(base : Flow.options) (eo : explore_options) =
   let d = Explore.default_space in
-  {
-    Explore.f_values = Option.value eo.f_values ~default:d.Explore.f_values;
-    n_max_values =
-      Option.value eo.n_max_values ~default:[ base.Flow.n_max ];
-    max_cells_values =
-      Option.value eo.max_cells_values ~default:d.Explore.max_cells_values;
-    vdd_values = Option.value eo.vdd_values ~default:[ base.Flow.asic_vdd_v ];
-    rset_choices = [ ("default", base.Flow.resource_sets) ];
-    config_choices = [ ("default", base.Flow.config) ];
-  }
+  let platform_choices =
+    match eo.platform_values with
+    | None -> Ok [ ("default", base.Flow.config.System.platform) ]
+    | Some specs ->
+        let rec resolve acc = function
+          | [] -> Ok (List.rev acc)
+          | spec :: rest -> (
+              match Platform.of_spec spec with
+              | Error e -> Error ("platform_values: " ^ e)
+              | Ok (p, _) -> resolve ((Platform.to_spec p, p) :: acc) rest)
+        in
+        resolve [] specs
+  in
+  Result.map
+    (fun platform_choices ->
+      {
+        Explore.f_values =
+          Option.value eo.f_values ~default:d.Explore.f_values;
+        n_max_values = Option.value eo.n_max_values ~default:[ base.Flow.n_max ];
+        max_cells_values =
+          Option.value eo.max_cells_values ~default:d.Explore.max_cells_values;
+        vdd_values =
+          Option.value eo.vdd_values ~default:[ base.Flow.asic_vdd_v ];
+        rset_choices = [ ("default", base.Flow.resource_sets) ];
+        config_choices = [ ("default", base.Flow.config) ];
+        platform_choices;
+      })
+    platform_choices
 
 let explore_strategy (eo : explore_options) =
   match eo.strategy with
@@ -177,6 +254,7 @@ let options_of_json v =
               scheduler;
               max_cells = J.int_field o "max_cells";
               peephole = J.bool_field o "peephole";
+              platform = J.string_field o "platform";
               icache_bytes = J.int_field o "icache_bytes";
               dcache_bytes = J.int_field o "dcache_bytes";
               optimize = J.bool_field o "optimize";
@@ -185,8 +263,10 @@ let options_of_json v =
             })
   | Some _ -> Error "options must be an object"
 
-let axis_of_json to_opt what v =
-  let err = Error (Printf.sprintf "%s must be a non-empty numeric array" what) in
+let axis_of_json ?(kind = "numeric") to_opt what v =
+  let err =
+    Error (Printf.sprintf "%s must be a non-empty %s array" what kind)
+  in
   match J.to_list_opt v with
   | None | Some [] -> err
   | Some items ->
@@ -202,10 +282,10 @@ let explore_options_of_json v =
   | None | Some J.Null -> Ok no_explore_options
   | Some (J.Assoc _ as o) ->
       let ( let* ) = Result.bind in
-      let axis to_opt name =
+      let axis ?kind to_opt name =
         match J.member name o with
         | None -> Ok None
-        | Some v -> axis_of_json to_opt name v
+        | Some v -> axis_of_json ?kind to_opt name v
       in
       let* strategy =
         match J.member "strategy" o with
@@ -224,6 +304,9 @@ let explore_options_of_json v =
       let* n_max_values = axis J.to_int_opt "n_max_values" in
       let* max_cells_values = axis J.to_int_opt "max_cells_values" in
       let* vdd_values = axis J.to_float_opt "vdd_values" in
+      let* platform_values =
+        axis ~kind:"string" J.to_string_opt "platform_values"
+      in
       Ok
         {
           strategy;
@@ -232,6 +315,7 @@ let explore_options_of_json v =
           n_max_values;
           max_cells_values;
           vdd_values;
+          platform_values;
         }
   | Some _ -> Error "explore must be an object"
 
@@ -291,6 +375,7 @@ let options_to_json (o : run_options) =
           o.scheduler;
         field "max_cells" (fun x -> J.Int x) o.max_cells;
         field "peephole" (fun x -> J.Bool x) o.peephole;
+        field "platform" (fun s -> J.String s) o.platform;
         field "icache_bytes" (fun x -> J.Int x) o.icache_bytes;
         field "dcache_bytes" (fun x -> J.Int x) o.dcache_bytes;
         field "optimize" (fun x -> J.Bool x) o.optimize;
@@ -313,6 +398,9 @@ let explore_options_to_json (eo : explore_options) =
         field "n_max_values" ints eo.n_max_values;
         field "max_cells_values" ints eo.max_cells_values;
         field "vdd_values" floats eo.vdd_values;
+        field "platform_values"
+          (fun xs -> J.List (List.map (fun s -> J.String s) xs))
+          eo.platform_values;
       ]
   in
   J.Assoc fields

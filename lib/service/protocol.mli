@@ -24,10 +24,22 @@
     - [scheduler] — ["list"] or [{"fds": <stretch>}]
     - [max_cells] (int) — designer cap on one core
     - [peephole] (bool) — assembly peephole pass
+    - [platform] (string) — a named uP platform, optionally with
+      inline overrides ({!Lp_tech.Platform.of_spec} syntax, e.g.
+      ["tiny"] or ["sparclite:vdd=2.7,clock=12"]); absent means the
+      default sparclite platform and the request is byte-identical to
+      a pre-platform one
     - [icache_bytes], [dcache_bytes] (int) — cache size overrides
     - [optimize] (bool), [unroll] (int) — IR preparation, as in the CLI
     - [pool_threshold] (int) — minimum candidate fan-out before the
       flow spins up its own pool
+
+    Override precedence: a raw field ([icache_bytes], [dcache_bytes])
+    beats the named platform's value — the platform supplies the base
+    configuration, explicit knobs refine it. A platform {e spec} that
+    itself overrides a knob ([platform: "tiny:icache=..."]) combined
+    with a raw field for the same knob is ambiguous and rejected with
+    [bad_request].
 
     An [explore] request walks the design space of one app
     ({!Lp_explore.Explore}):
@@ -42,9 +54,10 @@
     (["grid"], ["anneal"], ["anneal:<budget>"],
     ["anneal:<budget>:<chains>"]), the PRNG [seed] (int, default 0) and
     the axis overrides [f_values], [n_max_values], [max_cells_values],
-    [vdd_values] (non-empty numeric arrays; defaults: the standard
+    [vdd_values] (non-empty numeric arrays) and [platform_values] (a
+    non-empty array of platform spec strings; defaults: the standard
     [f]/[max_cells] sweep of [lowpart explore], base option values for
-    the rest).
+    the rest, and the base platform as the only platform).
 
     {2 Responses}
 
@@ -83,6 +96,9 @@ type run_options = {
   scheduler : Lp_core.Candidate.scheduler option;
   max_cells : int option;
   peephole : bool option;
+  platform : string option;
+      (** a {!Lp_tech.Platform.of_spec} spec; resolved (and checked
+          against raw cache overrides) by {!flow_options} *)
   icache_bytes : int option;
   dcache_bytes : int option;
   optimize : bool option;
@@ -102,6 +118,9 @@ type explore_options = {
   n_max_values : int list option;
   max_cells_values : int list option;
   vdd_values : float list option;
+  platform_values : string list option;
+      (** platform specs, one axis alternative each; resolved by
+          {!explore_space} *)
 }
 
 val no_explore_options : explore_options
@@ -130,17 +149,25 @@ type request =
 
 val cmd_name : request -> string
 
-val flow_options : run_options -> Lp_core.Flow.options
+val flow_options : run_options -> (Lp_core.Flow.options, string) result
 (** Service-side defaults ({!Lp_core.Flow.default_options}, [jobs = 1])
-    with every present override applied. *)
+    with every present override applied. The [platform] spec resolves
+    first and supplies the base system config; raw fields refine it
+    (see the precedence note above). [Error message] — answered as
+    [bad_request] — on an unknown/invalid platform spec or a
+    spec-override/raw-field conflict. *)
 
 val explore_space :
-  run_options -> explore_options -> Lp_explore.Explore.space
-(** The space an [explore] request walks: present axis overrides win;
-    absent [f_values]/[max_cells_values] default to
+  base:Lp_core.Flow.options ->
+  explore_options ->
+  (Lp_explore.Explore.space, string) result
+(** The space an [explore] request walks around the resolved [base]
+    (from {!flow_options}): present axis overrides win; absent
+    [f_values]/[max_cells_values] default to
     {!Lp_explore.Explore.default_space}'s sweep, absent
-    [n_max_values]/[vdd_values] to the base option's single value. The
-    resource-set menu and system config come from [flow_options]. *)
+    [n_max_values]/[vdd_values] to the base option's single value, and
+    absent [platform_values] to the base platform. [Error] on an
+    invalid platform spec in [platform_values]. *)
 
 val explore_strategy :
   explore_options -> (Lp_explore.Explore.Strategy.t, string) result

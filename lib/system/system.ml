@@ -5,6 +5,7 @@ module Compiler = Lp_compiler.Compiler
 module Isa = Lp_isa.Isa
 module Iss = Lp_iss.Iss
 module Cmos6 = Lp_tech.Cmos6
+module Platform = Lp_tech.Platform
 
 type config = {
   icache : Cache.config;
@@ -13,6 +14,7 @@ type config = {
   buffer_capacity_words : int;
   asic_word_cycles : int;
   peephole : bool;
+  platform : Platform.t;
 }
 
 let default_config =
@@ -23,6 +25,20 @@ let default_config =
     buffer_capacity_words = 2048;
     asic_word_cycles = 12;
     peephole = false;
+    platform = Platform.sparclite;
+  }
+
+(* A config for a named platform: its cache geometries plus its core
+   and memory parameters. The separate [icache]/[dcache] fields remain
+   the authority on geometry — an explicit cache override (CLI flag,
+   protocol field, explore axis) refines the platform's geometry by
+   updating them after this call. *)
+let config_of_platform ?(base = default_config) (p : Platform.t) =
+  {
+    base with
+    platform = p;
+    icache = Cache.config_of_geom p.Platform.icache;
+    dcache = Cache.config_of_geom p.Platform.dcache;
   }
 
 type asic_task = {
@@ -63,7 +79,8 @@ let total_energy_j r =
 
 let total_cycles r = r.up_cycles + r.stall_cycles + r.asic_cycles
 
-let runtime_s r = float_of_int (total_cycles r) *. Cmos6.clock_period_s
+let runtime_s ?(platform = Platform.sparclite) r =
+  float_of_int (total_cycles r) *. Platform.clock_period_s platform
 
 let mailbox_name = "$mailbox"
 
@@ -229,7 +246,7 @@ let memory_hooks ~icache ~dcache ~mem ?(mailbox_lo = 0) ?(mailbox_hi = 0)
       let wr = re.Cache.run_writeback_words + re.Cache.run_through_words in
       Memory.mem_write_words mem wr;
       Memory.bus_write_words mem wr;
-      Memory.miss_penalty_run ~misses:re.Cache.run_misses
+      Memory.miss_penalty_run_of mem ~misses:re.Cache.run_misses
         ~words:re.Cache.run_miss_words
     end
   in
@@ -262,7 +279,7 @@ let memory_hooks ~icache ~dcache ~mem ?(mailbox_lo = 0) ?(mailbox_hi = 0)
           Memory.mem_read_words mem k;
           Memory.bus_read_words mem k
         end;
-        stalls := !stalls + (k * Memory.miss_penalty_cycles ~words:1)
+        stalls := !stalls + (k * Memory.miss_penalty_cycles_of mem ~words:1)
       end
       else begin
         let line = Cache.line_of dcache addr in
@@ -298,9 +315,21 @@ let run ?(config = default_config) ?(tasks = []) (p : program) =
       tasks
   in
   let prog, layout = Compiler.compile ~stubs ~peephole:config.peephole p in
-  let icache = Cache.create config.icache in
-  let dcache = Cache.create config.dcache in
-  let mem = Memory.create () in
+  let platform = config.platform in
+  let clock_period_s = Platform.clock_period_s platform in
+  (* Core (and SRAM) dynamic energy scales as Vdd^2 relative to the
+     nominal supply the instruction-level model was characterised at;
+     exactly 1.0 at sparclite, where every product below is
+     bit-identical to the pre-platform code. *)
+  let energy_scale = Lp_iss.Energy_model.core_energy_scale platform in
+  let icache = Cache.create ~energy_scale config.icache in
+  let dcache = Cache.create ~energy_scale config.dcache in
+  let mem =
+    Memory.create
+      ~first_word_latency:platform.Platform.mem_first_word_latency
+      ~access_energy_j:platform.Platform.mem_access_energy_j
+      ~standby_power_w:platform.Platform.mem_standby_power_w ()
+  in
   let acc = { asic_energy = 0.0; asic_invocations = 0 } in
   (* Word-address window of the uncached mailbox region. *)
   let mailbox_lo = layout.Compiler.mailbox_base in
@@ -332,7 +361,7 @@ let run ?(config = default_config) ?(tasks = []) (p : program) =
     let wb = Cache.flush dcache in
     Memory.mem_write_words mem wb;
     Memory.bus_write_words mem wb;
-    let handshake_cycles = Memory.miss_penalty_cycles ~words:wb in
+    let handshake_cycles = Memory.miss_penalty_cycles_of mem ~words:wb in
     let result = run_asic_cluster prep machine in
     (* Execution cycles: schedule length times profiled iterations,
        scaled by the core's clock ratio (an FSM core clocks at its
@@ -392,7 +421,7 @@ let run ?(config = default_config) ?(tasks = []) (p : program) =
     Iss.add_asic_cycles machine total_cycles;
     acc.asic_energy <-
       acc.asic_energy
-      +. (task.power_w *. float_of_int total_cycles *. Cmos6.clock_period_s)
+      +. (task.power_w *. float_of_int total_cycles *. clock_period_s)
   in
   let hooks = memory_hooks ~icache ~dcache ~mem ~mailbox_lo ~mailbox_hi ~acall () in
   let machine = Iss.create ~fuel:config.fuel prog hooks in
@@ -404,7 +433,7 @@ let run ?(config = default_config) ?(tasks = []) (p : program) =
   let mem_totals = Memory.totals mem in
   let run_s =
     float_of_int (r.Iss.up_cycles + r.Iss.stall_cycles + r.Iss.asic_cycles)
-    *. Cmos6.clock_period_s
+    *. clock_period_s
   in
   {
     outputs = r.Iss.outputs;
@@ -416,9 +445,9 @@ let run ?(config = default_config) ?(tasks = []) (p : program) =
     dcache_j = (Cache.stats dcache).Cache.energy_j;
     mem_j =
       mem_totals.Memory.mem_access_energy_j
-      +. Memory.standby_energy_j ~runtime_s:run_s;
+      +. Memory.standby_energy_of mem ~runtime_s:run_s;
     bus_j = mem_totals.Memory.bus_energy_j;
-    up_j = r.Iss.up_energy_j;
+    up_j = r.Iss.up_energy_j *. energy_scale;
     asic_j = acc.asic_energy;
     icache_stats = Cache.stats icache;
     dcache_stats = Cache.stats dcache;

@@ -36,9 +36,22 @@ type config = {
       (** run the assembly peephole optimiser (default off: software
           code quality is an experimental axis of its own — see the
           bench harness's ablations) *)
+  platform : Lp_tech.Platform.t;
+      (** the uP platform: core supply/clock, memory latency/energy and
+          the Vdd^2 energy scale of core + caches (default
+          {!Lp_tech.Platform.sparclite}, under which the simulation is
+          bit-identical to the pre-platform code). The [icache]/[dcache]
+          fields above stay the authority on cache geometry so explicit
+          cache overrides can refine a platform; use
+          {!config_of_platform} to sync them from a platform. *)
 }
 
 val default_config : config
+
+val config_of_platform : ?base:config -> Lp_tech.Platform.t -> config
+(** [config_of_platform ?base p] is [base] (default {!default_config})
+    running on [p]: platform field set and cache geometries copied from
+    the platform. *)
 
 (** One ASIC-mapped cluster, as the partitioner hands it over. *)
 type asic_task = {
@@ -87,7 +100,10 @@ type report = {
 
 val total_energy_j : report -> float
 val total_cycles : report -> int
-val runtime_s : report -> float
+
+val runtime_s : ?platform:Lp_tech.Platform.t -> report -> float
+(** Wall-clock duration of the run at the platform's clock (default
+    sparclite, 20 MHz). *)
 
 val memory_hooks :
   icache:Lp_cache.Cache.t ->

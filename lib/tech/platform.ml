@@ -1,0 +1,312 @@
+(* A named execution platform: the uP side of the system as data.
+
+   Until PR 9 the SPARClite-class platform of the paper was an ambient
+   constant — [Cmos6.vdd_v]/[Cmos6.clock_mhz] globals, the default
+   cache geometries, the DRAM latency baked into [Lp_mem.Memory]. A
+   platform record bundles exactly those knobs so the partitioning flow
+   can treat "which core" as one more axis next to "which partition".
+   The [sparclite] preset reproduces the former globals bit-for-bit;
+   with it every scale factor below is exactly 1.0 and the simulators
+   are byte-identical to the pre-platform code. *)
+
+type cache_geom = {
+  geom_size_bytes : int;
+  geom_line_bytes : int;
+  geom_assoc : int;
+  geom_write_through : bool;
+}
+
+type t = {
+  name : string;
+  core_vdd_v : float;
+  clock_mhz : float;
+  peak_clock_mhz : float;
+      (* rated frequency of the core at the nominal process Vdd
+         ([Cmos6.vdd_v]); the voltage-delay curve scales it down at
+         lower supplies *)
+  icache : cache_geom;
+  dcache : cache_geom;
+  mem_first_word_latency : int;  (* uP cycles to the first word of a burst *)
+  mem_access_energy_j : float;  (* per word read or written *)
+  mem_standby_power_w : float;
+}
+
+(* --- derived quantities -------------------------------------------- *)
+
+let clock_period_s p = Units.mhz_period_s p.clock_mhz
+
+(* Core dynamic energy scales as Vdd^2 relative to the nominal supply
+   the per-instruction and SRAM energies were characterised at. *)
+let energy_scale p = Cmos6.voltage_energy_ratio p.core_vdd_v
+
+(* Highest clock this platform's core sustains at its supply: the rated
+   frequency divided by the alpha-power delay stretch. *)
+let max_clock_mhz p =
+  p.peak_clock_mhz /. Cmos6.voltage_delay_ratio p.core_vdd_v
+
+(* --- validity ------------------------------------------------------ *)
+
+let is_pow2 n = n > 0 && n land (n - 1) = 0
+
+let geom_valid g =
+  is_pow2 g.geom_size_bytes && is_pow2 g.geom_line_bytes && g.geom_assoc > 0
+  && g.geom_line_bytes >= 4
+  && g.geom_size_bytes >= g.geom_line_bytes * g.geom_assoc
+  && g.geom_size_bytes mod (g.geom_line_bytes * g.geom_assoc) = 0
+
+let validate p =
+  if p.name = "" then Error "platform name must be non-empty"
+  else if p.core_vdd_v <= Cmos6.vt_v then
+    Error
+      (Printf.sprintf "core vdd %.3g V is at or below Vt (%.3g V)"
+         p.core_vdd_v Cmos6.vt_v)
+  else if p.clock_mhz <= 0.0 then Error "clock must be positive"
+  else if p.peak_clock_mhz <= 0.0 then Error "peak clock must be positive"
+  else if p.clock_mhz > max_clock_mhz p *. (1.0 +. 1e-9) then
+    Error
+      (Printf.sprintf
+         "%.4g MHz exceeds the %.4g MHz ceiling at %.3g V (peak %.4g MHz \
+          at %.3g V)"
+         p.clock_mhz (max_clock_mhz p) p.core_vdd_v p.peak_clock_mhz
+         Cmos6.vdd_v)
+  else if not (geom_valid p.icache) then Error "invalid icache geometry"
+  else if not (geom_valid p.dcache) then Error "invalid dcache geometry"
+  else if p.mem_first_word_latency < 0 then
+    Error "memory latency must be >= 0"
+  else if p.mem_access_energy_j < 0.0 then
+    Error "memory access energy must be >= 0"
+  else if p.mem_standby_power_w < 0.0 then
+    Error "memory standby power must be >= 0"
+  else Ok p
+
+let valid p = Result.is_ok (validate p)
+
+let equal a b =
+  a.name = b.name
+  && a.core_vdd_v = b.core_vdd_v
+  && a.clock_mhz = b.clock_mhz
+  && a.peak_clock_mhz = b.peak_clock_mhz
+  && a.icache = b.icache && a.dcache = b.dcache
+  && a.mem_first_word_latency = b.mem_first_word_latency
+  && a.mem_access_energy_j = b.mem_access_energy_j
+  && a.mem_standby_power_w = b.mem_standby_power_w
+
+(* --- the registry -------------------------------------------------- *)
+
+(* The paper's platform, verbatim: 0.8u, 3.3 V, 20 MHz, 2 KiB caches
+   (direct-mapped I, 2-way D, both write-back), 4-cycle DRAM first-word
+   latency, 12 nJ/word accesses, 1.5 mW refresh. Every field equals the
+   former global it replaces, so this preset is the identity. *)
+let sparclite =
+  {
+    name = "sparclite";
+    core_vdd_v = Cmos6.vdd_v;
+    clock_mhz = Cmos6.clock_mhz;
+    peak_clock_mhz = Cmos6.clock_mhz;
+    icache =
+      {
+        geom_size_bytes = 2048;
+        geom_line_bytes = 16;
+        geom_assoc = 1;
+        geom_write_through = false;
+      };
+    dcache =
+      {
+        geom_size_bytes = 2048;
+        geom_line_bytes = 16;
+        geom_assoc = 2;
+        geom_write_through = false;
+      };
+    mem_first_word_latency = 4;
+    mem_access_energy_j = Cmos6.dram_access_energy_j;
+    mem_standby_power_w = Cmos6.dram_standby_power_w;
+  }
+
+(* A low-voltage embedded core: 2.4 V supply (0.53x dynamic energy),
+   clocked at 10 MHz under the ~11.3 MHz alpha-power ceiling, with
+   quarter-size caches. DRAM first-word time (~200 ns) is 2 of its
+   slower cycles. *)
+let tiny =
+  {
+    sparclite with
+    name = "tiny";
+    core_vdd_v = 2.4;
+    clock_mhz = 10.0;
+    peak_clock_mhz = Cmos6.clock_mhz;
+    icache = { sparclite.icache with geom_size_bytes = 512 };
+    dcache = { sparclite.dcache with geom_size_bytes = 512 };
+    mem_first_word_latency = 2;
+  }
+
+(* A mid-range core: same supply, a faster 40 MHz speed grade, doubled
+   caches; DRAM latency doubles in cycles because the cycles halved. *)
+let mid =
+  {
+    sparclite with
+    name = "mid";
+    clock_mhz = 40.0;
+    peak_clock_mhz = 40.0;
+    icache = { sparclite.icache with geom_size_bytes = 4096 };
+    dcache = { sparclite.dcache with geom_size_bytes = 4096 };
+    mem_first_word_latency = 8;
+  }
+
+(* A workstation-class core: 80 MHz, 8 KiB caches with 32-byte lines
+   (4-way D); the memory wall shows — 16 cycles to the first word. *)
+let large =
+  {
+    sparclite with
+    name = "large";
+    clock_mhz = 80.0;
+    peak_clock_mhz = 80.0;
+    icache =
+      {
+        geom_size_bytes = 8192;
+        geom_line_bytes = 32;
+        geom_assoc = 2;
+        geom_write_through = false;
+      };
+    dcache =
+      {
+        geom_size_bytes = 8192;
+        geom_line_bytes = 32;
+        geom_assoc = 4;
+        geom_write_through = false;
+      };
+    mem_first_word_latency = 16;
+  }
+
+let presets = [ tiny; sparclite; mid; large ]
+let names = List.map (fun p -> p.name) presets
+let find name = List.find_opt (fun p -> p.name = name) presets
+let default = sparclite
+
+(* --- parse/print --------------------------------------------------- *)
+
+(* Spec syntax: NAME[:key=value,...] — a registry name optionally
+   refined by inline overrides, e.g.
+   [sparclite:vdd=2.7,clock=12,icache=4096/16/2/wb]. The parser reports
+   which keys were overridden so the protocol layer can detect a spec
+   override and a raw request field fighting over the same knob. *)
+
+let geom_to_string g =
+  Printf.sprintf "%d/%d/%d/%s" g.geom_size_bytes g.geom_line_bytes
+    g.geom_assoc
+    (if g.geom_write_through then "wt" else "wb")
+
+let geom_of_string s =
+  match String.split_on_char '/' s with
+  | [ size; line; assoc ] | [ size; line; assoc; _ ] as parts -> (
+      let policy =
+        match parts with
+        | [ _; _; _; "wb" ] | [ _; _; _ ] -> Ok false
+        | [ _; _; _; "wt" ] -> Ok true
+        | _ -> Error (Printf.sprintf "bad cache policy in %S (wb|wt)" s)
+      in
+      match
+        (int_of_string_opt size, int_of_string_opt line,
+         int_of_string_opt assoc, policy)
+      with
+      | Some sz, Some ln, Some a, Ok wt ->
+          let g =
+            {
+              geom_size_bytes = sz;
+              geom_line_bytes = ln;
+              geom_assoc = a;
+              geom_write_through = wt;
+            }
+          in
+          if geom_valid g then Ok g
+          else Error (Printf.sprintf "invalid cache geometry %S" s)
+      | _ -> Error (Printf.sprintf "bad cache geometry %S (SIZE/LINE/ASSOC[/wb|wt])" s))
+  | _ ->
+      Error (Printf.sprintf "bad cache geometry %S (SIZE/LINE/ASSOC[/wb|wt])" s)
+
+let override_keys =
+  [
+    "vdd"; "clock"; "peak"; "icache"; "dcache"; "mem_latency";
+    "mem_access_nj"; "mem_standby_mw";
+  ]
+
+let apply_override p (key, value) =
+  let float_v what =
+    match float_of_string_opt value with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s needs a number, got %S" what value)
+  in
+  let int_v what =
+    match int_of_string_opt value with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "%s needs an integer, got %S" what value)
+  in
+  match key with
+  | "vdd" -> Result.map (fun v -> { p with core_vdd_v = v }) (float_v key)
+  | "clock" -> Result.map (fun v -> { p with clock_mhz = v }) (float_v key)
+  | "peak" -> Result.map (fun v -> { p with peak_clock_mhz = v }) (float_v key)
+  | "icache" -> Result.map (fun g -> { p with icache = g }) (geom_of_string value)
+  | "dcache" -> Result.map (fun g -> { p with dcache = g }) (geom_of_string value)
+  | "mem_latency" ->
+      Result.map (fun v -> { p with mem_first_word_latency = v }) (int_v key)
+  | "mem_access_nj" ->
+      Result.map
+        (fun v -> { p with mem_access_energy_j = Units.nj v })
+        (float_v key)
+  | "mem_standby_mw" ->
+      Result.map
+        (fun v -> { p with mem_standby_power_w = v *. 1e-3 })
+        (float_v key)
+  | other ->
+      Error
+        (Printf.sprintf "unknown platform key %S (known: %s)" other
+           (String.concat ", " override_keys))
+
+let of_spec spec =
+  let base, overrides =
+    match String.index_opt spec ':' with
+    | None -> (spec, [])
+    | Some i ->
+        ( String.sub spec 0 i,
+          String.sub spec (i + 1) (String.length spec - i - 1)
+          |> String.split_on_char ',' |> List.filter (fun s -> s <> "") )
+  in
+  match find base with
+  | None ->
+      Error
+        (Printf.sprintf "unknown platform %S (known: %s)" base
+           (String.concat ", " names))
+  | Some p ->
+      let rec apply p keys = function
+        | [] -> Ok (p, List.rev keys)
+        | kv :: rest -> (
+            match String.index_opt kv '=' with
+            | None ->
+                Error (Printf.sprintf "platform override %S is not key=value" kv)
+            | Some i -> (
+                let key = String.sub kv 0 i in
+                let value =
+                  String.sub kv (i + 1) (String.length kv - i - 1)
+                in
+                match apply_override p (key, value) with
+                | Error e -> Error e
+                | Ok p -> apply p (key :: keys) rest))
+      in
+      Result.bind (apply p [] overrides) (fun (p, keys) ->
+          (* An overridden platform is a different platform: stamp the
+             canonical spec into the name so fingerprints, journal
+             scopes and payload echoes all distinguish it. *)
+          let p =
+            if keys = [] then p
+            else { p with name = base ^ ":" ^ String.concat "," overrides }
+          in
+          Result.map (fun p -> (p, keys)) (validate p))
+
+let to_spec p = p.name
+
+let pp ppf p =
+  Format.fprintf ppf
+    "%s: %.2g V @ %g MHz (peak %g), I$ %s, D$ %s, mem %d cyc / %g nJ / %g mW"
+    p.name p.core_vdd_v p.clock_mhz p.peak_clock_mhz
+    (geom_to_string p.icache) (geom_to_string p.dcache)
+    p.mem_first_word_latency
+    (p.mem_access_energy_j /. 1e-9)
+    (p.mem_standby_power_w /. 1e-3)

@@ -1,0 +1,90 @@
+(** Named execution platforms: the uP side of the system as data.
+
+    A platform bundles the knobs the DAC'99 paper fixed to one
+    SPARClite-class configuration — core supply and clock, I/D cache
+    geometry, and the main-memory latency/energy parameters — so the
+    flow can optimise over platforms the same way it optimises over
+    partitions. The {!sparclite} preset carries exactly the values that
+    used to be ambient ({!Cmos6} globals, the default cache configs,
+    [Lp_mem.Memory]'s built-in latency): at that platform every derived
+    scale factor is exactly [1.0] and the simulators behave
+    bit-identically to the pre-platform code. *)
+
+type cache_geom = {
+  geom_size_bytes : int;
+  geom_line_bytes : int;
+  geom_assoc : int;
+  geom_write_through : bool;
+}
+
+type t = {
+  name : string;
+  core_vdd_v : float;
+  clock_mhz : float;
+  peak_clock_mhz : float;
+      (** rated frequency at the nominal process supply {!Cmos6.vdd_v};
+          lowering [core_vdd_v] lowers the sustainable clock along the
+          alpha-power delay curve (see {!max_clock_mhz}) *)
+  icache : cache_geom;
+  dcache : cache_geom;
+  mem_first_word_latency : int;
+      (** uP cycles to the first word of a memory burst *)
+  mem_access_energy_j : float;  (** per word read or written *)
+  mem_standby_power_w : float;
+}
+
+val clock_period_s : t -> float
+
+val energy_scale : t -> float
+(** Dynamic-energy multiplier for the core and its SRAMs relative to
+    the nominal supply: [(core_vdd_v / Cmos6.vdd_v)^2]. Exactly [1.0]
+    for {!sparclite}. *)
+
+val max_clock_mhz : t -> float
+(** Frequency ceiling at [core_vdd_v]:
+    [peak_clock_mhz / Cmos6.voltage_delay_ratio core_vdd_v]. *)
+
+val validate : t -> (t, string) result
+(** Structural and physical validity: positive clocks, supply above Vt,
+    power-of-two cache geometries, and [clock_mhz <= max_clock_mhz]
+    (within epsilon). *)
+
+val valid : t -> bool
+val equal : t -> t -> bool
+
+(** {1 Registry} *)
+
+val sparclite : t
+(** The paper's platform; the default everywhere. *)
+
+val tiny : t
+(** 2.4 V / 10 MHz, 512 B caches — the low-power corner. *)
+
+val mid : t
+(** 3.3 V / 40 MHz, 4 KiB caches. *)
+
+val large : t
+(** 3.3 V / 80 MHz, 8 KiB caches with 32 B lines. *)
+
+val presets : t list
+val names : string list
+val find : string -> t option
+val default : t
+
+(** {1 Parse / print} *)
+
+val of_spec : string -> (t * string list, string) result
+(** [of_spec "NAME[:key=value,...]"] resolves a registry name and
+    applies inline overrides, validating the result. Returns the
+    platform plus the list of overridden keys (so callers can detect
+    collisions with other override channels). Keys: [vdd], [clock],
+    [peak], [icache]/[dcache] (as [SIZE/LINE/ASSOC[/wb|wt]]),
+    [mem_latency], [mem_access_nj], [mem_standby_mw]. An overridden
+    platform's [name] becomes the canonical spec string, so it compares
+    (and fingerprints) as a distinct platform. *)
+
+val to_spec : t -> string
+(** The spec string that reproduces [t] ([name], which embeds any
+    inline overrides applied by {!of_spec}). *)
+
+val pp : Format.formatter -> t -> unit

@@ -224,7 +224,33 @@ let test_schema () =
       let totals = obj explore "totals" in
       List.iter
         (fun k -> ignore (num totals k))
-        [ "cold_s"; "warm_s"; "warm_speedup" ]);
+        [ "cold_s"; "warm_s"; "warm_speedup" ];
+      (* The joint partition x platform sweep: the explorer bench always
+         writes it, and its energy_gain is the comparator's
+         explore_platform_gain metric. *)
+      let ps = obj explore "platform_sweep" in
+      ignore (str ps "app");
+      let platforms =
+        match Json.member "platforms" ps with
+        | Some (Json.List l) -> List.filter_map Json.to_string_opt l
+        | _ -> Alcotest.fail "platform_sweep.platforms missing"
+      in
+      Alcotest.(check (list string))
+        "platform sweep covers every preset" Lp_tech.Platform.names platforms;
+      Alcotest.(check bool) "platform sweep points >= 1" true
+        (int_ ps "points" >= 1);
+      List.iter
+        (fun k -> ignore (num ps k))
+        [ "sweep_s"; "best_energy_j"; "default_energy_j"; "energy_gain" ];
+      Alcotest.(check bool)
+        (Printf.sprintf "platform sweep energy_gain %.3f respects the floor"
+           (num ps "energy_gain"))
+        true
+        (num ps "energy_gain" >= 1.0);
+      Alcotest.(check string)
+        "platform sweep default is the default platform"
+        Lp_tech.Platform.default.Lp_tech.Platform.name
+        (str ps "default_platform"));
   (* fleet is merged in by the fleet suite; when present it carries the
      sharded-daemon probe (the gated throughput figure), the overhead
      comparison against the single-process daemon, and the host-shape

@@ -7,6 +7,8 @@ module E = Lp_explore.Explore
 module Flow = Lp_core.Flow
 module Memo = Lp_core.Memo
 module Apps = Lp_apps.Apps
+module Platform = Lp_tech.Platform
+module System = Lp_system.System
 
 (* --- generators --------------------------------------------------- *)
 
@@ -26,6 +28,7 @@ let point_gen =
         asic_vdd_v = 2.0 +. (0.5 *. float_of_int vi);
         rset = "default";
         config = "default";
+        platform = "default";
       })
 
 let metrics_gen =
@@ -351,6 +354,159 @@ let test_pool_threshold_option () =
   in
   Alcotest.(check bool) "threshold is performance-only" true (run 1 = run 1000)
 
+(* --- the platform axis -------------------------------------------- *)
+
+(* Valid sparclite variants: every combination respects the frequency
+   ceiling (20 MHz peak sustains 10 MHz down to 2.4 V). The shared
+   "variant" name makes the law hinge on the serialized parameters, not
+   the name; sparclite itself joins the pool so the law also covers the
+   default platform's empty fingerprint block. *)
+let platform_variant_gen =
+  QCheck.Gen.(
+    let variant =
+      let* vdd = oneofl [ 2.4; 3.3 ] in
+      let* clock = oneofl [ 5.0; 10.0 ] in
+      let* isz = oneofl [ 512; 2048 ] in
+      let* lat = oneofl [ 2; 4 ] in
+      return
+        {
+          Platform.sparclite with
+          Platform.name = "variant";
+          core_vdd_v = vdd;
+          clock_mhz = clock;
+          icache =
+            {
+              Platform.sparclite.Platform.icache with
+              Platform.geom_size_bytes = isz;
+            };
+          mem_first_word_latency = lat;
+        }
+    in
+    oneof [ variant; return Platform.sparclite ])
+
+(* Distinct platforms key distinct memo entries; equal platforms share
+   one — fingerprint equality is exactly platform equality (for a fixed
+   program), so cross-platform memo hits are impossible. *)
+let platform_fingerprint_law =
+  let program = fixture_program () in
+  let fp p =
+    Memo.initial_fingerprint ~config:(System.config_of_platform p) program
+  in
+  QCheck.Test.make ~count:100
+    ~name:"platform equality = fingerprint equality"
+    (QCheck.make
+       ~print:(fun (a, b) ->
+         Format.asprintf "%a / %a" Platform.pp a Platform.pp b)
+       QCheck.Gen.(pair platform_variant_gen platform_variant_gen))
+    (fun (a, b) -> Platform.equal a b = String.equal (fp a) (fp b))
+
+(* The sparclite platform serializes to nothing: its fingerprints are
+   byte-identical to the pre-platform digests, so on-disk caches stay
+   valid. The hex pin is the same one test_block_iss carries. *)
+let test_platform_fingerprint_pin () =
+  let entry = Option.get (Apps.find "digs") in
+  let program = entry.Apps.build () in
+  let fp config = Digest.to_hex (Memo.initial_fingerprint ~config program) in
+  Alcotest.(check string) "sparclite config keeps the legacy digest"
+    (fp System.default_config)
+    (fp (System.config_of_platform Platform.sparclite));
+  Alcotest.(check string) "pinned sparclite digest"
+    "536a60f3c961ffe9972f4fed4b3c8414" (fp System.default_config);
+  Alcotest.(check bool) "tiny config moves the digest" true
+    (not
+       (String.equal
+          (fp (System.config_of_platform Platform.tiny))
+          (fp System.default_config)))
+
+(* Distinct base platforms give distinct journal scopes: a tiny-based
+   exploration never replays sparclite checkpoints (replaying them
+   would hand back wrong metrics), while its own checkpoints replay. *)
+let test_journal_platform_scope () =
+  let program = fixture_program () in
+  let journal_dir = temp_dir "lp-explore-platform" in
+  Fun.protect
+    ~finally:(fun () -> rm_rf journal_dir)
+    (fun () ->
+      let subset = { small_space with E.f_values = [ 1.0 ] } in
+      let r1 =
+        E.run ~space:subset ~jobs:1 ~journal_dir ~name:"fixture" program
+      in
+      Alcotest.(check int) "sparclite run evaluates its points" 2
+        r1.E.evaluated;
+      let tiny_base =
+        {
+          Flow.default_options with
+          Flow.config = System.config_of_platform Platform.tiny;
+        }
+      in
+      let tiny_space =
+        {
+          (E.space_of_options tiny_base) with
+          E.f_values = [ 1.0 ];
+          max_cells_values = subset.E.max_cells_values;
+        }
+      in
+      let r2 =
+        E.run ~space:tiny_space ~jobs:1 ~journal_dir ~base:tiny_base
+          ~name:"fixture" program
+      in
+      Alcotest.(check int) "tiny base misses the sparclite journal" 0
+        r2.E.journal_hits;
+      Alcotest.(check int) "tiny run evaluates its points" 2 r2.E.evaluated;
+      let r3 =
+        E.run ~space:tiny_space ~jobs:1 ~journal_dir ~base:tiny_base
+          ~name:"fixture" program
+      in
+      Alcotest.(check int) "tiny journal replays for tiny" 2
+        r3.E.journal_hits)
+
+(* The joint partition x platform exploration of the acceptance
+   criteria: tiny (2.4 V, 10 MHz, 512 B caches) beats sparclite on
+   energy, the frontier says so, and every explored point reproduces
+   under a direct Flow.run of options_of_point — the platform axis
+   changes real configurations, not just labels. *)
+let test_platform_dominance () =
+  let entry = Option.get (Apps.find "digs") in
+  let program = entry.Apps.build () in
+  let space =
+    {
+      (E.space_of_options Flow.default_options) with
+      E.f_values = [ 1.0 ];
+      platform_choices =
+        E.platform_axis [ Platform.sparclite; Platform.tiny ];
+    }
+  in
+  let r = E.run ~space ~jobs:1 ~name:"digs" program in
+  Alcotest.(check int) "one point per platform" 2 (List.length r.E.log);
+  let energy_of name =
+    List.fold_left
+      (fun acc (o : E.outcome) ->
+        if String.equal o.E.point.E.platform name then
+          Float.min acc o.E.metrics.E.energy_j
+        else acc)
+      infinity r.E.log
+  in
+  Alcotest.(check bool) "tiny beats sparclite on energy" true
+    (energy_of "tiny" < energy_of "sparclite");
+  Alcotest.(check bool) "frontier carries the tiny point" true
+    (List.exists
+       (fun (o : E.outcome) -> String.equal o.E.point.E.platform "tiny")
+       r.E.frontier);
+  List.iter
+    (fun (o : E.outcome) ->
+      let options =
+        {
+          (E.options_of_point ~base:Flow.default_options space o.E.point) with
+          Flow.jobs = 1;
+        }
+      in
+      let direct = Flow.run ~options ~name:"digs" program in
+      Alcotest.(check bool)
+        (o.E.point.E.platform ^ " point reproduces under direct Flow.run")
+        true
+        (E.metrics_of_result direct = o.E.metrics))
+    r.E.log
+
 (* --- strategy names ----------------------------------------------- *)
 
 let test_strategy_of_string () =
@@ -402,4 +558,14 @@ let () =
           Alcotest.test_case "pool_threshold" `Quick test_pool_threshold_option;
           Alcotest.test_case "strategy names" `Quick test_strategy_of_string;
         ] );
+      ( "platform",
+        QCheck_alcotest.to_alcotest platform_fingerprint_law
+        :: [
+             Alcotest.test_case "sparclite fingerprint pin" `Quick
+               test_platform_fingerprint_pin;
+             Alcotest.test_case "journal scope per platform" `Quick
+               test_journal_platform_scope;
+             Alcotest.test_case "tiny dominates on energy" `Quick
+               test_platform_dominance;
+           ] );
     ]

@@ -202,7 +202,9 @@ let expected_run_payload =
      let options = Protocol.no_options in
      let program = Protocol.prepare_program options (e.Lp_apps.Apps.build ()) in
      let r =
-       Lp_core.Flow.run ~options:(Protocol.flow_options options) ~name:app
+       Lp_core.Flow.run
+         ~options:(Result.get_ok (Protocol.flow_options options))
+         ~name:app
          program
      in
      let s = Lp_report.Export.result_json r in

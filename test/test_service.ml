@@ -73,7 +73,7 @@ let expected_run_payload =
      in
      let r =
        Lp_core.Flow.run
-         ~options:(Protocol.flow_options options)
+         ~options:(Result.get_ok (Protocol.flow_options options))
          ~name:app program
      in
      let s = Lp_report.Export.result_json r in
@@ -206,6 +206,7 @@ let explore_options =
     n_max_values = None;
     max_cells_values = Some [ 8_000; 16_000 ];
     vdd_values = None;
+    platform_values = None;
   }
 
 let explore_request =
@@ -218,8 +219,8 @@ let test_explore_request () =
      element of `lowpart explore --json`. *)
   let expected =
     let e = Option.get (Lp_apps.Apps.find app) in
-    let base = Protocol.flow_options Protocol.no_options in
-    let space = Protocol.explore_space Protocol.no_options explore_options in
+    let base = Result.get_ok (Protocol.flow_options Protocol.no_options) in
+    let space = Result.get_ok (Protocol.explore_space ~base explore_options) in
     let r =
       Lp_explore.Explore.run ~seed:3 ~jobs:1 ~base ~space ~name:app
         (e.Lp_apps.Apps.build ())
@@ -443,6 +444,7 @@ let test_timeout_frees_worker () =
                     n_max_values = None;
                     max_cells_values = Some [ 8_000; 16_000; 24_000 ];
                     vdd_values = Some [ 2.0; 3.3 ];
+                    platform_values = None;
                   };
               }
           in
@@ -481,6 +483,153 @@ let test_shutdown_request () =
   Alcotest.(check bool)
     "socket unlinked at teardown" false (Sys.file_exists socket)
 
+(* --- platform options: precedence, conflicts, wire stability ------- *)
+
+module Platform = Lp_tech.Platform
+module System = Lp_system.System
+
+let string_contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    i + nl <= hl
+    && (String.equal (String.sub haystack i nl) needle || go (i + 1))
+  in
+  go 0
+
+let test_platform_options () =
+  (* A named platform supplies the whole base config. *)
+  (match
+     Protocol.flow_options
+       { Protocol.no_options with Protocol.platform = Some "tiny" }
+   with
+  | Ok opts ->
+      let config = opts.Lp_core.Flow.config in
+      Alcotest.(check bool) "config carries the tiny platform" true
+        (Platform.equal config.System.platform Platform.tiny);
+      Alcotest.(check int) "tiny icache geometry applied" 512
+        config.System.icache.Lp_cache.Cache.size_bytes
+  | Error msg -> Alcotest.failf "plain platform rejected: %s" msg);
+  (* Precedence: a raw field beats the named platform's value — the
+     rest of the platform still applies. *)
+  (match
+     Protocol.flow_options
+       {
+         Protocol.no_options with
+         Protocol.platform = Some "tiny";
+         icache_bytes = Some 4096;
+       }
+   with
+  | Ok opts ->
+      let config = opts.Lp_core.Flow.config in
+      Alcotest.(check int) "raw icache override wins" 4096
+        config.System.icache.Lp_cache.Cache.size_bytes;
+      Alcotest.(check int) "tiny dcache geometry kept" 512
+        config.System.dcache.Lp_cache.Cache.size_bytes;
+      Alcotest.(check bool) "tiny clock/Vdd kept" true
+        (config.System.platform.Platform.core_vdd_v
+         = Platform.tiny.Platform.core_vdd_v)
+  | Error msg -> Alcotest.failf "raw-over-platform rejected: %s" msg);
+  (* A platform spec override and a raw field for the same knob is
+     ambiguous — rejected, with both channels named. *)
+  (match
+     Protocol.flow_options
+       {
+         Protocol.no_options with
+         Protocol.platform = Some "tiny:icache=1024/16/1";
+         icache_bytes = Some 4096;
+       }
+   with
+  | Error msg ->
+      Alcotest.(check bool)
+        (Printf.sprintf "conflict message names both channels: %s" msg)
+        true
+        (string_contains msg "icache" && string_contains msg "icache_bytes")
+  | Ok _ -> Alcotest.fail "conflicting overrides accepted");
+  (* Unknown platforms error with the registry listing. *)
+  match
+    Protocol.flow_options
+      { Protocol.no_options with Protocol.platform = Some "bogus" }
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown platform accepted"
+
+let test_platform_wire () =
+  (* Absent platform emits no field: requests without one are
+     byte-identical to pre-platform requests. *)
+  let json = Protocol.request_to_json run_request in
+  Alcotest.(check bool) "no platform key when absent" true
+    (match json with
+    | J.Assoc fields -> (
+        match List.assoc_opt "options" fields with
+        | Some (J.Assoc opts) -> not (List.mem_assoc "platform" opts)
+        | Some J.Null | None -> true
+        | Some _ -> false)
+    | _ -> false);
+  (* Present platform (and platform_values) round-trip. *)
+  let req =
+    Protocol.Explore
+      {
+        app;
+        options =
+          { Protocol.no_options with Protocol.platform = Some "tiny" };
+        explore =
+          {
+            Protocol.no_explore_options with
+            Protocol.platform_values = Some [ "sparclite"; "tiny" ];
+          };
+      }
+  in
+  (match Protocol.parse_request (Protocol.request_to_json req) with
+  | Ok got ->
+      Alcotest.(check bool) "platform fields round-trip" true (got = req)
+  | Error (code, msg) -> Alcotest.failf "round-trip failed: %s %s" code msg);
+  (* The daemon answers bad_request for an unknown platform and for
+     conflicting overrides — readable envelopes, not dead workers. *)
+  with_server (fun socket ->
+      with_client socket (fun c ->
+          expect_code "unknown platform" "bad_request"
+            (Client.rpc c
+               (Protocol.Run
+                  {
+                    app;
+                    options =
+                      {
+                        Protocol.no_options with
+                        Protocol.platform = Some "bogus";
+                      };
+                    stream = false;
+                  }));
+          expect_code "conflicting overrides" "bad_request"
+            (Client.rpc c
+               (Protocol.Simulate
+                  {
+                    app;
+                    options =
+                      {
+                        Protocol.no_options with
+                        Protocol.platform = Some "tiny:dcache=1024/16/2";
+                        dcache_bytes = Some 4096;
+                      };
+                  }));
+          expect_code "bad platform axis" "bad_request"
+            (Client.rpc c
+               (Protocol.Explore
+                  {
+                    app;
+                    options = Protocol.no_options;
+                    explore =
+                      {
+                        Protocol.no_explore_options with
+                        Protocol.platform_values = Some [ "tiny"; "bogus" ];
+                      };
+                  }));
+          (* The worker is still alive and answering. *)
+          let resp = Client.rpc c Protocol.List_apps in
+          match resp.Protocol.payload with
+          | Ok _ -> ()
+          | Error (code, msg) ->
+              Alcotest.failf "daemon dead after bad_request: %s %s" code msg))
+
 let () =
   Alcotest.run "service"
     [
@@ -488,6 +637,10 @@ let () =
         [
           Alcotest.test_case "error envelopes" `Quick test_protocol_errors;
           Alcotest.test_case "shutdown request" `Quick test_shutdown_request;
+          Alcotest.test_case "platform precedence" `Quick
+            test_platform_options;
+          Alcotest.test_case "platform on the wire" `Quick
+            test_platform_wire;
         ] );
       ( "compute",
         [

@@ -7,6 +7,7 @@ module Op = Lp_tech.Op
 module Resource = Lp_tech.Resource
 module Resource_set = Lp_tech.Resource_set
 module Battery = Lp_tech.Battery
+module Platform = Lp_tech.Platform
 
 let check_s = Alcotest.(check string)
 
@@ -117,6 +118,95 @@ let test_battery () =
   check_s "days format" "3.0 d"
     (Format.asprintf "%a" Battery.pp_lifetime (72.0 *. 3600.0))
 
+(* --- platforms ----------------------------------------------------- *)
+
+let test_platform_presets () =
+  Alcotest.(check (list string))
+    "registry names" [ "tiny"; "sparclite"; "mid"; "large" ] Platform.names;
+  List.iter
+    (fun (p : Platform.t) ->
+      Alcotest.(check bool) (p.Platform.name ^ " valid") true
+        (Platform.valid p);
+      Alcotest.(check bool)
+        (p.Platform.name ^ " found by name")
+        true
+        (match Platform.find p.Platform.name with
+        | Some q -> Platform.equal p q
+        | None -> false))
+    Platform.presets;
+  Alcotest.(check bool) "default is sparclite" true
+    (Platform.equal Platform.default Platform.sparclite);
+  (* The tentpole's byte-exactness hinge: at sparclite every derived
+     scale factor is exactly the pre-platform constant. *)
+  Alcotest.(check bool) "sparclite energy scale exactly 1" true
+    (Platform.energy_scale Platform.sparclite = 1.0);
+  Alcotest.(check bool) "sparclite period is the Cmos6 period" true
+    (Platform.clock_period_s Platform.sparclite = Cmos6.clock_period_s);
+  Alcotest.(check bool) "tiny scales energy down" true
+    (Platform.energy_scale Platform.tiny < 1.0)
+
+let test_platform_ceiling () =
+  (* Lowering Vdd lowers the sustainable clock along the alpha-power
+     curve: sparclite at 2.0 V cannot hold its 20 MHz clock. *)
+  Alcotest.(check bool) "nominal supply sustains the peak" true
+    (Platform.max_clock_mhz Platform.sparclite
+    >= Platform.sparclite.Platform.clock_mhz);
+  (match Platform.of_spec "sparclite:vdd=2.0" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "20 MHz at 2.0 V accepted");
+  (match Platform.of_spec "sparclite:vdd=2.0,clock=5" with
+  | Ok (p, keys) ->
+      Alcotest.(check bool) "derated clock fits the ceiling" true
+        (Platform.valid p);
+      Alcotest.(check (list string)) "overridden keys reported"
+        [ "clock"; "vdd" ] (List.sort compare keys)
+  | Error msg -> Alcotest.failf "derated spec rejected: %s" msg);
+  match Platform.validate { Platform.sparclite with Platform.clock_mhz = 0.0 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "zero clock accepted"
+
+let test_platform_spec_roundtrip () =
+  List.iter
+    (fun (p : Platform.t) ->
+      match Platform.of_spec (Platform.to_spec p) with
+      | Ok (q, []) ->
+          Alcotest.(check bool)
+            (p.Platform.name ^ " spec round-trips")
+            true (Platform.equal p q)
+      | Ok (_, keys) ->
+          Alcotest.failf "bare name reported overrides: %s"
+            (String.concat "," keys)
+      | Error msg -> Alcotest.failf "%s: %s" p.Platform.name msg)
+    Platform.presets;
+  (match Platform.of_spec "mid:icache=4096/32/2/wt,mem_latency=6" with
+  | Ok (p, keys) ->
+      Alcotest.(check (list string)) "override keys"
+        [ "icache"; "mem_latency" ] (List.sort compare keys);
+      Alcotest.(check int) "icache line override" 32
+        p.Platform.icache.Platform.geom_line_bytes;
+      Alcotest.(check bool) "write-through override" true
+        p.Platform.icache.Platform.geom_write_through;
+      Alcotest.(check int) "latency override" 6
+        p.Platform.mem_first_word_latency;
+      Alcotest.(check bool) "overridden name is a distinct platform" false
+        (Platform.equal p Platform.mid);
+      (* The canonical spec string reproduces the platform. *)
+      (match Platform.of_spec (Platform.to_spec p) with
+      | Ok (q, _) ->
+          Alcotest.(check bool) "override spec round-trips" true
+            (Platform.equal p q)
+      | Error msg -> Alcotest.failf "canonical spec rejected: %s" msg)
+  | Error msg -> Alcotest.failf "override spec: %s" msg);
+  List.iter
+    (fun bad ->
+      match Platform.of_spec bad with
+      | Error _ -> ()
+      | Ok _ -> Alcotest.failf "%S should not parse" bad)
+    [
+      "nope"; "sparclite:frob=1"; "sparclite:icache=100/16/1";
+      "sparclite:vdd=0.1"; "sparclite:icache=2048"; "";
+    ]
+
 let () =
   Alcotest.run "lp_tech"
     [
@@ -138,4 +228,11 @@ let () =
           Alcotest.test_case "resource sets" `Quick test_resource_set_ops;
         ] );
       ("battery", [ Alcotest.test_case "model" `Quick test_battery ]);
+      ( "platform",
+        [
+          Alcotest.test_case "presets" `Quick test_platform_presets;
+          Alcotest.test_case "frequency ceiling" `Quick test_platform_ceiling;
+          Alcotest.test_case "spec round-trip" `Quick
+            test_platform_spec_roundtrip;
+        ] );
     ]
